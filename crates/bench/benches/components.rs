@@ -1,0 +1,150 @@
+//! Criterion component benchmarks: one group per algorithm phase, so each
+//! phase of Algorithm 2 / Algorithm 6 can be tracked in isolation
+//! (bounding-box reduction, Hilbert sort, both tree builds, both force
+//! traversals, and the all-pairs kernels at a feasible size).
+
+use bh_bvh::Bvh;
+use bh_octree::Octree;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody_math::ForceParams;
+use nbody_sim::prelude::*;
+use std::hint::black_box;
+use stdpar::prelude::*;
+
+const N: usize = 1 << 14;
+
+fn workload() -> SystemState {
+    galaxy_collision(N, 2024)
+}
+
+fn bench_bbox(c: &mut Criterion) {
+    let state = workload();
+    let mut g = c.benchmark_group("bbox_reduction");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("seq", |b| b.iter(|| black_box(state.bounding_box(Seq))));
+    g.bench_function("par", |b| b.iter(|| black_box(state.bounding_box(Par))));
+    g.bench_function("par_unseq", |b| b.iter(|| black_box(state.bounding_box(ParUnseq))));
+    g.finish();
+}
+
+fn bench_hilbert_sort(c: &mut Criterion) {
+    let state = workload();
+    let bounds = state.bounding_box(Par);
+    let mut g = c.benchmark_group("hilbert_sort");
+    g.throughput(Throughput::Elements(N as u64));
+    for backend in Backend::ALL {
+        g.bench_function(BenchmarkId::new("par", backend.name()), |b| {
+            with_backend(backend, || {
+                let mut bvh = Bvh::new();
+                b.iter(|| {
+                    bvh.hilbert_sort(Par, &state.positions, &state.masses, bounds);
+                    black_box(bvh.permutation().len())
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_builds(c: &mut Criterion) {
+    let state = workload();
+    let bounds = state.bounding_box(Par);
+    let mut g = c.benchmark_group("tree_build");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("octree_par", |b| {
+        let mut tree = Octree::new();
+        b.iter(|| {
+            tree.build(Par, &state.positions, bounds).unwrap();
+            black_box(tree.allocated_nodes())
+        });
+    });
+    g.bench_function("octree_seq", |b| {
+        let mut tree = Octree::new();
+        b.iter(|| {
+            tree.build(Seq, &state.positions, bounds).unwrap();
+            black_box(tree.allocated_nodes())
+        });
+    });
+    g.bench_function("bvh_par_unseq", |b| {
+        let mut bvh = Bvh::new();
+        b.iter(|| {
+            bvh.hilbert_sort(ParUnseq, &state.positions, &state.masses, bounds);
+            bvh.build_and_accumulate(ParUnseq);
+            black_box(bvh.leaf_count())
+        });
+    });
+    g.finish();
+}
+
+fn bench_multipoles(c: &mut Criterion) {
+    let state = workload();
+    let bounds = state.bounding_box(Par);
+    let mut tree = Octree::new();
+    tree.build(Par, &state.positions, bounds).unwrap();
+    let mut g = c.benchmark_group("multipoles");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("octree_par", |b| {
+        b.iter(|| {
+            tree.compute_multipoles(Par, &state.positions, &state.masses);
+            black_box(tree.node_mass_of(0))
+        });
+    });
+    g.finish();
+}
+
+fn bench_force(c: &mut Criterion) {
+    let state = workload();
+    let bounds = state.bounding_box(Par);
+    let params = ForceParams { theta: 0.5, softening: 1e-3, ..ForceParams::default() };
+
+    let mut octree = Octree::new();
+    octree.build(Par, &state.positions, bounds).unwrap();
+    octree.compute_multipoles(Par, &state.positions, &state.masses);
+    let mut bvh = Bvh::new();
+    bvh.hilbert_sort(ParUnseq, &state.positions, &state.masses, bounds);
+    bvh.build_and_accumulate(ParUnseq);
+
+    let mut acc = vec![Vec3::ZERO; N];
+    let mut g = c.benchmark_group("force");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("octree_par_unseq", |b| {
+        b.iter(|| {
+            octree.compute_forces(ParUnseq, &state.positions, &state.masses, &mut acc, &params);
+            black_box(acc[0])
+        });
+    });
+    g.bench_function("bvh_par_unseq", |b| {
+        b.iter(|| {
+            bvh.compute_forces(ParUnseq, &state.positions, &mut acc, &params);
+            black_box(acc[0])
+        });
+    });
+    g.finish();
+}
+
+fn bench_all_pairs(c: &mut Criterion) {
+    // Quadratic kernels at a reduced size so the suite stays tractable.
+    let n = 1 << 11;
+    let state = galaxy_collision(n, 2024);
+    let params = nbody_sim::SolverParams { softening: 1e-3, ..Default::default() };
+    let mut acc = vec![Vec3::ZERO; n];
+    let mut g = c.benchmark_group("all_pairs");
+    g.throughput(Throughput::Elements((n * n) as u64));
+    g.bench_function("classic_par_unseq", |b| {
+        let mut s = nbody_sim::make_solver(SolverKind::AllPairs, DynPolicy::ParUnseq, params).unwrap();
+        b.iter(|| black_box(s.compute(&state, &mut acc, false)));
+    });
+    g.bench_function("col_par", |b| {
+        let mut s = nbody_sim::make_solver(SolverKind::AllPairsCol, DynPolicy::Par, params).unwrap();
+        b.iter(|| black_box(s.compute(&state, &mut acc, false)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_bbox, bench_hilbert_sort, bench_tree_builds, bench_multipoles,
+              bench_force, bench_all_pairs
+}
+criterion_main!(benches);

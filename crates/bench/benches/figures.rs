@@ -1,0 +1,59 @@
+//! Criterion figure benchmarks: compact versions of the paper's figures as
+//! tracked regressions (one full integration step per algorithm/policy at
+//! a tractable size; the printing harness binaries in `src/bin/` are the
+//! full-size regenerators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody_sim::prelude::*;
+use std::hint::black_box;
+
+fn step_once(state: &SystemState, kind: SolverKind, policy: DynPolicy) {
+    let opts = SimOptions { dt: 1e-3, policy, ..SimOptions::default() };
+    let mut sim = Simulation::new(state.clone(), kind, opts).unwrap();
+    black_box(sim.step());
+}
+
+/// Fig. 5 shape: seq vs parallel per algorithm (tiny size).
+fn fig5_shape(c: &mut Criterion) {
+    let n = 1 << 12;
+    let state = galaxy_collision(n, 2024);
+    let mut g = c.benchmark_group("fig5_seq_vs_par");
+    g.throughput(Throughput::Elements(n as u64));
+    for kind in SolverKind::ALL {
+        let par_policy = match kind {
+            SolverKind::Octree | SolverKind::AllPairsCol => DynPolicy::Par,
+            _ => DynPolicy::ParUnseq,
+        };
+        g.bench_function(BenchmarkId::new(kind.name(), "seq"), |b| {
+            b.iter(|| step_once(&state, kind, DynPolicy::Seq))
+        });
+        g.bench_function(BenchmarkId::new(kind.name(), par_policy.name()), |b| {
+            b.iter(|| step_once(&state, kind, par_policy))
+        });
+    }
+    g.finish();
+}
+
+/// Fig. 6/7 shape: tree algorithms across sizes (crossover tracking).
+fn fig67_shape(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig67_tree_scaling");
+    for log2 in [12u32, 14, 16] {
+        let n = 1usize << log2;
+        let state = galaxy_collision(n, 2024);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(BenchmarkId::new("octree", n), |b| {
+            b.iter(|| step_once(&state, SolverKind::Octree, DynPolicy::Par))
+        });
+        g.bench_function(BenchmarkId::new("bvh", n), |b| {
+            b.iter(|| step_once(&state, SolverKind::Bvh, DynPolicy::ParUnseq))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig5_shape, fig67_shape
+}
+criterion_main!(benches);

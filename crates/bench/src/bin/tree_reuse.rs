@@ -1,0 +1,59 @@
+//! Ablation: tree reuse across time steps (Iwasawa et al., discussed in
+//! the paper's related work: "amortized this cost by reusing the same tree
+//! over multiple time steps as an additional approximation. This approach
+//! can be applied to any Barnes-Hut implementation.").
+//!
+//! For rebuild periods 1 (paper configuration), 2, 4 and 8, this runs the
+//! same galaxy for a fixed number of steps and reports total time, the
+//! build-phase share saved, and the position drift vs the rebuild-every-
+//! step reference.
+//!
+//! Usage: `tree_reuse [--n=50000] [--steps=16] [--solver=octree|bvh]`
+
+use nbody_bench::{arg, print_banner, print_table};
+use nbody_sim::diagnostics::l2_error_relative;
+use nbody_sim::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    print_banner("Ablation — tree reuse across steps (Iwasawa-style amortisation)");
+    let n: usize = arg("n", 50_000);
+    let steps: usize = arg("steps", 16);
+    let solver_name: String = arg("solver", "octree".to_string());
+    let kind = if solver_name == "bvh" { SolverKind::Bvh } else { SolverKind::Octree };
+    let state = galaxy_collision(n, 2024);
+
+    let mut reference: Option<Vec<Vec3>> = None;
+    let mut rows = vec![];
+    for period in [1usize, 2, 4, 8] {
+        let opts = SimOptions {
+            dt: 1e-3,
+            tree_rebuild_every: period,
+            policy: DynPolicy::Par,
+            ..SimOptions::default()
+        };
+        let mut sim = Simulation::new(state.clone(), kind, opts).unwrap();
+        let t = Instant::now();
+        let timings = sim.run(steps);
+        let secs = t.elapsed().as_secs_f64();
+        let drift = match &reference {
+            None => {
+                reference = Some(sim.state().positions.clone());
+                0.0
+            }
+            Some(r) => l2_error_relative(&sim.state().positions, r),
+        };
+        let build_s =
+            timings.build.as_secs_f64() + timings.sort.as_secs_f64() + timings.multipole.as_secs_f64();
+        rows.push(vec![
+            format!("{period}"),
+            format!("{secs:.2}"),
+            format!("{build_s:.2}"),
+            format!("{:.3e}", drift),
+        ]);
+    }
+    print_table(&["rebuild every", "total s", "build+sort+multipole s", "rel. drift vs period=1"], &rows);
+    println!();
+    println!("expected shape: build time drops ~1/period; drift grows with the period");
+    println!("but stays small for slowly-evolving systems — a tunable approximation.");
+}

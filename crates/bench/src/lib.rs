@@ -1,0 +1,162 @@
+//! Shared harness utilities for the per-figure benchmark binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (see DESIGN.md for the index). They share
+//! the measurement loop, the throughput metric (bodies·steps / second,
+//! matching the paper's figures), a tiny `--flag=value` CLI parser and
+//! fixed-width table printing.
+
+use nbody_sim::prelude::*;
+use std::time::Instant;
+
+/// Parse `--name=value` from `std::env::args`, falling back to `default`.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let prefix = format!("--{name}=");
+    for a in std::env::args() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            if let Ok(parsed) = v.parse::<T>() {
+                return parsed;
+            }
+            eprintln!("warning: could not parse {a}, using default");
+        }
+    }
+    default
+}
+
+/// True when `--name` appears as a bare flag.
+pub fn flag(name: &str) -> bool {
+    let want = format!("--{name}");
+    std::env::args().any(|a| a == want)
+}
+
+/// Result of one measured configuration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub label: String,
+    pub n: usize,
+    pub steps: usize,
+    pub seconds: f64,
+    pub timings: StepTimings,
+}
+
+impl Measurement {
+    /// The paper's throughput metric: simulated body-steps per second.
+    pub fn throughput(&self) -> f64 {
+        (self.n * self.steps) as f64 / self.seconds
+    }
+}
+
+/// Run `steps` integration steps (after `warmup` unmeasured ones) and
+/// report wall time plus accumulated phase timings.
+pub fn measure_sim(
+    label: impl Into<String>,
+    state: SystemState,
+    kind: SolverKind,
+    opts: SimOptions,
+    warmup: usize,
+    steps: usize,
+) -> Result<Measurement, nbody_sim::SolverError> {
+    let n = state.len();
+    let mut sim = Simulation::new(state, kind, opts)?;
+    sim.run(warmup);
+    let start = Instant::now();
+    let timings = sim.run(steps);
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(Measurement { label: label.into(), n, steps, seconds, timings })
+}
+
+/// Print an aligned table: `headers` then rows of equal arity.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (w, c) in widths.iter().zip(cells) {
+            out.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Human-readable throughput.
+pub fn fmt_throughput(t: f64) -> String {
+    if t >= 1e9 {
+        format!("{:.2}G", t / 1e9)
+    } else if t >= 1e6 {
+        format!("{:.2}M", t / 1e6)
+    } else if t >= 1e3 {
+        format!("{:.2}k", t / 1e3)
+    } else {
+        format!("{t:.1}")
+    }
+}
+
+/// Standard header naming the machine configuration, so outputs are
+/// self-describing (the paper's Table I role).
+pub fn print_banner(title: &str) {
+    println!("== {title} ==");
+    println!(
+        "host: {} hardware threads, backend default: {}",
+        stdpar::backend::hardware_parallelism(),
+        stdpar::backend::current_backend().name()
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_metric() {
+        let m = Measurement {
+            label: "x".into(),
+            n: 1000,
+            steps: 10,
+            seconds: 2.0,
+            timings: StepTimings::default(),
+        };
+        assert_eq!(m.throughput(), 5000.0);
+    }
+
+    #[test]
+    fn fmt_throughput_ranges() {
+        assert_eq!(fmt_throughput(12.0), "12.0");
+        assert_eq!(fmt_throughput(1.5e3), "1.50k");
+        assert_eq!(fmt_throughput(2.5e6), "2.50M");
+        assert_eq!(fmt_throughput(3.0e9), "3.00G");
+    }
+
+    #[test]
+    fn measure_sim_runs() {
+        let state = galaxy_collision(200, 1);
+        let m = measure_sim(
+            "probe",
+            state,
+            SolverKind::Bvh,
+            SimOptions::default(),
+            1,
+            2,
+        )
+        .unwrap();
+        assert_eq!(m.steps, 2);
+        assert!(m.seconds > 0.0);
+        assert!(m.throughput() > 0.0);
+    }
+
+    #[test]
+    fn arg_parsing_defaults() {
+        // No such flag in the test environment: default wins.
+        assert_eq!(arg::<usize>("definitely-not-set", 7), 7);
+        assert!(!flag("also-not-set"));
+    }
+}

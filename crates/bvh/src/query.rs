@@ -1,0 +1,161 @@
+//! Spatial queries on the built BVH (range + nearest neighbour), pruning
+//! by node bounding boxes — the SpatialCL-style use the paper's BVH
+//! lineage comes from.
+
+use crate::build::Bvh;
+use nbody_math::Vec3;
+
+impl Bvh {
+    /// Indices (original body ids) of all bodies within `r` of `p`.
+    pub fn query_radius(&self, p: Vec3, r: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if self.n_bodies() == 0 || r.is_nan() || r < 0.0 {
+            return out;
+        }
+        let r2 = r * r;
+        let mut stack = vec![1usize];
+        while let Some(i) = stack.pop() {
+            if self.node_mass(i) <= 0.0 && self.node_box(i).is_empty() {
+                continue;
+            }
+            if self.node_box(i).distance2_to_point(p) > r2 {
+                continue;
+            }
+            if self.is_leaf(i) {
+                if let Some(b) = self.leaf_body(i) {
+                    let j = i - self.leaf_count();
+                    if self.sorted_positions()[j].distance2(p) <= r2 {
+                        out.push(b);
+                    }
+                }
+            } else {
+                stack.push(2 * i);
+                stack.push(2 * i + 1);
+            }
+        }
+        out
+    }
+
+    /// Original id of the body nearest to `p` (excluding `exclude`).
+    pub fn nearest(&self, p: Vec3, exclude: Option<u32>) -> Option<u32> {
+        if self.n_bodies() == 0 {
+            return None;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        let mut stack: Vec<(usize, f64)> = vec![(1, 0.0)];
+        while let Some((i, lower)) = stack.pop() {
+            if let Some((_, d2)) = best {
+                if lower > d2 {
+                    continue;
+                }
+            }
+            if self.node_box(i).is_empty() {
+                continue;
+            }
+            if self.is_leaf(i) {
+                if let Some(b) = self.leaf_body(i) {
+                    if Some(b) == exclude {
+                        continue;
+                    }
+                    let j = i - self.leaf_count();
+                    let d2 = self.sorted_positions()[j].distance2(p);
+                    if best.is_none_or(|(_, bd)| d2 < bd) {
+                        best = Some((b, d2));
+                    }
+                }
+            } else {
+                let l = (2 * i, self.node_box(2 * i).distance2_to_point(p));
+                let r = (2 * i + 1, self.node_box(2 * i + 1).distance2_to_point(p));
+                // Push the farther child first so the nearer is popped next.
+                if l.1 <= r.1 {
+                    stack.push(r);
+                    stack.push(l);
+                } else {
+                    stack.push(l);
+                    stack.push(r);
+                }
+            }
+        }
+        best.map(|(b, _)| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::{Aabb, SplitMix64};
+    use stdpar::prelude::*;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut r = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0)))
+            .collect()
+    }
+
+    fn built(pos: &[Vec3]) -> Bvh {
+        let masses = vec![1.0; pos.len()];
+        let mut b = Bvh::new();
+        b.hilbert_sort(ParUnseq, pos, &masses, Aabb::from_points(pos));
+        b.build_and_accumulate(ParUnseq);
+        b
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let pos = random_points(2000, 111);
+        let b = built(&pos);
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..50 {
+            let p = Vec3::new(rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2));
+            let r = rng.uniform(0.0, 0.8);
+            let mut got = b.query_radius(p, r);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = pos
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x.distance(p) <= r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pos = random_points(1500, 112);
+        let b = built(&pos);
+        let mut rng = SplitMix64::new(10);
+        for _ in 0..100 {
+            let p = Vec3::new(rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5));
+            let got = b.nearest(p, None).unwrap();
+            let best_d2 = pos.iter().map(|x| x.distance2(p)).fold(f64::INFINITY, f64::min);
+            assert!((pos[got as usize].distance2(p) - best_d2).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn exclusion_and_duplicates() {
+        let p = Vec3::new(0.2, 0.2, 0.2);
+        let pos = vec![p, p, Vec3::new(0.9, 0.9, 0.9)];
+        let b = built(&pos);
+        let first = b.nearest(p, None).unwrap();
+        assert!(first == 0 || first == 1);
+        let second = b.nearest(p, Some(first)).unwrap();
+        assert_ne!(second, first);
+        assert!(second == 0 || second == 1);
+        let mut hits = b.query_radius(p, 0.0);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_bvh_queries() {
+        let mut b = Bvh::new();
+        b.hilbert_sort(ParUnseq, &[], &[], Aabb::EMPTY);
+        b.build_and_accumulate(ParUnseq);
+        assert!(b.query_radius(Vec3::ZERO, 1.0).is_empty());
+        assert_eq!(b.nearest(Vec3::ZERO, None), None);
+    }
+}

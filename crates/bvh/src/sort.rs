@@ -1,0 +1,206 @@
+//! HILBERTSORT (paper §IV-B.1, Algorithm 7).
+//!
+//! Bodies are binned on the coarsest equidistant Cartesian grid holding all
+//! of them; each body's cell is mapped to a Hilbert index with Skilling's
+//! algorithm (precomputed once, "to avoid recomputation"); the bodies are
+//! then sorted by that key with the parallel sort.
+//!
+//! The paper's primary path zips masses and positions through the sort
+//! (`views::zip`); its portable fallback — which we implement — sorts an
+//! auxiliary buffer of `(hilbert, index)` pairs and applies the result as a
+//! permutation (paper §V-A, implementation issue 2).
+
+use crate::build::{Bvh, Curve};
+use nbody_math::hilbert::HilbertGrid;
+use nbody_math::{Aabb, Vec3};
+use stdpar::prelude::*;
+
+impl Bvh {
+    /// Sort bodies along the Hilbert curve.
+    ///
+    /// `bounds` is the output of CALCULATEBOUNDINGBOX. After this call,
+    /// [`Bvh::sorted_positions`] and the permutation are valid and
+    /// [`Bvh::build_and_accumulate`] may run. Any execution policy works
+    /// (`par_unseq` in the paper).
+    pub fn hilbert_sort<P: ExecutionPolicy>(
+        &mut self,
+        policy: P,
+        positions: &[Vec3],
+        masses: &[f64],
+        bounds: Aabb,
+    ) {
+        assert_eq!(positions.len(), masses.len(), "positions/masses length mismatch");
+        let n = positions.len();
+        self.n = n;
+        if n == 0 {
+            self.perm.clear();
+            self.sorted_pos.clear();
+            self.sorted_mass.clear();
+            self.mark_sorted();
+            return;
+        }
+        assert!(!bounds.is_empty(), "non-empty bounds required for a non-empty system");
+
+        let grid = HilbertGrid::new(bounds, self.params.hilbert_bits);
+        let curve = self.params.curve;
+        let bits = self.params.hilbert_bits;
+
+        // Precompute the keys (one pass), then sort (key, index) pairs.
+        let mut pairs: Vec<(u64, u32)> = vec![(0, 0); n];
+        {
+            let view = SyncSlice::new(&mut pairs);
+            for_each_index(policy, 0..n, |i| unsafe {
+                let key = match curve {
+                    Curve::Hilbert => grid.key_of(positions[i]),
+                    Curve::Morton => {
+                        let [x, y, z] = grid.cell_of(positions[i]);
+                        debug_assert!(bits <= 21);
+                        nbody_math::morton::morton3(x, y, z)
+                    }
+                };
+                view.write(i, (key, i as u32));
+            });
+        }
+        sort_unstable_by(policy, &mut pairs, |a, b| a.cmp(b));
+
+        // Apply as a permutation: gather positions and masses.
+        self.perm.clear();
+        self.perm.extend(pairs.iter().map(|&(_, i)| i));
+        self.sorted_pos = apply_permutation(policy, positions, &self.perm);
+        self.sorted_mass = apply_permutation(policy, masses, &self.perm);
+        self.mark_sorted();
+    }
+
+    /// Hilbert keys of the *sorted* bodies (for tests/diagnostics).
+    pub fn sorted_keys(&self, bounds: Aabb) -> Vec<u64> {
+        let grid = HilbertGrid::new(bounds, self.params.hilbert_bits);
+        self.sorted_pos.iter().map(|&p| grid.key_of(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::SplitMix64;
+
+    fn random_system(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut r = SplitMix64::new(seed);
+        let pos = (0..n)
+            .map(|_| Vec3::new(r.uniform(0.0, 1.0), r.uniform(0.0, 1.0), r.uniform(0.0, 1.0)))
+            .collect();
+        let mass = (0..n).map(|_| r.uniform(0.1, 2.0)).collect();
+        (pos, mass)
+    }
+
+    #[test]
+    fn keys_are_nondecreasing_after_sort() {
+        let (pos, mass) = random_system(5000, 71);
+        let bounds = Aabb::from_points(&pos);
+        let mut b = Bvh::new();
+        b.hilbert_sort(ParUnseq, &pos, &mass, bounds);
+        let keys = b.sorted_keys(bounds);
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn permutation_preserves_body_data() {
+        let (pos, mass) = random_system(1000, 72);
+        let mut b = Bvh::new();
+        b.hilbert_sort(Par, &pos, &mass, Aabb::from_points(&pos));
+        let perm = b.permutation();
+        for (j, &orig) in perm.iter().enumerate() {
+            assert_eq!(b.sorted_positions()[j], pos[orig as usize]);
+            assert_eq!(b.sorted_mass[j], mass[orig as usize]);
+        }
+        // It is a permutation.
+        let mut sorted: Vec<u32> = perm.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sorted_neighbours_are_spatially_close_on_average() {
+        // The whole point of the Hilbert sort: adjacent bodies in the
+        // sorted order are close in space, giving compact BVH leaves.
+        let (pos, mass) = random_system(20_000, 73);
+        let bounds = Aabb::from_points(&pos);
+        let mut b = Bvh::new();
+        b.hilbert_sort(ParUnseq, &pos, &mass, bounds);
+        let sp = b.sorted_positions();
+        let mean_sorted: f64 = sp.windows(2).map(|w| w[0].distance(w[1])).sum::<f64>()
+            / (sp.len() - 1) as f64;
+        let mean_unsorted: f64 = pos.windows(2).map(|w| w[0].distance(w[1])).sum::<f64>()
+            / (pos.len() - 1) as f64;
+        assert!(
+            mean_sorted < mean_unsorted * 0.25,
+            "sorted {mean_sorted} vs unsorted {mean_unsorted}"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_policies_and_backends() {
+        let (pos, mass) = random_system(3000, 74);
+        let bounds = Aabb::from_points(&pos);
+        let mut reference: Option<Vec<u32>> = None;
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let mut b = Bvh::new();
+                b.hilbert_sort(Par, &pos, &mass, bounds);
+                match &reference {
+                    None => reference = Some(b.permutation().to_vec()),
+                    Some(r) => assert_eq!(r, &b.permutation().to_vec(), "{}", backend.name()),
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn morton_curve_also_sorts_and_builds() {
+        let (pos, mass) = random_system(4000, 75);
+        let bounds = Aabb::from_points(&pos);
+        let mut b = Bvh::with_params(crate::BvhParams {
+            curve: Curve::Morton,
+            ..Default::default()
+        });
+        b.hilbert_sort(ParUnseq, &pos, &mass, bounds);
+        b.build_and_accumulate(ParUnseq);
+        crate::validate::BvhInvariants::check(&b).unwrap();
+        // Morton ordering still clusters space: sorted neighbours closer
+        // than unsorted ones.
+        let sp = b.sorted_positions();
+        let mean_sorted: f64 =
+            sp.windows(2).map(|w| w[0].distance(w[1])).sum::<f64>() / (sp.len() - 1) as f64;
+        let mean_unsorted: f64 =
+            pos.windows(2).map(|w| w[0].distance(w[1])).sum::<f64>() / (pos.len() - 1) as f64;
+        assert!(mean_sorted < mean_unsorted * 0.5);
+    }
+
+    #[test]
+    fn hilbert_beats_morton_on_neighbour_distance() {
+        // The reason the paper picks Hilbert: no long jumps, so adjacent
+        // bodies in the order are closer on average.
+        let (pos, mass) = random_system(20_000, 76);
+        let bounds = Aabb::from_points(&pos);
+        let mean_step = |curve: Curve| {
+            let mut b = Bvh::with_params(crate::BvhParams { curve, ..Default::default() });
+            b.hilbert_sort(ParUnseq, &pos, &mass, bounds);
+            let sp = b.sorted_positions();
+            sp.windows(2).map(|w| w[0].distance(w[1])).sum::<f64>() / (sp.len() - 1) as f64
+        };
+        let h = mean_step(Curve::Hilbert);
+        let m = mean_step(Curve::Morton);
+        assert!(h < m, "hilbert {h} should beat morton {m}");
+    }
+
+    #[test]
+    fn equal_keys_tie_break_by_index() {
+        // Bodies in the same grid cell sort by original index → stable,
+        // deterministic permutation.
+        let p = Vec3::new(0.5, 0.5, 0.5);
+        let pos = vec![p, p, p];
+        let mass = vec![1.0, 2.0, 3.0];
+        let mut b = Bvh::new();
+        b.hilbert_sort(Par, &pos, &mass, Aabb::new(Vec3::ZERO, Vec3::ONE));
+        assert_eq!(b.permutation(), &[0, 1, 2]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Generic Barnes-Hut traversal on the BVH (visitor API) — the BVH
+//! counterpart of `bh_octree::traverse`, using the skip-list stackless
+//! walk and the box-distance acceptance criterion.
+
+use crate::build::Bvh;
+use nbody_math::{Aabb, Vec3};
+
+/// A far node accepted by the acceptance criterion.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeView {
+    pub index: usize,
+    /// Total mass/weight of the subtree (unit masses ⇒ body count).
+    pub mass: f64,
+    pub com: Vec3,
+    /// Node bounding box.
+    pub bounds: Aabb,
+}
+
+impl Bvh {
+    /// Stackless skip-list traversal from `p`: far nodes (box diagonal `s`,
+    /// distance-to-box `d`, `s/d < theta`) go to `far`; individual bodies
+    /// (original ids) go to `near`.
+    pub fn traverse(&self, p: Vec3, theta: f64, mut far: impl FnMut(NodeView), mut near: impl FnMut(u32)) {
+        if self.n_bodies() == 0 {
+            return;
+        }
+        let theta2 = theta * theta;
+        let mut i: usize = 1;
+        loop {
+            let m = self.mass[i];
+            let mut descend = false;
+            if m > 0.0 {
+                if self.is_leaf(i) {
+                    let j = i - self.leaves;
+                    near(self.perm[j]);
+                } else {
+                    let d2 = self.boxes[i].distance2_to_point(p);
+                    let s2 = self.boxes[i].extent().norm2();
+                    if s2 < theta2 * d2 {
+                        far(NodeView { index: i, mass: m, com: self.com[i], bounds: self.boxes[i] });
+                    } else {
+                        i *= 2;
+                        descend = true;
+                    }
+                }
+            }
+            if descend {
+                continue;
+            }
+            loop {
+                if i == 1 {
+                    return;
+                }
+                if i & 1 == 0 {
+                    i += 1;
+                    break;
+                }
+                i >>= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::SplitMix64;
+    use std::cell::Cell;
+    use stdpar::prelude::*;
+
+    fn build(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>, Bvh) {
+        let mut r = SplitMix64::new(seed);
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0)))
+            .collect();
+        let mass: Vec<f64> = (0..n).map(|_| r.uniform(0.5, 2.0)).collect();
+        let mut b = Bvh::new();
+        b.hilbert_sort(ParUnseq, &pos, &mass, Aabb::from_points(&pos));
+        b.build_and_accumulate(ParUnseq);
+        (pos, mass, b)
+    }
+
+    #[test]
+    fn theta_zero_visits_every_body_exactly_once() {
+        let (pos, _, b) = build(300, 131);
+        let mut seen = vec![0u32; pos.len()];
+        b.traverse(Vec3::ZERO, 0.0, |_| panic!("θ=0 must never approximate"), |id| {
+            seen[id as usize] += 1
+        });
+        assert!(seen.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn mass_is_fully_accounted() {
+        let (pos, mass, b) = build(700, 132);
+        let total: f64 = mass.iter().sum();
+        let seen = Cell::new(0.0f64);
+        b.traverse(
+            pos[0],
+            0.7,
+            |node| seen.set(seen.get() + node.mass),
+            |id| seen.set(seen.get() + mass[id as usize]),
+        );
+        assert!((seen.get() - total).abs() < 1e-9 * total);
+    }
+
+    #[test]
+    fn gravity_via_visitor_matches_builtin() {
+        let (pos, mass, b) = build(500, 133);
+        let params = nbody_math::ForceParams { theta: 0.6, ..Default::default() };
+        let sorted_mass: Vec<f64> = b.permutation().iter().map(|&i| mass[i as usize]).collect();
+        let _ = sorted_mass;
+        for probe in (0..pos.len()).step_by(41) {
+            let builtin = b.accel_at(pos[probe], Some(probe as u32), &params);
+            let acc = Cell::new(Vec3::ZERO);
+            b.traverse(
+                pos[probe],
+                0.6,
+                |node| {
+                    acc.set(
+                        acc.get()
+                            + nbody_math::gravity::pair_accel(node.com - pos[probe], node.mass, 1.0, 0.0),
+                    )
+                },
+                |id| {
+                    if id != probe as u32 {
+                        acc.set(
+                            acc.get()
+                                + nbody_math::gravity::pair_accel(
+                                    pos[id as usize] - pos[probe],
+                                    mass[id as usize],
+                                    1.0,
+                                    0.0,
+                                ),
+                        );
+                    }
+                },
+            );
+            assert!(
+                (acc.get() - builtin).norm() < 1e-12 * (1.0 + builtin.norm()),
+                "probe {probe}"
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Structural validation of the BVH (test and debugging support).
+
+use crate::build::Bvh;
+
+/// Summary of a successful BVH invariant check.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BvhInvariants {
+    pub bodies: usize,
+    pub levels: u32,
+    /// Mean leaf-pair box overlap ratio at the first aggregation level —
+    /// diagnostic for the Hilbert sort quality (lower = tighter boxes).
+    pub level1_mean_diagonal: f64,
+}
+
+impl BvhInvariants {
+    /// Verify the heap-structure invariants:
+    /// 1. parent boxes contain child boxes;
+    /// 2. parent mass equals the sum of child masses;
+    /// 3. parent COM is the mass-weighted child COM;
+    /// 4. every body appears in exactly one leaf;
+    /// 5. a θ=0 traversal visits every non-empty leaf exactly once.
+    pub fn check(bvh: &Bvh) -> Result<BvhInvariants, String> {
+        let n = bvh.n_bodies();
+        if n == 0 {
+            return Ok(BvhInvariants::default());
+        }
+        let leaves = bvh.leaf_count();
+        // 1–3: node consistency.
+        for i in 1..leaves {
+            let (l, r) = (2 * i, 2 * i + 1);
+            if !bvh.node_box(i).contains_box(bvh.node_box(l))
+                || !bvh.node_box(i).contains_box(bvh.node_box(r))
+            {
+                return Err(format!("node {i} box does not contain its children"));
+            }
+            let m = bvh.node_mass(l) + bvh.node_mass(r);
+            if (bvh.node_mass(i) - m).abs() > 1e-9 * m.max(1.0) {
+                return Err(format!("node {i} mass {} != children {m}", bvh.node_mass(i)));
+            }
+            if m > 0.0 {
+                let c = (bvh.node_com(l) * bvh.node_mass(l) + bvh.node_com(r) * bvh.node_mass(r)) / m;
+                if (bvh.node_com(i) - c).norm() > 1e-9 * (1.0 + c.norm()) {
+                    return Err(format!("node {i} com mismatch"));
+                }
+            }
+        }
+        // 4: leaf coverage.
+        let mut seen = vec![false; n];
+        for i in leaves..2 * leaves {
+            if let Some(b) = bvh.leaf_body(i) {
+                let b = b as usize;
+                if b >= n {
+                    return Err(format!("leaf {i} holds out-of-range body {b}"));
+                }
+                if seen[b] {
+                    return Err(format!("body {b} in two leaves"));
+                }
+                seen[b] = true;
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("not all bodies are in leaves".into());
+        }
+        // 5: θ=0 stackless traversal coverage.
+        let mut visited = 0usize;
+        let mut i = 1usize;
+        loop {
+            let mut descend = false;
+            if bvh.node_mass(i) > 0.0 {
+                if bvh.is_leaf(i) {
+                    visited += 1;
+                } else {
+                    i *= 2;
+                    descend = true;
+                }
+            }
+            if !descend {
+                loop {
+                    if i == 1 {
+                        // done
+                        if visited != count_nonempty_leaves(bvh) {
+                            return Err(format!(
+                                "traversal visited {visited} leaves, expected {}",
+                                count_nonempty_leaves(bvh)
+                            ));
+                        }
+                        let d1 = level1_mean_diagonal(bvh);
+                        return Ok(BvhInvariants {
+                            bodies: n,
+                            levels: bvh.levels(),
+                            level1_mean_diagonal: d1,
+                        });
+                    }
+                    if i & 1 == 0 {
+                        i += 1;
+                        break;
+                    }
+                    i >>= 1;
+                }
+            }
+        }
+    }
+}
+
+fn count_nonempty_leaves(bvh: &Bvh) -> usize {
+    let leaves = bvh.leaf_count();
+    (leaves..2 * leaves).filter(|&i| bvh.node_mass(i) > 0.0).count()
+}
+
+fn level1_mean_diagonal(bvh: &Bvh) -> f64 {
+    let leaves = bvh.leaf_count();
+    if leaves < 2 {
+        return 0.0;
+    }
+    let lo = leaves / 2;
+    let hi = leaves;
+    let mut sum = 0.0;
+    let mut cnt = 0usize;
+    for i in lo..hi {
+        let b = bvh.node_box(i);
+        if !b.is_empty() {
+            sum += b.diagonal();
+            cnt += 1;
+        }
+    }
+    if cnt == 0 {
+        0.0
+    } else {
+        sum / cnt as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::{Aabb, SplitMix64, Vec3};
+    use stdpar::prelude::*;
+
+    fn random_system(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut r = SplitMix64::new(seed);
+        let pos = (0..n)
+            .map(|_| Vec3::new(r.uniform(-2.0, 2.0), r.uniform(-2.0, 2.0), r.uniform(-2.0, 2.0)))
+            .collect();
+        let mass = (0..n).map(|_| r.uniform(0.1, 3.0)).collect();
+        (pos, mass)
+    }
+
+    #[test]
+    fn invariants_hold_for_random_builds() {
+        for seed in 90..95 {
+            let n = 100 + (seed as usize * 137) % 2000;
+            let (pos, mass) = random_system(n, seed);
+            let mut b = Bvh::new();
+            b.hilbert_sort(ParUnseq, &pos, &mass, Aabb::from_points(&pos));
+            b.build_and_accumulate(ParUnseq);
+            let inv = BvhInvariants::check(&b).unwrap();
+            assert_eq!(inv.bodies, n);
+        }
+    }
+
+    #[test]
+    fn hilbert_sort_shrinks_level1_boxes() {
+        // Compare Hilbert-sorted BVH against an identity-"sorted" one:
+        // the sorted version must produce much tighter first-level boxes.
+        let (pos, mass) = random_system(8192, 96);
+        let bounds = Aabb::from_points(&pos);
+
+        let mut sorted = Bvh::new();
+        sorted.hilbert_sort(ParUnseq, &pos, &mass, bounds);
+        sorted.build_and_accumulate(ParUnseq);
+        let d_sorted = BvhInvariants::check(&sorted).unwrap().level1_mean_diagonal;
+
+        // Unsorted baseline: 1-bit grid keys collapse almost everything
+        // into equal keys, so the index tie-break keeps original order.
+        let mut unsorted = Bvh::with_params(crate::BvhParams { hilbert_bits: 1, ..Default::default() });
+        unsorted.hilbert_sort(ParUnseq, &pos, &mass, bounds);
+        unsorted.build_and_accumulate(ParUnseq);
+        let d_unsorted = BvhInvariants::check(&unsorted).unwrap().level1_mean_diagonal;
+
+        assert!(
+            d_sorted < d_unsorted * 0.2,
+            "sorted diag {d_sorted} vs unsorted {d_unsorted}"
+        );
+    }
+
+    #[test]
+    fn empty_tree_checks_out() {
+        let mut b = Bvh::new();
+        b.hilbert_sort(ParUnseq, &[], &[], Aabb::EMPTY);
+        b.build_and_accumulate(ParUnseq);
+        let inv = BvhInvariants::check(&b).unwrap();
+        assert_eq!(inv.bodies, 0);
+    }
+}

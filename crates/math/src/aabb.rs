@@ -1,0 +1,265 @@
+//! Axis-aligned bounding boxes.
+//!
+//! The octree uses *cubic* boxes (isotropic subdivision, §IV-A of the paper);
+//! the BVH uses general boxes that may be elongated and may overlap
+//! (§IV-B). Both are represented by [`Aabb`].
+
+use crate::vec3::Vec3;
+
+/// An axis-aligned bounding box `[min, max]` (inclusive).
+///
+/// The *empty* box has `min = +inf`, `max = -inf` and is the identity for
+/// [`Aabb::union`], which makes it directly usable as the initial value of
+/// the paper's `transform_reduce` bounding-box reduction (Algorithm 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::EMPTY
+    }
+}
+
+impl Aabb {
+    /// The empty box: identity element of [`Aabb::union`].
+    pub const EMPTY: Aabb = Aabb { min: Vec3::MAX, max: Vec3::MIN };
+
+    #[inline]
+    pub const fn new(min: Vec3, max: Vec3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// A degenerate box containing exactly one point.
+    #[inline]
+    pub fn from_point(p: Vec3) -> Self {
+        Aabb { min: p, max: p }
+    }
+
+    /// Smallest box containing both operands.
+    #[inline]
+    pub fn union(self, o: Aabb) -> Aabb {
+        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+    }
+
+    /// Grow to cover `p`.
+    #[inline]
+    pub fn expand(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// True when no point has ever been inserted.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.min.x > self.max.x
+    }
+
+    /// Box centre. Meaningless for the empty box.
+    #[inline]
+    pub fn center(self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Edge lengths.
+    #[inline]
+    pub fn extent(self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Longest edge.
+    #[inline]
+    pub fn longest_edge(self) -> f64 {
+        self.extent().max_component()
+    }
+
+    /// Length of the box diagonal; the BVH multipole-acceptance criterion
+    /// uses this as the node size `s` because BVH boxes may be elongated.
+    #[inline]
+    pub fn diagonal(self) -> f64 {
+        self.extent().norm()
+    }
+
+    /// Inclusive containment test.
+    #[inline]
+    pub fn contains(self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True iff `o` is entirely inside `self` (inclusive).
+    #[inline]
+    pub fn contains_box(self, o: Aabb) -> bool {
+        o.is_empty() || (self.contains(o.min) && self.contains(o.max))
+    }
+
+    /// Smallest *cube* centred like this box that contains it, slightly
+    /// inflated so points exactly on the surface stay strictly inside after
+    /// floating-point rounding. The octree root is built from this (the
+    /// octree subdivides isotropically, so its root must be cubic).
+    pub fn to_cube(self) -> Aabb {
+        debug_assert!(!self.is_empty());
+        let c = self.center();
+        // Inflate by a relative epsilon so `octant_of` never sees a point on
+        // the max face mapping outside the [0,1) half-open cell convention.
+        let h = 0.5 * self.longest_edge() * (1.0 + 1e-12) + f64::MIN_POSITIVE;
+        Aabb { min: c - Vec3::splat(h), max: c + Vec3::splat(h) }
+    }
+
+    /// Index in `[0, 8)` of the octant of `center` that contains `p`,
+    /// using Morton order: bit 0 = x-high, bit 1 = y-high, bit 2 = z-high.
+    #[inline]
+    pub fn octant_of(center: Vec3, p: Vec3) -> usize {
+        ((p.x >= center.x) as usize)
+            | (((p.y >= center.y) as usize) << 1)
+            | (((p.z >= center.z) as usize) << 2)
+    }
+
+    /// The sub-box for octant `oct` (Morton order, see [`Aabb::octant_of`]).
+    #[inline]
+    pub fn octant_box(self, oct: usize) -> Aabb {
+        debug_assert!(oct < 8);
+        let c = self.center();
+        let mut min = self.min;
+        let mut max = c;
+        if oct & 1 != 0 {
+            min.x = c.x;
+            max.x = self.max.x;
+        }
+        if oct & 2 != 0 {
+            min.y = c.y;
+            max.y = self.max.y;
+        }
+        if oct & 4 != 0 {
+            min.z = c.z;
+            max.z = self.max.z;
+        }
+        Aabb { min, max }
+    }
+
+    /// Squared distance from `p` to the closest point of the box (0 inside).
+    #[inline]
+    pub fn distance2_to_point(self, p: Vec3) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        let dz = (self.min.z - p.z).max(0.0).max(p.z - self.max.z);
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Compute the bounding box of a point set sequentially.
+    ///
+    /// The parallel version lives in `nbody-sim` (it is the paper's
+    /// CALCULATEBOUNDINGBOX `transform_reduce`); this is the reference.
+    pub fn from_points(points: &[Vec3]) -> Aabb {
+        let mut b = Aabb::EMPTY;
+        for &p in points {
+            b.expand(p);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_union_identity() {
+        let b = Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(3.0, 4.0, 5.0));
+        assert_eq!(Aabb::EMPTY.union(b), b);
+        assert_eq!(b.union(Aabb::EMPTY), b);
+        assert!(Aabb::EMPTY.is_empty());
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn union_is_commutative_and_covers() {
+        let a = Aabb::from_point(Vec3::new(1.0, 2.0, 3.0));
+        let b = Aabb::from_point(Vec3::new(-1.0, 5.0, 0.0));
+        let u = a.union(b);
+        assert_eq!(u, b.union(a));
+        assert!(u.contains_box(a));
+        assert!(u.contains_box(b));
+    }
+
+    #[test]
+    fn from_points_matches_expand() {
+        let pts = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, -2.0, 3.0),
+            Vec3::new(-4.0, 5.0, -6.0),
+        ];
+        let b = Aabb::from_points(&pts);
+        assert_eq!(b.min, Vec3::new(-4.0, -2.0, -6.0));
+        assert_eq!(b.max, Vec3::new(1.0, 5.0, 3.0));
+        for &p in &pts {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn cube_contains_original_and_is_cubic() {
+        let b = Aabb::new(Vec3::new(0.0, 0.0, 0.0), Vec3::new(4.0, 1.0, 2.0));
+        let c = b.to_cube();
+        assert!(c.contains_box(b));
+        let e = c.extent();
+        assert!((e.x - e.y).abs() < 1e-9 && (e.y - e.z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn octants_partition_cube() {
+        let cube = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let c = cube.center();
+        // Every octant box is inside the cube and contains its own sample point.
+        for oct in 0..8 {
+            let ob = cube.octant_box(oct);
+            assert!(cube.contains_box(ob));
+            let probe = ob.center();
+            assert_eq!(Aabb::octant_of(c, probe), oct);
+        }
+    }
+
+    #[test]
+    fn octant_of_morton_convention() {
+        let c = Vec3::ZERO;
+        assert_eq!(Aabb::octant_of(c, Vec3::new(-1.0, -1.0, -1.0)), 0);
+        assert_eq!(Aabb::octant_of(c, Vec3::new(1.0, -1.0, -1.0)), 1);
+        assert_eq!(Aabb::octant_of(c, Vec3::new(-1.0, 1.0, -1.0)), 2);
+        assert_eq!(Aabb::octant_of(c, Vec3::new(-1.0, -1.0, 1.0)), 4);
+        assert_eq!(Aabb::octant_of(c, Vec3::new(1.0, 1.0, 1.0)), 7);
+    }
+
+    #[test]
+    fn distance2_to_point() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        assert_eq!(b.distance2_to_point(Vec3::splat(0.5)), 0.0);
+        assert_eq!(b.distance2_to_point(Vec3::new(2.0, 0.5, 0.5)), 1.0);
+        assert_eq!(b.distance2_to_point(Vec3::new(2.0, 2.0, 0.5)), 2.0);
+    }
+
+    #[test]
+    fn diagonal_and_edges() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(3.0, 4.0, 0.0));
+        assert_eq!(b.longest_edge(), 4.0);
+        assert_eq!(b.diagonal(), 5.0);
+    }
+
+    #[test]
+    fn point_on_boundary_of_cube_maps_to_valid_octant() {
+        // Regression: a body exactly on the bbox max corner must still land
+        // in a valid octant of the (inflated) cube.
+        let pts = vec![Vec3::ZERO, Vec3::splat(1.0)];
+        let cube = Aabb::from_points(&pts).to_cube();
+        for &p in &pts {
+            assert!(cube.contains(p));
+            let oct = Aabb::octant_of(cube.center(), p);
+            assert!(cube.octant_box(oct).contains(p));
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Binary-reflected Gray codes.
+//!
+//! Skilling's Hilbert-curve algorithm (see [`crate::hilbert`]) stores the
+//! curve ordering in Gray code; the paper (§VI) notes that the BVH strategy
+//! aggregates "using the Hilbert ordering stored in Gray code \[17\]".
+
+/// Binary-reflected Gray code of `n`.
+#[inline]
+pub const fn to_gray(n: u64) -> u64 {
+    n ^ (n >> 1)
+}
+
+/// Inverse of [`to_gray`].
+#[inline]
+pub const fn from_gray(mut g: u64) -> u64 {
+    g ^= g >> 32;
+    g ^= g >> 16;
+    g ^= g >> 8;
+    g ^= g >> 4;
+    g ^= g >> 2;
+    g ^= g >> 1;
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_small() {
+        for n in 0u64..4096 {
+            assert_eq!(from_gray(to_gray(n)), n);
+        }
+    }
+
+    #[test]
+    fn round_trip_large_patterns() {
+        for &n in &[u64::MAX, 1 << 63, 0xDEAD_BEEF_CAFE_F00D, 1, 0] {
+            assert_eq!(from_gray(to_gray(n)), n);
+        }
+    }
+
+    #[test]
+    fn adjacent_codes_differ_in_one_bit() {
+        for n in 0u64..4096 {
+            let diff = to_gray(n) ^ to_gray(n + 1);
+            assert_eq!(diff.count_ones(), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        // Classic 3-bit Gray sequence.
+        let expected = [0b000, 0b001, 0b011, 0b010, 0b110, 0b111, 0b101, 0b100];
+        for (n, &g) in expected.iter().enumerate() {
+            assert_eq!(to_gray(n as u64), g);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Math and low-level primitives for the stdpar-nbody reproduction.
+//!
+//! This crate collects everything the tree and simulation crates share that
+//! is not itself parallel: small vector geometry ([`Vec3`], [`Aabb`]),
+//! space-filling curves (Skilling's Hilbert algorithm in [`hilbert`], Morton
+//! codes in [`morton`], Gray codes in [`gray`]), a CAS-loop [`AtomicF64`],
+//! compensated summation ([`kahan`]) and a deterministic, seedable RNG
+//! ([`rng`]) so every workload in the paper reproduction is bit-reproducible
+//! across runs and thread counts.
+
+pub mod aabb;
+pub mod atomic_f64;
+pub mod gravity;
+pub mod gray;
+pub mod hilbert;
+pub mod kahan;
+pub mod morton;
+pub mod rng;
+pub mod vec2;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use atomic_f64::AtomicF64;
+pub use gravity::ForceParams;
+pub use kahan::KahanSum;
+pub use rng::SplitMix64;
+pub use vec2::{Rect, Vec2};
+pub use vec3::Vec3;
+
+/// Gravitational constant in SI units (m^3 kg^-1 s^-2).
+///
+/// The galaxy workloads use natural units (`G = 1`); the synthetic
+/// solar-system validation uses SI via this constant.
+pub const G_SI: f64 = 6.674_30e-11;
+
+/// Astronomical unit in metres, used by the solar-system validation workload.
+pub const AU: f64 = 1.495_978_707e11;
+
+/// Solar mass in kilograms.
+pub const M_SUN: f64 = 1.988_47e30;
+
+/// One day in seconds (the paper's validation simulates one full day).
+pub const DAY: f64 = 86_400.0;

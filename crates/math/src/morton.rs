@@ -1,0 +1,151 @@
+//! Morton (Z-order) codes.
+//!
+//! The concurrent octree stores the children of a node contiguously *in
+//! Morton order* (paper §IV-A, Fig. 1). These helpers interleave/deinterleave
+//! grid coordinates; they are also used as a comparison curve in the Hilbert
+//! locality benchmarks.
+
+/// Spread the low 21 bits of `x` so there are two zero bits between each
+/// payload bit (the classic "part1by2" used for 3-D Morton codes).
+#[inline]
+pub const fn part1by2(x: u32) -> u64 {
+    let mut v = (x as u64) & 0x1f_ffff; // 21 bits
+    v = (v | (v << 32)) & 0x1f00000000ffff;
+    v = (v | (v << 16)) & 0x1f0000ff0000ff;
+    v = (v | (v << 8)) & 0x100f00f00f00f00f;
+    v = (v | (v << 4)) & 0x10c30c30c30c30c3;
+    v = (v | (v << 2)) & 0x1249249249249249;
+    v
+}
+
+/// Inverse of [`part1by2`]: extract every third bit.
+#[inline]
+pub const fn compact1by2(v: u64) -> u32 {
+    let mut v = v & 0x1249249249249249;
+    v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3;
+    v = (v ^ (v >> 4)) & 0x100f00f00f00f00f;
+    v = (v ^ (v >> 8)) & 0x1f0000ff0000ff;
+    v = (v ^ (v >> 16)) & 0x1f00000000ffff;
+    v = (v ^ (v >> 32)) & 0x1f_ffff;
+    v as u32
+}
+
+/// Spread the low 32 bits of `x` with one zero bit between payload bits
+/// ("part1by1", for 2-D Morton codes).
+#[inline]
+pub const fn part1by1(x: u32) -> u64 {
+    let mut v = x as u64;
+    v = (v | (v << 16)) & 0x0000ffff0000ffff;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ff;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0f;
+    v = (v | (v << 2)) & 0x3333333333333333;
+    v = (v | (v << 1)) & 0x5555555555555555;
+    v
+}
+
+/// Inverse of [`part1by1`].
+#[inline]
+pub const fn compact1by1(v: u64) -> u32 {
+    let mut v = v & 0x5555555555555555;
+    v = (v ^ (v >> 1)) & 0x3333333333333333;
+    v = (v ^ (v >> 2)) & 0x0f0f0f0f0f0f0f0f;
+    v = (v ^ (v >> 4)) & 0x00ff00ff00ff00ff;
+    v = (v ^ (v >> 8)) & 0x0000ffff0000ffff;
+    v = (v ^ (v >> 16)) & 0x00000000ffffffff;
+    v as u32
+}
+
+/// 3-D Morton code of grid cell `(x, y, z)`; each coordinate may use up to
+/// 21 bits, giving a 63-bit code.
+#[inline]
+pub const fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    part1by2(x) | (part1by2(y) << 1) | (part1by2(z) << 2)
+}
+
+/// Inverse of [`morton3`].
+#[inline]
+pub const fn demorton3(code: u64) -> (u32, u32, u32) {
+    (compact1by2(code), compact1by2(code >> 1), compact1by2(code >> 2))
+}
+
+/// 2-D Morton code of grid cell `(x, y)`; each coordinate may use 32 bits.
+#[inline]
+pub const fn morton2(x: u32, y: u32) -> u64 {
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Inverse of [`morton2`].
+#[inline]
+pub const fn demorton2(code: u64) -> (u32, u32) {
+    (compact1by1(code), compact1by1(code >> 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn part_compact_round_trip_3d() {
+        for x in [0u32, 1, 2, 0x1f_ffff, 0x15_5555, 12345] {
+            assert_eq!(compact1by2(part1by2(x)), x);
+        }
+    }
+
+    #[test]
+    fn part_compact_round_trip_2d() {
+        for x in [0u32, 1, 2, u32::MAX, 0x5555_5555, 98765] {
+            assert_eq!(compact1by1(part1by1(x)), x);
+        }
+    }
+
+    #[test]
+    fn morton3_round_trip_exhaustive_small() {
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    assert_eq!(demorton3(morton3(x, y, z)), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morton2_round_trip_exhaustive_small() {
+        for x in 0..32 {
+            for y in 0..32 {
+                assert_eq!(demorton2(morton2(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn morton3_known_values() {
+        assert_eq!(morton3(0, 0, 0), 0);
+        assert_eq!(morton3(1, 0, 0), 0b001);
+        assert_eq!(morton3(0, 1, 0), 0b010);
+        assert_eq!(morton3(0, 0, 1), 0b100);
+        assert_eq!(morton3(1, 1, 1), 0b111);
+        assert_eq!(morton3(2, 0, 0), 0b001_000);
+    }
+
+    #[test]
+    fn morton3_is_monotone_in_each_axis_at_origin() {
+        // Along a single axis from 0, codes strictly increase.
+        let mut prev = 0;
+        for x in 1..64 {
+            let c = morton3(x, 0, 0);
+            assert!(c > prev);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn morton3_octant_ordering_matches_aabb_octants() {
+        // The low 3 bits of the Morton code are exactly the octant index
+        // convention used by `Aabb::octant_of` (x = bit0, y = bit1, z = bit2).
+        for oct in 0u32..8 {
+            let (x, y, z) = (oct & 1, (oct >> 1) & 1, (oct >> 2) & 1);
+            assert_eq!(morton3(x, y, z), oct as u64);
+        }
+    }
+}

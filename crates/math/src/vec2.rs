@@ -1,0 +1,338 @@
+//! A minimal 2-component `f64` vector and rectangle, for the quadtree
+//! (paper Fig. 1 draws the data structure as a quadtree; Barnes-Hut-SNE
+//! embeds in 2-D).
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 2-component double-precision vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Vec2 {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Vec2 {
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+    pub const ONE: Vec2 = Vec2 { x: 1.0, y: 1.0 };
+    pub const MAX: Vec2 = Vec2 { x: f64::INFINITY, y: f64::INFINITY };
+    pub const MIN: Vec2 = Vec2 { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec2 { x: v, y: v }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec2) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// Scalar z-component of the 2-D cross product.
+    #[inline]
+    pub fn perp_dot(self, o: Vec2) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    #[inline]
+    pub fn distance(self, o: Vec2) -> f64 {
+        (self - o).norm()
+    }
+
+    #[inline]
+    pub fn distance2(self, o: Vec2) -> f64 {
+        (self - o).norm2()
+    }
+
+    #[inline]
+    pub fn min(self, o: Vec2) -> Vec2 {
+        Vec2 { x: self.x.min(o.x), y: self.y.min(o.y) }
+    }
+
+    #[inline]
+    pub fn max(self, o: Vec2) -> Vec2 {
+        Vec2 { x: self.x.max(o.x), y: self.y.max(o.y) }
+    }
+
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2 { x: self.x + o.x, y: self.y + o.y }
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec2) {
+        self.x += o.x;
+        self.y += o.y;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2 { x: self.x - o.x, y: self.y - o.y }
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec2) {
+        self.x -= o.x;
+        self.y -= o.y;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2 { x: self.x * s, y: self.y * s }
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, v: Vec2) -> Vec2 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec2 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        self.x *= s;
+        self.y *= s;
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, s: f64) -> Vec2 {
+        Vec2 { x: self.x / s, y: self.y / s }
+    }
+}
+
+impl DivAssign<f64> for Vec2 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        self.x /= s;
+        self.y /= s;
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2 { x: -self.x, y: -self.y }
+    }
+}
+
+impl Sum for Vec2 {
+    fn sum<I: Iterator<Item = Vec2>>(iter: I) -> Vec2 {
+        iter.fold(Vec2::ZERO, |a, b| a + b)
+    }
+}
+
+/// An axis-aligned rectangle `[min, max]` — the 2-D [`crate::Aabb`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Rect {
+    pub min: Vec2,
+    pub max: Vec2,
+}
+
+impl Default for Rect {
+    fn default() -> Self {
+        Rect::EMPTY
+    }
+}
+
+impl Rect {
+    pub const EMPTY: Rect = Rect { min: Vec2::MAX, max: Vec2::MIN };
+
+    #[inline]
+    pub const fn new(min: Vec2, max: Vec2) -> Self {
+        Rect { min, max }
+    }
+
+    #[inline]
+    pub fn from_point(p: Vec2) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    #[inline]
+    pub fn union(self, o: Rect) -> Rect {
+        Rect { min: self.min.min(o.min), max: self.max.max(o.max) }
+    }
+
+    #[inline]
+    pub fn expand(&mut self, p: Vec2) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.min.x > self.max.x
+    }
+
+    #[inline]
+    pub fn center(self) -> Vec2 {
+        (self.min + self.max) * 0.5
+    }
+
+    #[inline]
+    pub fn extent(self) -> Vec2 {
+        self.max - self.min
+    }
+
+    #[inline]
+    pub fn contains(self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Smallest slightly-inflated *square* containing this rectangle (the
+    /// quadtree root must be square for isotropic subdivision).
+    pub fn to_square(self) -> Rect {
+        debug_assert!(!self.is_empty());
+        let c = self.center();
+        let h = 0.5 * self.extent().max_component() * (1.0 + 1e-12) + f64::MIN_POSITIVE;
+        Rect { min: c - Vec2::splat(h), max: c + Vec2::splat(h) }
+    }
+
+    /// Quadrant of `center` containing `p`: bit 0 = x-high, bit 1 = y-high
+    /// (Morton order, matching the paper's Fig. 1).
+    #[inline]
+    pub fn quadrant_of(center: Vec2, p: Vec2) -> usize {
+        ((p.x >= center.x) as usize) | (((p.y >= center.y) as usize) << 1)
+    }
+
+    /// Squared distance from `p` to the rectangle (0 inside).
+    #[inline]
+    pub fn distance2_to_point(self, p: Vec2) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx * dx + dy * dy
+    }
+
+    /// Bounding rectangle of a point set (sequential reference).
+    pub fn from_points(points: &[Vec2]) -> Rect {
+        let mut r = Rect::EMPTY;
+        for &p in points {
+            r.expand(p);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -4.0);
+        assert_eq!(a + b, Vec2::new(4.0, -2.0));
+        assert_eq!(b - a, Vec2::new(2.0, -6.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(b / 2.0, Vec2::new(1.5, -2.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        c -= a;
+        c *= 3.0;
+        c /= 3.0;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn norms_and_products() {
+        let v = Vec2::new(3.0, 4.0);
+        assert_eq!(v.norm2(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(Vec2::new(1.0, 0.0).perp_dot(Vec2::new(0.0, 1.0)), 1.0);
+        assert_eq!(Vec2::new(1.0, 0.0).dot(Vec2::new(0.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn rect_union_and_containment() {
+        let a = Rect::from_point(Vec2::new(0.0, 1.0));
+        let b = Rect::from_point(Vec2::new(2.0, -1.0));
+        let u = a.union(b);
+        assert!(u.contains(Vec2::new(1.0, 0.0)));
+        assert!(!u.contains(Vec2::new(3.0, 0.0)));
+        assert_eq!(Rect::EMPTY.union(a), a);
+        assert!(Rect::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn square_covers_rect() {
+        let r = Rect::new(Vec2::new(0.0, 0.0), Vec2::new(4.0, 1.0));
+        let s = r.to_square();
+        assert!(s.contains(r.min) && s.contains(r.max));
+        let e = s.extent();
+        assert!((e.x - e.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadrants() {
+        let c = Vec2::ZERO;
+        assert_eq!(Rect::quadrant_of(c, Vec2::new(-1.0, -1.0)), 0);
+        assert_eq!(Rect::quadrant_of(c, Vec2::new(1.0, -1.0)), 1);
+        assert_eq!(Rect::quadrant_of(c, Vec2::new(-1.0, 1.0)), 2);
+        assert_eq!(Rect::quadrant_of(c, Vec2::new(1.0, 1.0)), 3);
+    }
+
+    #[test]
+    fn distance_to_rect() {
+        let r = Rect::new(Vec2::ZERO, Vec2::splat(1.0));
+        assert_eq!(r.distance2_to_point(Vec2::splat(0.5)), 0.0);
+        assert_eq!(r.distance2_to_point(Vec2::new(2.0, 0.5)), 1.0);
+        assert_eq!(r.distance2_to_point(Vec2::new(2.0, 2.0)), 2.0);
+    }
+
+    #[test]
+    fn from_points_covers() {
+        let pts = [Vec2::new(1.0, -2.0), Vec2::new(-3.0, 5.0)];
+        let r = Rect::from_points(&pts);
+        for p in pts {
+            assert!(r.contains(p));
+        }
+        assert_eq!(r.min, Vec2::new(-3.0, -2.0));
+    }
+}

@@ -1,0 +1,358 @@
+//! A minimal 3-component `f64` vector.
+//!
+//! The simulation stores positions/velocities/accelerations as structures of
+//! arrays of `Vec3`. The type is `repr(C)`, `Copy`, 24 bytes, and all
+//! arithmetic is `#[inline]` so the force kernels vectorize.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-component double-precision vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// Vector with all components `+inf`; identity for component-wise `min`.
+    pub const MAX: Vec3 = Vec3 { x: f64::INFINITY, y: f64::INFINITY, z: f64::INFINITY };
+    /// Vector with all components `-inf`; identity for component-wise `max`.
+    pub const MIN: Vec3 = Vec3 { x: f64::NEG_INFINITY, y: f64::NEG_INFINITY, z: f64::NEG_INFINITY };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// All three components set to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm2().sqrt()
+    }
+
+    /// Unit vector in the same direction. Returns `ZERO` for the zero vector.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n > 0.0 {
+            self / n
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    /// Component-wise minimum. The reduction identity is [`Vec3::MAX`].
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3 { x: self.x.min(o.x), y: self.y.min(o.y), z: self.z.min(o.z) }
+    }
+
+    /// Component-wise maximum. The reduction identity is [`Vec3::MIN`].
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3 { x: self.x.max(o.x), y: self.y.max(o.y), z: self.z.max(o.z) }
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3 { x: self.x.abs(), y: self.y.abs(), z: self.z.abs() }
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component.
+    #[inline]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// True iff all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn distance2(self, o: Vec3) -> f64 {
+        (self - o).norm2()
+    }
+
+    /// The components as an array, for index-generic code (Hilbert mapping).
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Self {
+        Vec3 { x: a[0], y: a[1], z: a[2] }
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3 { x: self.x + o.x, y: self.y + o.y, z: self.z + o.z }
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        self.x += o.x;
+        self.y += o.y;
+        self.z += o.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3 { x: self.x - o.x, y: self.y - o.y, z: self.z - o.z }
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        self.x -= o.x;
+        self.y -= o.y;
+        self.z -= o.z;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3 { x: self.x * s, y: self.y * s, z: self.z * s }
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        self.x *= s;
+        self.y *= s;
+        self.z *= s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3 { x: self.x / s, y: self.y / s, z: self.z / s }
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        self.x /= s;
+        self.y /= s;
+        self.z /= s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3 { x: -self.x, y: -self.y, z: -self.z }
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::from_array(a)
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        v.to_array()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::ONE;
+        v -= Vec3::new(0.5, 0.5, 0.5);
+        v *= 2.0;
+        v /= 3.0;
+        assert!((v - Vec3::splat(1.0)).norm() < 1e-15);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), z);
+        assert_eq!(y.cross(z), x);
+        assert_eq!(z.cross(x), y);
+        // anti-commutativity
+        assert_eq!(x.cross(y), -(y.cross(x)));
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm2(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        assert!((v.normalized().norm() - 1.0).abs() < 1e-15);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn min_max_identities() {
+        let v = Vec3::new(-2.0, 7.0, 0.5);
+        assert_eq!(Vec3::MAX.min(v), v);
+        assert_eq!(Vec3::MIN.max(v), v);
+        assert_eq!(v.max_component(), 7.0);
+        assert_eq!(v.min_component(), -2.0);
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 3.0);
+        v[1] = 9.0;
+        assert_eq!(v.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let v = Vec3::ZERO;
+        let _ = v[3];
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let v = Vec3::new(1.5, -2.5, 3.25);
+        let a: [f64; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Vec3 = (0..4).map(|i| Vec3::splat(i as f64)).sum();
+        assert_eq!(total, Vec3::splat(6.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Vec3::ONE.is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::MAX.is_finite());
+    }
+}

@@ -1,0 +1,290 @@
+//! CALCULATEFORCE — stackless depth-first force traversal (paper §IV-A.3,
+//! Fig. 3).
+//!
+//! One element per body, `par_unseq`-safe (read-only tree, no atomics). The
+//! traversal needs no stack: a *forward step* descends to the first child
+//! (whose offset is always larger than the parent's, by bump allocation);
+//! a *backward step* either advances to the next sibling or climbs through
+//! the per-group parent offset, doubling the tracked cell width.
+
+use crate::tags::{self, Slot};
+use crate::tree::Octree;
+use nbody_math::gravity::{multipole_accel, pair_accel};
+use nbody_math::Vec3;
+use stdpar::prelude::*;
+
+/// Re-export: shared force parameters (see [`nbody_math::gravity`]).
+pub use nbody_math::gravity::ForceParams;
+/// Re-export: exact `O(N²)` reference field.
+pub use nbody_math::gravity::direct_accel;
+
+impl Octree {
+    /// Compute gravitational accelerations for every body.
+    ///
+    /// `accel[i]` receives `a_i = G Σ_j m_j (x_j − x_i) / (r² + ε²)^{3/2}`,
+    /// with far-field sums approximated by node multipoles under the
+    /// acceptance criterion `s/d < θ` (s = cell width). Runs under any
+    /// policy (the paper uses `par_unseq`: the per-body computations are
+    /// independent and lock-free).
+    pub fn compute_forces<P: ExecutionPolicy>(
+        &self,
+        policy: P,
+        positions: &[Vec3],
+        masses: &[f64],
+        accel: &mut [Vec3],
+        params: &ForceParams,
+    ) {
+        assert_eq!(positions.len(), self.n_bodies(), "positions length changed since build");
+        assert_eq!(accel.len(), positions.len(), "accel length mismatch");
+        if params.use_quadrupole {
+            assert!(self.quadrupole_enabled(), "quadrupole requested but not computed");
+        }
+        let out = SyncSlice::new(accel);
+        let this = self;
+        for_each_index(policy, 0..positions.len(), |b| {
+            let a = this.accel_at(positions[b], Some(b as u32), positions, masses, params);
+            unsafe { out.write(b, a) };
+        });
+    }
+
+    /// Acceleration felt at point `p`, excluding body `exclude` (and its
+    /// exact self-interaction) if given. This is the per-element kernel of
+    /// [`Octree::compute_forces`], public for tests and probes.
+    pub fn accel_at(
+        &self,
+        p: Vec3,
+        exclude: Option<u32>,
+        positions: &[Vec3],
+        masses: &[f64],
+        params: &ForceParams,
+    ) -> Vec3 {
+        let mut acc = Vec3::ZERO;
+        if self.n_bodies() == 0 {
+            return acc;
+        }
+        let theta2 = params.theta * params.theta;
+        let eps2 = params.softening * params.softening;
+
+        let mut i: u32 = 0;
+        let mut width = self.root_edge();
+        loop {
+            let mut descend = false;
+            match self.slot(i) {
+                Slot::Node(c) => {
+                    let com = self.node_com_of(i);
+                    let d = com - p;
+                    let d2 = d.norm2();
+                    if width * width < theta2 * d2 {
+                        // Far node: accept the multipole approximation.
+                        let quad;
+                        let s = if params.use_quadrupole {
+                            quad = self.node_quad_of(i);
+                            Some(&quad)
+                        } else {
+                            None
+                        };
+                        acc += multipole_accel(d, self.node_mass_of(i), s, params.g, eps2);
+                    } else {
+                        // Too close: forward step into the first child.
+                        i = c;
+                        width *= 0.5;
+                        descend = true;
+                    }
+                }
+                Slot::Empty => {}
+                Slot::Body(head) => {
+                    // Exact pair-wise interactions at leaf nodes.
+                    for bj in self.chain(head) {
+                        if Some(bj) == exclude {
+                            continue;
+                        }
+                        acc += pair_accel(
+                            positions[bj as usize] - p,
+                            masses[bj as usize],
+                            params.g,
+                            eps2,
+                        );
+                    }
+                }
+                Slot::Locked => unreachable!("locked slot during force traversal"),
+            }
+            if descend {
+                continue;
+            }
+            // Backward step: next sibling, or climb until one exists.
+            loop {
+                if i == 0 {
+                    return acc;
+                }
+                if tags::sibling_rank(i) != tags::CHILDREN - 1 {
+                    i += 1;
+                    break;
+                }
+                i = self.parent_of(i);
+                width *= 2.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::{Aabb, SplitMix64};
+
+    fn random_system(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut r = SplitMix64::new(seed);
+        let pos = (0..n)
+            .map(|_| Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0)))
+            .collect();
+        let mass = (0..n).map(|_| r.uniform(0.5, 2.0)).collect();
+        (pos, mass)
+    }
+
+    fn built(pos: &[Vec3], mass: &[f64], quad: bool) -> Octree {
+        let mut t = Octree::new();
+        t.set_quadrupole(quad);
+        t.build(Par, pos, Aabb::from_points(pos)).unwrap();
+        t.compute_multipoles(Par, pos, mass);
+        t
+    }
+
+    #[test]
+    fn theta_zero_matches_direct_sum() {
+        let (pos, mass) = random_system(300, 31);
+        let t = built(&pos, &mass, false);
+        let params = ForceParams { theta: 0.0, ..ForceParams::default() };
+        let mut acc = vec![Vec3::ZERO; pos.len()];
+        t.compute_forces(ParUnseq, &pos, &mass, &mut acc, &params);
+        for (b, &a) in acc.iter().enumerate() {
+            let exact = direct_accel(pos[b], Some(b as u32), &pos, &mass, 1.0, 0.0);
+            assert!(
+                (a - exact).norm() <= 1e-10 * (1.0 + exact.norm()),
+                "body {b}: {a:?} vs {exact:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn theta_half_error_is_small() {
+        let (pos, mass) = random_system(1000, 32);
+        let t = built(&pos, &mass, false);
+        let params = ForceParams { theta: 0.5, ..ForceParams::default() };
+        let mut acc = vec![Vec3::ZERO; pos.len()];
+        t.compute_forces(ParUnseq, &pos, &mass, &mut acc, &params);
+        let mut rel = 0.0f64;
+        for (b, &a) in acc.iter().enumerate() {
+            let exact = direct_accel(pos[b], Some(b as u32), &pos, &mass, 1.0, 0.0);
+            rel = rel.max((a - exact).norm() / (1e-12 + exact.norm()));
+        }
+        assert!(rel < 0.05, "max relative error {rel}");
+    }
+
+    #[test]
+    fn error_is_monotone_in_theta_on_average() {
+        let (pos, mass) = random_system(800, 33);
+        let t = built(&pos, &mass, false);
+        let mut errors = vec![];
+        for theta in [0.2, 0.5, 1.0] {
+            let params = ForceParams { theta, ..ForceParams::default() };
+            let mut acc = vec![Vec3::ZERO; pos.len()];
+            t.compute_forces(ParUnseq, &pos, &mass, &mut acc, &params);
+            let mut total = 0.0;
+            for (b, &a) in acc.iter().enumerate() {
+                let exact = direct_accel(pos[b], Some(b as u32), &pos, &mass, 1.0, 0.0);
+                total += (a - exact).norm() / (1e-12 + exact.norm());
+            }
+            errors.push(total / pos.len() as f64);
+        }
+        assert!(errors[0] <= errors[1] && errors[1] <= errors[2], "{errors:?}");
+    }
+
+    #[test]
+    fn quadrupole_reduces_error() {
+        let (pos, mass) = random_system(600, 34);
+        let t = built(&pos, &mass, true);
+        let mono = ForceParams { theta: 0.8, ..ForceParams::default() };
+        let quad = ForceParams { theta: 0.8, use_quadrupole: true, ..ForceParams::default() };
+        let mut am = vec![Vec3::ZERO; pos.len()];
+        let mut aq = vec![Vec3::ZERO; pos.len()];
+        t.compute_forces(ParUnseq, &pos, &mass, &mut am, &mono);
+        t.compute_forces(ParUnseq, &pos, &mass, &mut aq, &quad);
+        let (mut em, mut eq) = (0.0, 0.0);
+        for b in 0..pos.len() {
+            let exact = direct_accel(pos[b], Some(b as u32), &pos, &mass, 1.0, 0.0);
+            em += (am[b] - exact).norm() / (1e-12 + exact.norm());
+            eq += (aq[b] - exact).norm() / (1e-12 + exact.norm());
+        }
+        assert!(
+            eq < em * 0.8,
+            "quadrupole ({}) should beat monopole ({}) by a clear margin",
+            eq / pos.len() as f64,
+            em / pos.len() as f64
+        );
+    }
+
+    #[test]
+    fn two_body_force_is_newtonian() {
+        let pos = vec![Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)];
+        let mass = vec![3.0, 5.0];
+        let t = built(&pos, &mass, false);
+        let params = ForceParams { theta: 0.5, g: 2.0, ..ForceParams::default() };
+        let mut acc = vec![Vec3::ZERO; 2];
+        t.compute_forces(Par, &pos, &mass, &mut acc, &params);
+        // a_0 = G m_1 / r² toward +x.
+        assert!((acc[0] - Vec3::new(2.0 * 5.0 / 4.0, 0.0, 0.0)).norm() < 1e-12);
+        assert!((acc[1] - Vec3::new(-2.0 * 3.0 / 4.0, 0.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn softening_caps_close_encounters() {
+        let pos = vec![Vec3::ZERO, Vec3::new(1e-9, 0.0, 0.0)];
+        let mass = vec![1.0, 1.0];
+        let t = built(&pos, &mass, false);
+        let params = ForceParams { theta: 0.5, softening: 0.1, ..ForceParams::default() };
+        let mut acc = vec![Vec3::ZERO; 2];
+        t.compute_forces(Par, &pos, &mass, &mut acc, &params);
+        // With ε = 0.1 the acceleration magnitude is bounded near m/ε².
+        assert!(acc[0].norm() < 1.0 / (0.1f64 * 0.1), "{:?}", acc[0]);
+        assert!(acc[0].is_finite() && acc[1].is_finite());
+    }
+
+    #[test]
+    fn colocated_bodies_do_not_blow_up_with_softening() {
+        let p = Vec3::new(0.2, 0.2, 0.2);
+        let pos = vec![p, p, Vec3::new(-0.7, 0.1, 0.0)];
+        let mass = vec![1.0, 1.0, 1.0];
+        let t = built(&pos, &mass, false);
+        let params = ForceParams { theta: 0.5, softening: 0.05, ..ForceParams::default() };
+        let mut acc = vec![Vec3::ZERO; 3];
+        t.compute_forces(Par, &pos, &mass, &mut acc, &params);
+        assert!(acc.iter().all(|a| a.is_finite()));
+        // The two co-located bodies feel identical acceleration from body 2
+        // and zero from each other (r = 0 ⇒ zero-numerator guard).
+        assert!((acc[0] - acc[1]).norm() < 1e-12);
+    }
+
+    #[test]
+    fn exclude_none_includes_all_bodies() {
+        let (pos, mass) = random_system(50, 35);
+        let t = built(&pos, &mass, false);
+        let params = ForceParams { theta: 0.0, ..ForceParams::default() };
+        let probe = Vec3::new(5.0, 5.0, 5.0); // outside the cluster
+        let got = t.accel_at(probe, None, &pos, &mass, &params);
+        let exact = direct_accel(probe, None, &pos, &mass, 1.0, 0.0);
+        assert!((got - exact).norm() < 1e-10);
+    }
+
+    #[test]
+    fn policies_agree_bitwise_for_fixed_tree() {
+        // The traversal is deterministic per body once the tree is fixed.
+        let (pos, mass) = random_system(400, 36);
+        let t = built(&pos, &mass, false);
+        let params = ForceParams::default();
+        let mut a1 = vec![Vec3::ZERO; pos.len()];
+        let mut a2 = vec![Vec3::ZERO; pos.len()];
+        t.compute_forces(Seq, &pos, &mass, &mut a1, &params);
+        t.compute_forces(ParUnseq, &pos, &mass, &mut a2, &params);
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Spatial queries on the built octree.
+//!
+//! The paper motivates Barnes-Hut trees as "transferable to other domains
+//! and algorithms" (§I); range and nearest-neighbour queries are the
+//! canonical other uses. These run on the same structure the force
+//! traversal uses, pruning by cell geometry.
+
+use crate::tags::{Slot, CHILDREN};
+use crate::tree::{octant_center, Octree};
+use nbody_math::{Aabb, Vec3};
+
+impl Octree {
+    /// Indices of all bodies within distance `r` of `p` (inclusive).
+    /// Order unspecified.
+    pub fn query_radius(&self, p: Vec3, r: f64, positions: &[Vec3]) -> Vec<u32> {
+        assert_eq!(positions.len(), self.n_bodies(), "positions length changed since build");
+        let mut out = Vec::new();
+        if self.n_bodies() == 0 || r.is_nan() || r < 0.0 {
+            return out;
+        }
+        let r2 = r * r;
+        let mut stack: Vec<(u32, Vec3, f64)> =
+            vec![(0, self.root_center, self.root_edge * 0.5)];
+        while let Some((i, center, half)) = stack.pop() {
+            match self.slot(i) {
+                Slot::Empty | Slot::Locked => {}
+                Slot::Body(head) => {
+                    for b in self.chain(head) {
+                        if positions[b as usize].distance2(p) <= r2 {
+                            out.push(b);
+                        }
+                    }
+                }
+                Slot::Node(c) => {
+                    for oct in 0..CHILDREN as usize {
+                        let cc = octant_center(center, half, oct);
+                        let ch = half * 0.5;
+                        let cell = Aabb::new(cc - Vec3::splat(ch), cc + Vec3::splat(ch));
+                        if cell.distance2_to_point(p) <= r2 {
+                            stack.push((c + oct as u32, cc, ch));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the body nearest to `p` (excluding `exclude`), by
+    /// branch-and-bound descent. Returns `None` for an empty tree or when
+    /// the only body is excluded.
+    pub fn nearest(&self, p: Vec3, exclude: Option<u32>, positions: &[Vec3]) -> Option<u32> {
+        assert_eq!(positions.len(), self.n_bodies(), "positions length changed since build");
+        if self.n_bodies() == 0 {
+            return None;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        // Best-first search on a stack ordered lazily: we pop nearest-cell
+        // candidates first by sorting children before pushing.
+        let mut stack: Vec<(u32, Vec3, f64, f64)> =
+            vec![(0, self.root_center, self.root_edge * 0.5, 0.0)];
+        while let Some((i, center, half, lower)) = stack.pop() {
+            if let Some((_, d2)) = best {
+                if lower > d2 {
+                    continue;
+                }
+            }
+            match self.slot(i) {
+                Slot::Empty | Slot::Locked => {}
+                Slot::Body(head) => {
+                    for b in self.chain(head) {
+                        if Some(b) == exclude {
+                            continue;
+                        }
+                        let d2 = positions[b as usize].distance2(p);
+                        if best.is_none_or(|(_, bd)| d2 < bd) {
+                            best = Some((b, d2));
+                        }
+                    }
+                }
+                Slot::Node(c) => {
+                    let mut kids: Vec<(u32, Vec3, f64, f64)> = (0..CHILDREN as usize)
+                        .map(|oct| {
+                            let cc = octant_center(center, half, oct);
+                            let ch = half * 0.5;
+                            let cell = Aabb::new(cc - Vec3::splat(ch), cc + Vec3::splat(ch));
+                            (c + oct as u32, cc, ch, cell.distance2_to_point(p))
+                        })
+                        .collect();
+                    // Push farthest first so the nearest cell is popped next.
+                    kids.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
+                    stack.extend(kids);
+                }
+            }
+        }
+        best.map(|(b, _)| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::SplitMix64;
+    use stdpar::prelude::*;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut r = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0)))
+            .collect()
+    }
+
+    fn built(pos: &[Vec3]) -> Octree {
+        let mut t = Octree::new();
+        t.build(Par, pos, Aabb::from_points(pos)).unwrap();
+        t
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let pos = random_points(2000, 101);
+        let t = built(&pos);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..50 {
+            let p = Vec3::new(rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2), rng.uniform(-1.2, 1.2));
+            let r = rng.uniform(0.0, 0.8);
+            let mut got = t.query_radius(p, r, &pos);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = pos
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x.distance(p) <= r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "p={p:?}, r={r}");
+        }
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pos = random_points(1500, 102);
+        let t = built(&pos);
+        let mut rng = SplitMix64::new(8);
+        for _ in 0..100 {
+            let p = Vec3::new(rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5));
+            let got = t.nearest(p, None, &pos).unwrap();
+            let expect = pos
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.distance2(p).partial_cmp(&b.1.distance2(p)).unwrap())
+                .unwrap()
+                .0 as u32;
+            // Allow ties at identical distance.
+            assert!(
+                (pos[got as usize].distance2(p) - pos[expect as usize].distance2(p)).abs() < 1e-15,
+                "got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_respects_exclusion() {
+        let pos = vec![Vec3::ZERO, Vec3::new(0.1, 0.0, 0.0), Vec3::new(5.0, 0.0, 0.0)];
+        let t = built(&pos);
+        assert_eq!(t.nearest(Vec3::ZERO, None, &pos), Some(0));
+        assert_eq!(t.nearest(Vec3::ZERO, Some(0), &pos), Some(1));
+    }
+
+    #[test]
+    fn radius_zero_finds_exact_hits_only() {
+        let pos = vec![Vec3::ZERO, Vec3::new(0.5, 0.0, 0.0)];
+        let t = built(&pos);
+        assert_eq!(t.query_radius(Vec3::ZERO, 0.0, &pos), vec![0]);
+        assert!(t.query_radius(Vec3::new(0.25, 0.0, 0.0), 0.0, &pos).is_empty());
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let mut t = Octree::new();
+        t.build(Par, &[], Aabb::EMPTY).unwrap();
+        assert!(t.query_radius(Vec3::ZERO, 1.0, &[]).is_empty());
+        assert_eq!(t.nearest(Vec3::ZERO, None, &[]), None);
+    }
+
+    #[test]
+    fn colocated_chain_members_all_found() {
+        let p = Vec3::new(0.3, 0.3, 0.3);
+        let pos = vec![p, p, p, Vec3::new(-0.9, 0.0, 0.0)];
+        let t = built(&pos);
+        let mut got = t.query_radius(p, 1e-12, &pos);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+}

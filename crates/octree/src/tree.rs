@@ -1,0 +1,589 @@
+//! The concurrent octree: storage, bump allocation, and the parallel
+//! BUILDTREE step (paper Algorithms 4 & 5).
+
+use crate::tags::{self, Slot, CHILDREN, EMPTY, FIRST_GROUP, LOCKED};
+use nbody_math::{Aabb, AtomicF64, Vec3};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use stdpar::prelude::*;
+
+/// Maximum descent depth before bodies are chained as co-located.
+///
+/// Two bodies closer than `root_edge / 2^MAX_DEPTH` (or at identical
+/// positions) stop sub-dividing and are linked into a per-leaf chain whose
+/// members interact directly. Guarantees termination for degenerate inputs.
+pub const MAX_DEPTH: u32 = 96;
+
+/// Sentinel terminating a co-located chain.
+pub const CHAIN_END: u32 = u32::MAX;
+
+/// Statistics returned by a successful [`Octree::build`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BuildStats {
+    /// Number of node slots allocated (root + padding + groups).
+    pub allocated_nodes: u32,
+    /// Number of bodies inserted.
+    pub bodies: usize,
+    /// How many times the node pool had to be grown and the build restarted.
+    pub retries: u32,
+}
+
+/// Build failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// Pool growth exceeded the hard memory cap.
+    PoolExhausted { requested_nodes: u32 },
+    /// More bodies than the 31-bit index encoding supports.
+    TooManyBodies { n: usize },
+    /// Positions contained NaN/inf, or the bounding box was empty with n>0.
+    InvalidPositions,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::PoolExhausted { requested_nodes } => {
+                write!(f, "octree node pool exhausted (requested {requested_nodes} nodes)")
+            }
+            BuildError::TooManyBodies { n } => write!(f, "too many bodies for u32 indices: {n}"),
+            BuildError::InvalidPositions => write!(f, "positions invalid or bounding box empty"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The concurrent octree (see crate docs).
+pub struct Octree {
+    /// Tagged child slot per node (Fig. 1: "one offset to first child per node").
+    pub(crate) child: Vec<AtomicU32>,
+    /// Parent node index per sibling group (Fig. 1: "one parent offset per siblings").
+    pub(crate) parent: Vec<AtomicU32>,
+    /// Bump pointer: next free node index (always group-aligned).
+    bump: AtomicU32,
+    /// Co-located chain links, one per body.
+    pub(crate) next_colocated: Vec<AtomicU32>,
+    /// Root cell geometry: the bounding cube.
+    pub(crate) root_center: Vec3,
+    /// Root cell edge length.
+    pub(crate) root_edge: f64,
+    /// Multipole storage, sized to `allocated_nodes` by `compute_multipoles`.
+    pub(crate) node_mass: Vec<AtomicF64>,
+    pub(crate) node_com: [Vec<AtomicF64>; 3],
+    /// Optional second moments (quadrupole extension): xx, xy, xz, yy, yz, zz.
+    pub(crate) node_quad: Option<[Vec<AtomicF64>; 6]>,
+    /// Arrival counters for the wait-free tree reduction.
+    pub(crate) arrivals: Vec<AtomicU32>,
+    /// Number of bodies in the current build.
+    pub(crate) n_bodies: usize,
+    /// High-water mark of initialised (zeroed) child slots.
+    initialized: u32,
+}
+
+impl Default for Octree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Octree {
+    /// An empty tree; the node pool grows on demand.
+    pub fn new() -> Self {
+        Self::with_node_capacity(1024)
+    }
+
+    /// An empty tree with an initial node-pool capacity (rounded up to a
+    /// whole number of sibling groups).
+    pub fn with_node_capacity(nodes: usize) -> Self {
+        let nodes = pool_size_for(nodes as u32);
+        Octree {
+            child: make_atomic_u32(nodes as usize, EMPTY),
+            parent: make_atomic_u32((nodes as usize).saturating_sub(FIRST_GROUP as usize) / CHILDREN as usize, 0),
+            bump: AtomicU32::new(FIRST_GROUP),
+            next_colocated: Vec::new(),
+            root_center: Vec3::ZERO,
+            root_edge: 0.0,
+            node_mass: Vec::new(),
+            node_com: [Vec::new(), Vec::new(), Vec::new()],
+            node_quad: None,
+            arrivals: Vec::new(),
+            n_bodies: 0,
+            initialized: 0,
+        }
+    }
+
+    /// Enable or disable quadrupole moments for subsequent
+    /// `compute_multipoles` calls (the paper's "extends to multipoles"
+    /// extension; monopole-only is the paper's evaluated configuration).
+    pub fn set_quadrupole(&mut self, enable: bool) {
+        if enable {
+            if self.node_quad.is_none() {
+                self.node_quad = Some(std::array::from_fn(|_| Vec::new()));
+            }
+        } else {
+            self.node_quad = None;
+        }
+    }
+
+    /// True when quadrupole moments are enabled.
+    pub fn quadrupole_enabled(&self) -> bool {
+        self.node_quad.is_some()
+    }
+
+    /// Number of node slots handed out by the bump allocator.
+    #[inline]
+    pub fn allocated_nodes(&self) -> u32 {
+        self.bump.load(Ordering::Relaxed).min(self.child.len() as u32)
+    }
+
+    /// Number of bodies in the last build.
+    #[inline]
+    pub fn n_bodies(&self) -> usize {
+        self.n_bodies
+    }
+
+    /// Root cell edge length of the last build.
+    #[inline]
+    pub fn root_edge(&self) -> f64 {
+        self.root_edge
+    }
+
+    /// Node-pool capacity in slots.
+    #[inline]
+    pub fn node_capacity(&self) -> usize {
+        self.child.len()
+    }
+
+    /// Decoded state of node `i` (post-build introspection).
+    #[inline]
+    pub fn slot(&self, i: u32) -> Slot {
+        tags::decode(self.child[i as usize].load(Ordering::Acquire))
+    }
+
+    /// Parent node index of node `i > 0`.
+    #[inline]
+    pub fn parent_of(&self, i: u32) -> u32 {
+        self.parent[tags::group_of(i) as usize].load(Ordering::Relaxed)
+    }
+
+    /// Iterate a co-located body chain starting at its head body.
+    pub fn chain(&self, head: u32) -> ChainIter<'_> {
+        ChainIter { tree: self, cur: head }
+    }
+
+    /// BUILDTREE (paper Algorithm 4): insert all bodies in parallel.
+    ///
+    /// `bounds` is the box from CALCULATEBOUNDINGBOX; the root cell is its
+    /// bounding cube. The policy is bounded by [`ParallelForwardProgress`]
+    /// because insertion takes per-leaf locks (starvation-free): `Seq` and
+    /// `Par` compile, `ParUnseq` does not.
+    ///
+    /// On pool overflow the pool is grown ×2 and the build restarts (the
+    /// paper sizes the pool from an isotropic-subdivision estimate; growth
+    /// makes the estimate self-correcting).
+    pub fn build<P>(&mut self, policy: P, positions: &[Vec3], bounds: Aabb) -> Result<BuildStats, BuildError>
+    where
+        P: ParallelForwardProgress,
+    {
+        let n = positions.len();
+        if n > tags::MAX_INDEX as usize {
+            return Err(BuildError::TooManyBodies { n });
+        }
+        self.n_bodies = n;
+        if n == 0 {
+            self.reset_slots();
+            self.root_center = Vec3::ZERO;
+            self.root_edge = 0.0;
+            return Ok(BuildStats { allocated_nodes: FIRST_GROUP, bodies: 0, retries: 0 });
+        }
+        if bounds.is_empty() || !bounds.min.is_finite() || !bounds.max.is_finite() {
+            return Err(BuildError::InvalidPositions);
+        }
+        let cube = bounds.to_cube();
+        self.root_center = cube.center();
+        self.root_edge = cube.extent().x;
+
+        // Pool estimate: every body costs at most one group on the path it
+        // opens; clustered inputs need more, handled by growth-retry.
+        let want = pool_size_for((2 * n as u32).max(1024));
+        if self.child.len() < want as usize {
+            self.grow_pool(want)?;
+        }
+        if self.next_colocated.len() < n {
+            self.next_colocated = make_atomic_u32(n, CHAIN_END);
+        }
+
+        let mut retries = 0u32;
+        loop {
+            self.reset_slots();
+            // Reset chains for this build.
+            for_each(policy, &mut self.next_colocated[..n], |c| *c = AtomicU32::new(CHAIN_END));
+
+            let overflow = AtomicBool::new(false);
+            let this = &*self;
+            let ov = &overflow;
+            for_each_index(policy, 0..n, |b| {
+                if !ov.load(Ordering::Relaxed) {
+                    this.insert(b as u32, positions, ov);
+                }
+            });
+
+            if !overflow.load(Ordering::Relaxed) {
+                return Ok(BuildStats {
+                    allocated_nodes: self.allocated_nodes(),
+                    bodies: n,
+                    retries,
+                });
+            }
+            retries += 1;
+            let new_size = pool_size_for((self.child.len() as u32).saturating_mul(2));
+            self.grow_pool(new_size)?;
+        }
+    }
+
+    /// Insert one body (the per-element lambda of Algorithm 4).
+    fn insert(&self, b: u32, positions: &[Vec3], overflow: &AtomicBool) {
+        let p = positions[b as usize];
+        let mut i = 0u32;
+        let mut center = self.root_center;
+        let mut half = self.root_edge * 0.5;
+        let mut depth = 0u32;
+        loop {
+            let tag = self.child[i as usize].load(Ordering::Acquire);
+            match tags::decode(tag) {
+                Slot::Node(c) => {
+                    // Forward step: descend into the child covering `p`.
+                    let oct = Aabb::octant_of(center, p);
+                    center = octant_center(center, half, oct);
+                    half *= 0.5;
+                    i = c + oct as u32;
+                    depth += 1;
+                }
+                Slot::Empty => {
+                    // Try to claim the empty leaf directly.
+                    if self.child[i as usize]
+                        .compare_exchange_weak(
+                            tag,
+                            tags::body_tag(b),
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        return;
+                    }
+                    // Lost the race; re-examine the slot.
+                }
+                Slot::Locked => {
+                    // Another thread is sub-dividing: wait (starvation-free —
+                    // requires parallel forward progress, hence the `par` bound).
+                    std::hint::spin_loop();
+                }
+                Slot::Body(b2) => {
+                    // Try to lock the leaf for sub-division (Algorithm 5).
+                    if self.child[i as usize]
+                        .compare_exchange_weak(tag, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    // --- critical section ---
+                    let p2 = positions[b2 as usize];
+                    if depth >= MAX_DEPTH || p == p2 {
+                        // Co-located (or resolution exhausted): chain `b`
+                        // behind the resident body instead of sub-dividing.
+                        let next = self.next_colocated[b2 as usize].load(Ordering::Relaxed);
+                        self.next_colocated[b as usize].store(next, Ordering::Relaxed);
+                        self.next_colocated[b2 as usize].store(b, Ordering::Relaxed);
+                        self.child[i as usize].store(tags::body_tag(b2), Ordering::Release);
+                        return;
+                    }
+                    match self.allocate_group() {
+                        Some(c) => {
+                            // Move the resident body into its child, then
+                            // publish the new children with a release store.
+                            self.parent[tags::group_of(c) as usize].store(i, Ordering::Relaxed);
+                            let oct2 = Aabb::octant_of(center, p2);
+                            self.child[(c + oct2 as u32) as usize]
+                                .store(tags::body_tag(b2), Ordering::Relaxed);
+                            self.child[i as usize].store(tags::node_tag(c), Ordering::Release);
+                            // Next iteration traverses into the children.
+                        }
+                        None => {
+                            // Pool exhausted: restore the leaf, flag, abort.
+                            self.child[i as usize].store(tags::body_tag(b2), Ordering::Release);
+                            overflow.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                    // --- end critical section ---
+                }
+            }
+        }
+    }
+
+    /// Concurrent bump allocation of one sibling group (paper: "relaxed
+    /// atomic add operations" on a pre-reserved pool).
+    fn allocate_group(&self) -> Option<u32> {
+        let c = self.bump.fetch_add(CHILDREN, Ordering::Relaxed);
+        if (c as usize) + CHILDREN as usize <= self.child.len() {
+            Some(c)
+        } else {
+            None
+        }
+    }
+
+    /// Zero the previously used region of the pool and reset the allocator.
+    fn reset_slots(&mut self) {
+        let used = (self.bump.load(Ordering::Relaxed).min(self.child.len() as u32))
+            .max(self.initialized);
+        let used = used.min(self.child.len() as u32) as usize;
+        for slot in &mut self.child[..used] {
+            *slot = AtomicU32::new(EMPTY);
+        }
+        self.bump.store(FIRST_GROUP, Ordering::Relaxed);
+        self.initialized = 0;
+    }
+
+    fn grow_pool(&mut self, nodes: u32) -> Result<(), BuildError> {
+        const MAX_NODES: u32 = 1 << 30;
+        if nodes > MAX_NODES {
+            return Err(BuildError::PoolExhausted { requested_nodes: nodes });
+        }
+        self.child = make_atomic_u32(nodes as usize, EMPTY);
+        self.parent =
+            make_atomic_u32((nodes as usize - FIRST_GROUP as usize) / CHILDREN as usize, 0);
+        self.bump.store(FIRST_GROUP, Ordering::Relaxed);
+        self.initialized = 0;
+        Ok(())
+    }
+}
+
+/// Iterator over a co-located body chain.
+pub struct ChainIter<'a> {
+    tree: &'a Octree,
+    cur: u32,
+}
+
+impl Iterator for ChainIter<'_> {
+    type Item = u32;
+    fn next(&mut self) -> Option<u32> {
+        if self.cur == CHAIN_END {
+            return None;
+        }
+        let b = self.cur;
+        self.cur = self.tree.next_colocated[b as usize].load(Ordering::Relaxed);
+        Some(b)
+    }
+}
+
+/// Centre of the `oct`-th octant of the cell (`center`, half-width `half`).
+#[inline]
+pub(crate) fn octant_center(center: Vec3, half: f64, oct: usize) -> Vec3 {
+    let q = half * 0.5;
+    Vec3::new(
+        center.x + if oct & 1 != 0 { q } else { -q },
+        center.y + if oct & 2 != 0 { q } else { -q },
+        center.z + if oct & 4 != 0 { q } else { -q },
+    )
+}
+
+fn pool_size_for(nodes: u32) -> u32 {
+    let groups = nodes.saturating_sub(FIRST_GROUP).div_ceil(CHILDREN).max(4);
+    FIRST_GROUP + groups.saturating_mul(CHILDREN)
+}
+
+fn make_atomic_u32(n: usize, v: u32) -> Vec<AtomicU32> {
+    let mut out = Vec::with_capacity(n);
+    out.resize_with(n, || AtomicU32::new(v));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tags::Slot;
+    use nbody_math::SplitMix64;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut r = SplitMix64::new(seed);
+        (0..n).map(|_| Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0))).collect()
+    }
+
+    fn build_tree(pos: &[Vec3]) -> Octree {
+        let mut t = Octree::new();
+        t.build(Par, pos, Aabb::from_points(pos)).unwrap();
+        t
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut t = Octree::new();
+        let stats = t.build(Par, &[], Aabb::EMPTY).unwrap();
+        assert_eq!(stats.bodies, 0);
+        assert_eq!(t.slot(0), Slot::Empty);
+    }
+
+    #[test]
+    fn single_body_lands_in_root() {
+        let pos = vec![Vec3::new(0.5, 0.5, 0.5)];
+        let t = build_tree(&pos);
+        assert_eq!(t.slot(0), Slot::Body(0));
+        assert_eq!(t.chain(0).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn two_bodies_subdivide_once() {
+        let pos = vec![Vec3::new(-0.5, -0.5, -0.5), Vec3::new(0.5, 0.5, 0.5)];
+        let t = build_tree(&pos);
+        match t.slot(0) {
+            Slot::Node(c) => {
+                assert_eq!(c, FIRST_GROUP);
+                // The bodies sit in opposite octants of the root cube.
+                let occupied: Vec<Slot> = (c..c + 8).map(|i| t.slot(i)).collect();
+                let bodies: Vec<u32> = occupied
+                    .iter()
+                    .filter_map(|s| if let Slot::Body(b) = s { Some(*b) } else { None })
+                    .collect();
+                let mut sorted = bodies.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, vec![0, 1]);
+            }
+            other => panic!("root should be internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_bodies_reachable_every_policy() {
+        let pos = random_points(2000, 7);
+        for reachable in [
+            {
+                let t = build_tree(&pos);
+                crate::validate::collect_bodies(&t)
+            },
+            {
+                let mut t = Octree::new();
+                t.build(Seq, &pos, Aabb::from_points(&pos)).unwrap();
+                crate::validate::collect_bodies(&t)
+            },
+        ] {
+            let mut r = reachable.clone();
+            r.sort_unstable();
+            assert_eq!(r, (0..2000u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn no_locked_tags_remain() {
+        let pos = random_points(5000, 8);
+        let t = build_tree(&pos);
+        for i in 0..t.allocated_nodes() {
+            assert_ne!(t.slot(i), Slot::Locked, "node {i} still locked");
+        }
+    }
+
+    #[test]
+    fn duplicate_positions_form_chain() {
+        let p = Vec3::new(0.25, 0.25, 0.25);
+        let pos = vec![p, Vec3::new(-0.5, 0.0, 0.0), p, p];
+        let t = build_tree(&pos);
+        let bodies = crate::validate::collect_bodies(&t);
+        let mut sorted = bodies.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // Bodies 0, 2, 3 share one leaf via a chain.
+        let inv = crate::validate::TreeInvariants::check(&t, &pos).unwrap();
+        assert!(inv.max_chain_len >= 3, "chain len {}", inv.max_chain_len);
+    }
+
+    #[test]
+    fn extremely_close_positions_terminate() {
+        // 1 ulp apart: must terminate via MAX_DEPTH chaining.
+        let a = 0.1f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        let pos = vec![Vec3::splat(a), Vec3::splat(b), Vec3::new(0.9, 0.9, 0.9)];
+        let t = build_tree(&pos);
+        let mut bodies = crate::validate::collect_bodies(&t);
+        bodies.sort_unstable();
+        assert_eq!(bodies, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pool_growth_retries() {
+        // Start with a tiny pool and force growth.
+        let pos = random_points(3000, 9);
+        let mut t = Octree::with_node_capacity(64);
+        let stats = t.build(Par, &pos, Aabb::from_points(&pos)).unwrap();
+        assert!(stats.retries > 0, "expected at least one growth retry");
+        let mut bodies = crate::validate::collect_bodies(&t);
+        bodies.sort_unstable();
+        assert_eq!(bodies.len(), 3000);
+    }
+
+    #[test]
+    fn rebuild_reuses_tree() {
+        let mut t = Octree::new();
+        let pos1 = random_points(500, 10);
+        t.build(Par, &pos1, Aabb::from_points(&pos1)).unwrap();
+        let pos2 = random_points(800, 11);
+        t.build(Par, &pos2, Aabb::from_points(&pos2)).unwrap();
+        let mut bodies = crate::validate::collect_bodies(&t);
+        bodies.sort_unstable();
+        assert_eq!(bodies, (0..800u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn child_offsets_exceed_parent_offsets() {
+        // The stackless-DFS invariant (paper Fig. 3).
+        let pos = random_points(3000, 12);
+        let t = build_tree(&pos);
+        for i in 0..t.allocated_nodes() {
+            if let Slot::Node(c) = t.slot(i) {
+                assert!(c > i, "child group {c} not after parent {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        let mut t = Octree::new();
+        let pos = vec![Vec3::new(f64::NAN, 0.0, 0.0)];
+        assert_eq!(
+            t.build(Par, &pos, Aabb::from_points(&pos)),
+            Err(BuildError::InvalidPositions)
+        );
+    }
+
+    #[test]
+    fn octant_center_moves_toward_octant() {
+        let c = Vec3::ZERO;
+        let h = 1.0;
+        // `half` is the parent half-width; children centres sit at ±half/2.
+        assert_eq!(octant_center(c, h, 0), Vec3::splat(-0.5));
+        assert_eq!(octant_center(c, h, 7), Vec3::splat(0.5));
+        let oc = octant_center(c, h, 1);
+        assert!(oc.x > 0.0 && oc.y < 0.0 && oc.z < 0.0);
+    }
+
+    #[test]
+    fn pool_size_respects_group_alignment() {
+        for n in [0u32, 1, 8, 9, 100, 4096] {
+            let s = pool_size_for(n);
+            assert!(s >= n.max(FIRST_GROUP));
+            assert_eq!((s - FIRST_GROUP) % CHILDREN, 0);
+        }
+    }
+
+    #[test]
+    fn clustered_input_builds() {
+        // Tight Gaussian cluster forces deep subdivision.
+        let mut r = SplitMix64::new(13);
+        let mut pos: Vec<Vec3> = (0..2000)
+            .map(|_| Vec3::new(r.normal() * 1e-6, r.normal() * 1e-6, r.normal() * 1e-6))
+            .collect();
+        pos.push(Vec3::new(1.0, 1.0, 1.0)); // far outlier stretches the root
+        let t = build_tree(&pos);
+        let mut bodies = crate::validate::collect_bodies(&t);
+        bodies.sort_unstable();
+        assert_eq!(bodies.len(), 2001);
+    }
+}

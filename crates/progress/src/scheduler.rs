@@ -1,0 +1,249 @@
+//! Virtual threads and the two scheduling semantics.
+
+/// Result of one step of a virtual thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Did useful work (may have changed `pc`).
+    Progress,
+    /// Busy-waiting on another thread (pc unchanged): a spin iteration.
+    Spin,
+    /// Finished.
+    Done,
+}
+
+/// A deterministic, steppable virtual thread.
+///
+/// `pc` is the *program point* used by the lockstep scheduler's divergence
+/// model: threads of a warp at different `pc`s have diverged, and the warp
+/// serialises one side (the minimum `pc`) until reconvergence. Real SIMT
+/// hardware picks an unspecified side; picking the minimum models the
+/// unlucky-but-legal choice that makes lock-based algorithms hang, which is
+/// exactly what the paper observed on non-ITS GPUs.
+pub trait VThread {
+    fn pc(&self) -> u32;
+    fn step(&mut self) -> Step;
+}
+
+/// Outcome of a scheduler run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// All threads finished after `steps` total scheduler steps.
+    Completed { steps: u64 },
+    /// The step budget was exhausted with at least one live thread that
+    /// only spins — the scheduler-level signature of a hang.
+    Livelock { steps: u64 },
+}
+
+impl Outcome {
+    pub fn completed(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+}
+
+/// Independent Thread Scheduling: fair round-robin over all live threads.
+/// Every live thread is stepped once per round, so any thread that starts
+/// is eventually re-scheduled — *parallel forward progress*.
+pub fn run_its(mut threads: Vec<Box<dyn VThread>>, max_steps: u64) -> Outcome {
+    let mut live: Vec<bool> = vec![true; threads.len()];
+    let mut remaining = threads.len();
+    let mut steps = 0u64;
+    while remaining > 0 {
+        for (t, alive) in threads.iter_mut().zip(live.iter_mut()) {
+            if !*alive {
+                continue;
+            }
+            if steps >= max_steps {
+                return Outcome::Livelock { steps };
+            }
+            steps += 1;
+            if t.step() == Step::Done {
+                *alive = false;
+                remaining -= 1;
+            }
+        }
+    }
+    Outcome::Completed { steps }
+}
+
+/// Legacy SIMT lockstep: threads are grouped into warps of `warp_width`.
+/// Each round, each warp steps **only its live threads at the minimum
+/// program counter** — the serialised branch side. Threads at other pcs
+/// wait until that side reconverges (changes pc or finishes). This provides
+/// only *weakly parallel* forward progress: a spin loop pinned at a low pc
+/// starves every other thread in its warp, including the lock holder it is
+/// waiting for.
+pub fn run_lockstep(
+    mut threads: Vec<Box<dyn VThread>>,
+    warp_width: usize,
+    max_steps: u64,
+) -> Outcome {
+    assert!(warp_width >= 1);
+    let n = threads.len();
+    let mut live: Vec<bool> = vec![true; n];
+    let mut remaining = n;
+    let mut steps = 0u64;
+    while remaining > 0 {
+        let mut any_progress = false;
+        for warp_start in (0..n).step_by(warp_width) {
+            let warp = warp_start..(warp_start + warp_width).min(n);
+            // Divergence: the scheduler commits to the minimum-pc side.
+            let min_pc = warp
+                .clone()
+                .filter(|&i| live[i])
+                .map(|i| threads[i].pc())
+                .min();
+            let Some(min_pc) = min_pc else { continue };
+            for i in warp {
+                if !live[i] || threads[i].pc() != min_pc {
+                    continue;
+                }
+                if steps >= max_steps {
+                    return Outcome::Livelock { steps };
+                }
+                steps += 1;
+                match threads[i].step() {
+                    Step::Done => {
+                        live[i] = false;
+                        remaining -= 1;
+                        any_progress = true;
+                    }
+                    Step::Progress => any_progress = true,
+                    Step::Spin => {}
+                }
+            }
+        }
+        // Fast livelock detection: a full round of pure spinning can never
+        // un-stick itself (the spinners are the only threads being run).
+        if !any_progress {
+            return Outcome::Livelock { steps };
+        }
+    }
+    Outcome::Completed { steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// A thread that counts down `k` progress steps.
+    struct Countdown {
+        left: u32,
+    }
+    impl VThread for Countdown {
+        fn pc(&self) -> u32 {
+            0
+        }
+        fn step(&mut self) -> Step {
+            if self.left == 0 {
+                return Step::Done;
+            }
+            self.left -= 1;
+            Step::Progress
+        }
+    }
+
+    /// Classic two-thread lock scenario: thread 0 spins (pc 0) until a flag
+    /// is set; thread 1 needs `delay` progress steps at pc 1 before setting
+    /// it. With min-pc lockstep in a shared warp this livelocks; split into
+    /// different warps or run under ITS it completes.
+    fn lock_pair(delay: u32) -> Vec<Box<dyn VThread>> {
+        let flag = Rc::new(Cell::new(false));
+        struct Waiter {
+            flag: Rc<Cell<bool>>,
+        }
+        impl VThread for Waiter {
+            fn pc(&self) -> u32 {
+                0
+            }
+            fn step(&mut self) -> Step {
+                if self.flag.get() {
+                    Step::Done
+                } else {
+                    Step::Spin
+                }
+            }
+        }
+        struct Holder {
+            flag: Rc<Cell<bool>>,
+            left: u32,
+        }
+        impl VThread for Holder {
+            fn pc(&self) -> u32 {
+                1
+            }
+            fn step(&mut self) -> Step {
+                if self.left > 0 {
+                    self.left -= 1;
+                    Step::Progress
+                } else {
+                    self.flag.set(true);
+                    Step::Done
+                }
+            }
+        }
+        vec![
+            Box::new(Waiter { flag: flag.clone() }),
+            Box::new(Holder { flag, left: delay }),
+        ]
+    }
+
+    #[test]
+    fn countdowns_complete_under_both() {
+        let mk = || -> Vec<Box<dyn VThread>> {
+            (1..=5).map(|k| Box::new(Countdown { left: k }) as Box<dyn VThread>).collect()
+        };
+        assert!(run_its(mk(), 1000).completed());
+        assert!(run_lockstep(mk(), 4, 1000).completed());
+        assert!(run_lockstep(mk(), 1, 1000).completed());
+    }
+
+    #[test]
+    fn its_resolves_lock_dependency() {
+        assert!(run_its(lock_pair(3), 1000).completed());
+    }
+
+    #[test]
+    fn lockstep_same_warp_livelocks_on_lock_dependency() {
+        let out = run_lockstep(lock_pair(3), 2, 1000);
+        assert!(matches!(out, Outcome::Livelock { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn lockstep_separate_warps_completes() {
+        // warp width 1 ⇒ every thread its own warp ⇒ fair scheduling.
+        assert!(run_lockstep(lock_pair(3), 1, 1000).completed());
+    }
+
+    #[test]
+    fn step_budget_reports_livelock() {
+        struct Forever;
+        impl VThread for Forever {
+            fn pc(&self) -> u32 {
+                0
+            }
+            fn step(&mut self) -> Step {
+                Step::Progress // always "working", never done
+            }
+        }
+        let out = run_its(vec![Box::new(Forever)], 100);
+        assert!(matches!(out, Outcome::Livelock { steps: 100 }));
+    }
+
+    #[test]
+    fn empty_thread_set_completes_immediately() {
+        assert_eq!(run_its(vec![], 10), Outcome::Completed { steps: 0 });
+        assert_eq!(run_lockstep(vec![], 4, 10), Outcome::Completed { steps: 0 });
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_lockstep(lock_pair(3), 2, 500);
+        let b = run_lockstep(lock_pair(3), 2, 500);
+        assert_eq!(a, b);
+        let c = run_its(lock_pair(7), 500);
+        let d = run_its(lock_pair(7), 500);
+        assert_eq!(c, d);
+    }
+}

@@ -1,0 +1,755 @@
+//! # bh-quadtree — the Concurrent *Quadtree* (paper Fig. 1, in 2-D)
+//!
+//! The paper presents its data structure as a quadtree ("Figure 1 shows
+//! the graph and in-memory representation of the quadtree data structure;
+//! the octree uses a similar representation") and its flagship non-gravity
+//! application — Barnes-Hut-SNE — lives in 2-D. This crate is the exact
+//! 2-D instantiation of the Concurrent Octree algorithms:
+//!
+//! * one tagged atomic child offset per node, **four** children in Morton
+//!   order per sibling group, one parent offset per group;
+//! * the same starvation-free BUILDTREE (lock bit + critical-section
+//!   sub-division; requires [`stdpar::policy::ParallelForwardProgress`]);
+//! * the same wait-free arrival-counter multipole reduction;
+//! * the same stackless DFS with a generic visitor ([`Quadtree::traverse`])
+//!   and a 2-D gravity kernel ([`Quadtree::compute_forces`]).
+//!
+//! ```
+//! use bh_quadtree::Quadtree;
+//! use nbody_math::vec2::{Rect, Vec2};
+//! use stdpar::prelude::*;
+//!
+//! let pos = vec![Vec2::new(0.1, 0.2), Vec2::new(0.9, 0.7), Vec2::new(0.4, 0.5)];
+//! let mass = vec![1.0; 3];
+//! let mut tree = Quadtree::new();
+//! tree.build(Par, &pos, Rect::from_points(&pos)).unwrap();
+//! tree.compute_multipoles(Par, &pos, &mass);
+//! let mut acc = vec![Vec2::ZERO; 3];
+//! tree.compute_forces(ParUnseq, &pos, &mass, &mut acc, 0.5, 1e-3);
+//! assert!(acc.iter().all(|a| a.is_finite()));
+//! ```
+
+use nbody_math::vec2::{Rect, Vec2};
+use nbody_math::AtomicF64;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use stdpar::prelude::*;
+
+/// Children per node.
+pub const CHILDREN: u32 = 4;
+/// First child-group offset (root = 0; 1..4 reserved padding).
+pub const FIRST_GROUP: u32 = 4;
+/// Maximum descent depth before co-located chaining.
+pub const MAX_DEPTH: u32 = 96;
+const EMPTY: u32 = 0;
+const LOCKED: u32 = 1;
+const BODY_BIT: u32 = 0x8000_0000;
+const CHAIN_END: u32 = u32::MAX;
+
+/// Decoded child-slot state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    Empty,
+    Locked,
+    Body(u32),
+    Node(u32),
+}
+
+#[inline]
+const fn decode(tag: u32) -> Slot {
+    if tag == EMPTY {
+        Slot::Empty
+    } else if tag == LOCKED {
+        Slot::Locked
+    } else if tag & BODY_BIT != 0 {
+        Slot::Body(tag & !BODY_BIT)
+    } else {
+        Slot::Node(tag)
+    }
+}
+
+/// Build failure (mirrors `bh_octree::BuildError`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    PoolExhausted { requested_nodes: u32 },
+    TooManyBodies { n: usize },
+    InvalidPositions,
+}
+
+/// A far node accepted by the acceptance criterion during
+/// [`Quadtree::traverse`].
+#[derive(Clone, Copy, Debug)]
+pub struct NodeView {
+    pub index: u32,
+    pub mass: f64,
+    pub com: Vec2,
+    pub width: f64,
+}
+
+/// The concurrent quadtree.
+pub struct Quadtree {
+    child: Vec<AtomicU32>,
+    parent: Vec<AtomicU32>,
+    bump: AtomicU32,
+    next_colocated: Vec<AtomicU32>,
+    root_center: Vec2,
+    root_edge: f64,
+    node_mass: Vec<AtomicF64>,
+    node_com: [Vec<AtomicF64>; 2],
+    arrivals: Vec<AtomicU32>,
+    n_bodies: usize,
+}
+
+impl Default for Quadtree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Quadtree {
+    pub fn new() -> Self {
+        Self::with_node_capacity(1024)
+    }
+
+    pub fn with_node_capacity(nodes: usize) -> Self {
+        let nodes = pool_size_for(nodes as u32);
+        Quadtree {
+            child: make_atomic(nodes as usize, EMPTY),
+            parent: make_atomic(
+                (nodes as usize).saturating_sub(FIRST_GROUP as usize) / CHILDREN as usize,
+                0,
+            ),
+            bump: AtomicU32::new(FIRST_GROUP),
+            next_colocated: Vec::new(),
+            root_center: Vec2::ZERO,
+            root_edge: 0.0,
+            node_mass: Vec::new(),
+            node_com: [Vec::new(), Vec::new()],
+            arrivals: Vec::new(),
+            n_bodies: 0,
+        }
+    }
+
+    #[inline]
+    pub fn n_bodies(&self) -> usize {
+        self.n_bodies
+    }
+
+    #[inline]
+    pub fn allocated_nodes(&self) -> u32 {
+        self.bump.load(Ordering::Relaxed).min(self.child.len() as u32)
+    }
+
+    #[inline]
+    pub fn root_edge(&self) -> f64 {
+        self.root_edge
+    }
+
+    #[inline]
+    pub fn slot(&self, i: u32) -> Slot {
+        decode(self.child[i as usize].load(Ordering::Acquire))
+    }
+
+    #[inline]
+    pub fn parent_of(&self, i: u32) -> u32 {
+        self.parent[((i - FIRST_GROUP) / CHILDREN) as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn node_mass_of(&self, i: u32) -> f64 {
+        self.node_mass[i as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn node_com_of(&self, i: u32) -> Vec2 {
+        Vec2::new(
+            self.node_com[0][i as usize].load(Ordering::Relaxed),
+            self.node_com[1][i as usize].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Iterate a co-located chain.
+    pub fn chain(&self, head: u32) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = head;
+        std::iter::from_fn(move || {
+            if cur == CHAIN_END {
+                None
+            } else {
+                let b = cur;
+                cur = self.next_colocated[b as usize].load(Ordering::Relaxed);
+                Some(b)
+            }
+        })
+    }
+
+    /// BUILDTREE in 2-D (paper Algorithm 4 with four children).
+    pub fn build<P: ParallelForwardProgress>(
+        &mut self,
+        policy: P,
+        positions: &[Vec2],
+        bounds: Rect,
+    ) -> Result<(), BuildError> {
+        let n = positions.len();
+        if n > (BODY_BIT - 1) as usize {
+            return Err(BuildError::TooManyBodies { n });
+        }
+        self.n_bodies = n;
+        if n == 0 {
+            self.reset();
+            self.root_edge = 0.0;
+            return Ok(());
+        }
+        if bounds.is_empty() || !bounds.min.is_finite() || !bounds.max.is_finite() {
+            return Err(BuildError::InvalidPositions);
+        }
+        let square = bounds.to_square();
+        self.root_center = square.center();
+        self.root_edge = square.extent().x;
+        let want = pool_size_for((2 * n as u32).max(1024));
+        if self.child.len() < want as usize {
+            self.grow(want)?;
+        }
+        if self.next_colocated.len() < n {
+            self.next_colocated = make_atomic(n, CHAIN_END);
+        }
+        loop {
+            self.reset();
+            for_each(policy, &mut self.next_colocated[..n], |c| *c = AtomicU32::new(CHAIN_END));
+            let overflow = AtomicBool::new(false);
+            let this = &*self;
+            let ov = &overflow;
+            for_each_index(policy, 0..n, |b| {
+                if !ov.load(Ordering::Relaxed) {
+                    this.insert(b as u32, positions, ov);
+                }
+            });
+            if !overflow.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            let new_size = pool_size_for((self.child.len() as u32).saturating_mul(2));
+            self.grow(new_size)?;
+        }
+    }
+
+    fn insert(&self, b: u32, positions: &[Vec2], overflow: &AtomicBool) {
+        let p = positions[b as usize];
+        let mut i = 0u32;
+        let mut center = self.root_center;
+        let mut half = self.root_edge * 0.5;
+        let mut depth = 0u32;
+        loop {
+            let tag = self.child[i as usize].load(Ordering::Acquire);
+            match decode(tag) {
+                Slot::Node(c) => {
+                    let q = Rect::quadrant_of(center, p);
+                    center = quadrant_center(center, half, q);
+                    half *= 0.5;
+                    i = c + q as u32;
+                    depth += 1;
+                }
+                Slot::Empty => {
+                    if self.child[i as usize]
+                        .compare_exchange_weak(tag, b | BODY_BIT, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                Slot::Locked => std::hint::spin_loop(),
+                Slot::Body(b2) => {
+                    if self.child[i as usize]
+                        .compare_exchange_weak(tag, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let p2 = positions[b2 as usize];
+                    if depth >= MAX_DEPTH || p == p2 {
+                        let next = self.next_colocated[b2 as usize].load(Ordering::Relaxed);
+                        self.next_colocated[b as usize].store(next, Ordering::Relaxed);
+                        self.next_colocated[b2 as usize].store(b, Ordering::Relaxed);
+                        self.child[i as usize].store(b2 | BODY_BIT, Ordering::Release);
+                        return;
+                    }
+                    match self.allocate_group() {
+                        Some(c) => {
+                            self.parent[((c - FIRST_GROUP) / CHILDREN) as usize]
+                                .store(i, Ordering::Relaxed);
+                            let q2 = Rect::quadrant_of(center, p2);
+                            self.child[(c + q2 as u32) as usize]
+                                .store(b2 | BODY_BIT, Ordering::Relaxed);
+                            self.child[i as usize].store(c, Ordering::Release);
+                        }
+                        None => {
+                            self.child[i as usize].store(b2 | BODY_BIT, Ordering::Release);
+                            overflow.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn allocate_group(&self) -> Option<u32> {
+        let c = self.bump.fetch_add(CHILDREN, Ordering::Relaxed);
+        if (c as usize) + CHILDREN as usize <= self.child.len() {
+            Some(c)
+        } else {
+            None
+        }
+    }
+
+    fn reset(&mut self) {
+        let used = self.bump.load(Ordering::Relaxed).min(self.child.len() as u32) as usize;
+        for slot in &mut self.child[..used] {
+            *slot = AtomicU32::new(EMPTY);
+        }
+        self.bump.store(FIRST_GROUP, Ordering::Relaxed);
+    }
+
+    fn grow(&mut self, nodes: u32) -> Result<(), BuildError> {
+        if nodes > 1 << 30 {
+            return Err(BuildError::PoolExhausted { requested_nodes: nodes });
+        }
+        self.child = make_atomic(nodes as usize, EMPTY);
+        self.parent =
+            make_atomic((nodes as usize - FIRST_GROUP as usize) / CHILDREN as usize, 0);
+        self.bump.store(FIRST_GROUP, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// CALCULATEMULTIPOLES — the wait-free arrival-counter reduction.
+    pub fn compute_multipoles<P: ParallelForwardProgress>(
+        &mut self,
+        policy: P,
+        positions: &[Vec2],
+        masses: &[f64],
+    ) {
+        assert_eq!(positions.len(), self.n_bodies);
+        assert_eq!(masses.len(), self.n_bodies);
+        let alloc = self.allocated_nodes() as usize;
+        self.ensure_storage(alloc, policy);
+        match self.slot(0) {
+            Slot::Empty => return,
+            Slot::Body(head) => {
+                let (m, mx) = self.leaf_moment(head, positions, masses);
+                self.node_mass[0].store(m, Ordering::Relaxed);
+                self.node_com[0][0].store(mx.x, Ordering::Relaxed);
+                self.node_com[1][0].store(mx.y, Ordering::Relaxed);
+                self.finalize(policy, alloc);
+                return;
+            }
+            Slot::Locked => unreachable!(),
+            Slot::Node(_) => {}
+        }
+        let this = &*self;
+        for_each_index(policy, FIRST_GROUP as usize..alloc, |i| {
+            let i = i as u32;
+            let (m, mx) = match this.slot(i) {
+                Slot::Node(_) => return,
+                Slot::Empty => (0.0, Vec2::ZERO),
+                Slot::Body(head) => this.leaf_moment(head, positions, masses),
+                Slot::Locked => unreachable!(),
+            };
+            this.node_mass[i as usize].store(m, Ordering::Relaxed);
+            this.node_com[0][i as usize].store(mx.x, Ordering::Relaxed);
+            this.node_com[1][i as usize].store(mx.y, Ordering::Relaxed);
+            let mut node = i;
+            let (mut m_cur, mut mx_cur) = (m, mx);
+            loop {
+                let p = this.parent_of(node);
+                this.node_mass[p as usize].fetch_add(m_cur, Ordering::Relaxed);
+                this.node_com[0][p as usize].fetch_add(mx_cur.x, Ordering::Relaxed);
+                this.node_com[1][p as usize].fetch_add(mx_cur.y, Ordering::Relaxed);
+                let prev = this.arrivals[p as usize].fetch_add(1, Ordering::AcqRel);
+                if prev + 1 != CHILDREN || p == 0 {
+                    return;
+                }
+                m_cur = this.node_mass[p as usize].load(Ordering::Relaxed);
+                mx_cur = Vec2::new(
+                    this.node_com[0][p as usize].load(Ordering::Relaxed),
+                    this.node_com[1][p as usize].load(Ordering::Relaxed),
+                );
+                node = p;
+            }
+        });
+        self.finalize(policy, alloc);
+    }
+
+    fn leaf_moment(&self, head: u32, positions: &[Vec2], masses: &[f64]) -> (f64, Vec2) {
+        let mut m = 0.0;
+        let mut mx = Vec2::ZERO;
+        for b in self.chain(head) {
+            m += masses[b as usize];
+            mx += positions[b as usize] * masses[b as usize];
+        }
+        (m, mx)
+    }
+
+    fn finalize<P: ExecutionPolicy>(&self, policy: P, alloc: usize) {
+        let this = self;
+        for_each_index(policy, 0..alloc, |i| {
+            let m = this.node_mass[i].load(Ordering::Relaxed);
+            if m > 0.0 {
+                let cx = this.node_com[0][i].load(Ordering::Relaxed) / m;
+                let cy = this.node_com[1][i].load(Ordering::Relaxed) / m;
+                this.node_com[0][i].store(cx, Ordering::Relaxed);
+                this.node_com[1][i].store(cy, Ordering::Relaxed);
+            }
+        });
+    }
+
+    fn ensure_storage<P: ExecutionPolicy>(&mut self, alloc: usize, policy: P) {
+        if self.node_mass.len() < alloc {
+            self.node_mass = (0..alloc).map(|_| AtomicF64::new(0.0)).collect();
+            self.node_com =
+                [(0..alloc).map(|_| AtomicF64::new(0.0)).collect(), (0..alloc)
+                    .map(|_| AtomicF64::new(0.0))
+                    .collect()];
+            let mut a = Vec::with_capacity(alloc);
+            a.resize_with(alloc, || AtomicU32::new(0));
+            self.arrivals = a;
+        }
+        let this = &*self;
+        for_each_index(policy, 0..alloc, |i| {
+            this.node_mass[i].store(0.0, Ordering::Relaxed);
+            this.node_com[0][i].store(0.0, Ordering::Relaxed);
+            this.node_com[1][i].store(0.0, Ordering::Relaxed);
+            this.arrivals[i].store(0, Ordering::Relaxed);
+        });
+    }
+
+    /// Generic stackless DFS (2-D counterpart of `bh_octree::traverse`).
+    pub fn traverse(
+        &self,
+        p: Vec2,
+        theta: f64,
+        mut far: impl FnMut(NodeView),
+        mut near: impl FnMut(u32),
+    ) {
+        if self.n_bodies == 0 {
+            return;
+        }
+        let theta2 = theta * theta;
+        let mut i: u32 = 0;
+        let mut width = self.root_edge;
+        loop {
+            let mut descend = false;
+            match self.slot(i) {
+                Slot::Node(c) => {
+                    let com = self.node_com_of(i);
+                    let d2 = com.distance2(p);
+                    if width * width < theta2 * d2 {
+                        far(NodeView { index: i, mass: self.node_mass_of(i), com, width });
+                    } else {
+                        i = c;
+                        width *= 0.5;
+                        descend = true;
+                    }
+                }
+                Slot::Empty => {}
+                Slot::Body(head) => {
+                    for b in self.chain(head) {
+                        near(b);
+                    }
+                }
+                Slot::Locked => unreachable!(),
+            }
+            if descend {
+                continue;
+            }
+            loop {
+                if i == 0 {
+                    return;
+                }
+                if (i - FIRST_GROUP) % CHILDREN != CHILDREN - 1 {
+                    i += 1;
+                    break;
+                }
+                i = self.parent_of(i);
+                width *= 2.0;
+            }
+        }
+    }
+
+    /// 2-D gravity (`a_i = G Σ m_j d / (r²+ε²)^{3/2}` with `G = 1`).
+    pub fn compute_forces<P: ExecutionPolicy>(
+        &self,
+        policy: P,
+        positions: &[Vec2],
+        masses: &[f64],
+        accel: &mut [Vec2],
+        theta: f64,
+        softening: f64,
+    ) {
+        assert_eq!(positions.len(), self.n_bodies);
+        assert_eq!(accel.len(), positions.len());
+        let eps2 = softening * softening;
+        let out = SyncSlice::new(accel);
+        let this = self;
+        for_each_index(policy, 0..positions.len(), |b| {
+            let p = positions[b];
+            let acc = std::cell::Cell::new(Vec2::ZERO);
+            let kernel = |d: Vec2, m: f64| {
+                let r2 = d.norm2() + eps2;
+                if r2 > 0.0 {
+                    d * (m / (r2 * r2.sqrt()))
+                } else {
+                    Vec2::ZERO
+                }
+            };
+            this.traverse(
+                p,
+                theta,
+                |node| acc.set(acc.get() + kernel(node.com - p, node.mass)),
+                |j| {
+                    if j != b as u32 {
+                        acc.set(acc.get() + kernel(positions[j as usize] - p, masses[j as usize]));
+                    }
+                },
+            );
+            unsafe { out.write(b, acc.get()) };
+        });
+    }
+
+    /// Collect every body id reachable from the root (tests).
+    pub fn collect_bodies(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.n_bodies);
+        let mut stack = vec![0u32];
+        while let Some(i) = stack.pop() {
+            match self.slot(i) {
+                Slot::Empty | Slot::Locked => {}
+                Slot::Body(head) => out.extend(self.chain(head)),
+                Slot::Node(c) => stack.extend(c..c + CHILDREN),
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn quadrant_center(center: Vec2, half: f64, q: usize) -> Vec2 {
+    let o = half * 0.5;
+    Vec2::new(
+        center.x + if q & 1 != 0 { o } else { -o },
+        center.y + if q & 2 != 0 { o } else { -o },
+    )
+}
+
+fn pool_size_for(nodes: u32) -> u32 {
+    let groups = nodes.saturating_sub(FIRST_GROUP).div_ceil(CHILDREN).max(4);
+    FIRST_GROUP + groups.saturating_mul(CHILDREN)
+}
+
+fn make_atomic(n: usize, v: u32) -> Vec<AtomicU32> {
+    let mut out = Vec::with_capacity(n);
+    out.resize_with(n, || AtomicU32::new(v));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::SplitMix64;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Vec2> {
+        let mut r = SplitMix64::new(seed);
+        (0..n).map(|_| Vec2::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0))).collect()
+    }
+
+    fn built(pos: &[Vec2], mass: &[f64]) -> Quadtree {
+        let mut t = Quadtree::new();
+        t.build(Par, pos, Rect::from_points(pos)).unwrap();
+        t.compute_multipoles(Par, pos, mass);
+        t
+    }
+
+    #[test]
+    fn all_bodies_reachable() {
+        let pos = random_points(3000, 201);
+        let mass = vec![1.0; pos.len()];
+        let t = built(&pos, &mass);
+        let mut ids = t.collect_bodies();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..3000u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn root_totals() {
+        let pos = random_points(1000, 202);
+        let mass: Vec<f64> = (0..1000).map(|i| 1.0 + (i % 4) as f64).collect();
+        let t = built(&pos, &mass);
+        let total: f64 = mass.iter().sum();
+        assert!((t.node_mass_of(0) - total).abs() < 1e-9 * total);
+        let mut com = Vec2::ZERO;
+        for (p, m) in pos.iter().zip(&mass) {
+            com += *p * *m;
+        }
+        com /= total;
+        assert!((t.node_com_of(0) - com).norm() < 1e-10);
+    }
+
+    #[test]
+    fn theta_zero_matches_direct_2d() {
+        let pos = random_points(300, 203);
+        let mass: Vec<f64> = (0..300).map(|i| 0.5 + (i % 3) as f64).collect();
+        let t = built(&pos, &mass);
+        let mut acc = vec![Vec2::ZERO; pos.len()];
+        t.compute_forces(ParUnseq, &pos, &mass, &mut acc, 0.0, 0.0);
+        for (i, &a) in acc.iter().enumerate() {
+            let mut exact = Vec2::ZERO;
+            for (j, &x) in pos.iter().enumerate() {
+                if j != i {
+                    let d = x - pos[i];
+                    let r2 = d.norm2();
+                    exact += d * (mass[j] / (r2 * r2.sqrt()));
+                }
+            }
+            assert!((a - exact).norm() < 1e-10 * (1.0 + exact.norm()), "body {i}");
+        }
+    }
+
+    #[test]
+    fn theta_half_is_accurate_2d() {
+        let pos = random_points(1000, 204);
+        let mass = vec![1.0; pos.len()];
+        let t = built(&pos, &mass);
+        let mut acc = vec![Vec2::ZERO; pos.len()];
+        t.compute_forces(ParUnseq, &pos, &mass, &mut acc, 0.5, 1e-3);
+        let mut mean = 0.0;
+        for (i, &a) in acc.iter().enumerate() {
+            let mut exact = Vec2::ZERO;
+            for (j, &x) in pos.iter().enumerate() {
+                if j != i {
+                    let d = x - pos[i];
+                    let r2 = d.norm2() + 1e-6;
+                    exact += d * (mass[j] / (r2 * r2.sqrt()));
+                }
+            }
+            mean += (a - exact).norm() / (1e-12 + exact.norm());
+        }
+        mean /= pos.len() as f64;
+        // 2-D fields cancel more strongly than 3-D, inflating relative
+        // errors; 3 % mean at θ = 0.5 is the empirically stable budget.
+        assert!(mean < 0.03, "mean rel err {mean}");
+    }
+
+    #[test]
+    fn duplicates_chain_and_count_once() {
+        let p = Vec2::new(0.3, 0.3);
+        let pos = vec![p, p, p, Vec2::new(-0.8, 0.1)];
+        let mass = vec![1.0, 2.0, 3.0, 4.0];
+        let t = built(&pos, &mass);
+        assert!((t.node_mass_of(0) - 10.0).abs() < 1e-12);
+        let mut ids = t.collect_bodies();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut t = Quadtree::new();
+        t.build(Par, &[], Rect::EMPTY).unwrap();
+        assert_eq!(t.slot(0), Slot::Empty);
+        let pos = vec![Vec2::new(0.5, -0.5)];
+        t.build(Par, &pos, Rect::from_points(&pos)).unwrap();
+        t.compute_multipoles(Par, &pos, &[7.0]);
+        assert_eq!(t.node_mass_of(0), 7.0);
+        assert_eq!(t.slot(0), Slot::Body(0));
+    }
+
+    #[test]
+    fn rebuild_and_pool_growth() {
+        let pos = random_points(4000, 205);
+        let mut t = Quadtree::with_node_capacity(32);
+        t.build(Par, &pos, Rect::from_points(&pos)).unwrap();
+        let mut ids = t.collect_bodies();
+        ids.sort_unstable();
+        assert_eq!(ids.len(), 4000);
+        // Rebuild with fewer bodies reuses the pool.
+        let pos2 = random_points(100, 206);
+        t.build(Seq, &pos2, Rect::from_points(&pos2)).unwrap();
+        assert_eq!(t.collect_bodies().len(), 100);
+    }
+
+    #[test]
+    fn seq_par_agree() {
+        let pos = random_points(800, 207);
+        let mass = vec![1.0; pos.len()];
+        let a = built(&pos, &mass);
+        let mut t = Quadtree::new();
+        t.build(Seq, &pos, Rect::from_points(&pos)).unwrap();
+        t.compute_multipoles(Seq, &pos, &mass);
+        assert!((a.node_mass_of(0) - t.node_mass_of(0)).abs() < 1e-12);
+        assert!((a.node_com_of(0) - t.node_com_of(0)).norm() < 1e-10);
+    }
+
+    #[test]
+    fn traverse_accounts_all_mass() {
+        let pos = random_points(600, 208);
+        let mass = vec![1.0; pos.len()];
+        let t = built(&pos, &mass);
+        let seen = std::cell::Cell::new(0.0f64);
+        t.traverse(
+            pos[0],
+            0.7,
+            |n| seen.set(seen.get() + n.mass),
+            |b| seen.set(seen.get() + mass[b as usize]),
+        );
+        assert!((seen.get() - 600.0).abs() < 1e-9 * 600.0);
+    }
+
+    #[test]
+    fn tsne_repulsion_kernel_on_quadtree() {
+        // The use case this crate exists for.
+        let pos = random_points(500, 209);
+        let unit = vec![1.0; pos.len()];
+        let t = built(&pos, &unit);
+        let p = pos[3];
+        let (rep, z) = {
+            let rep = std::cell::Cell::new(Vec2::ZERO);
+            let z = std::cell::Cell::new(0.0f64);
+            t.traverse(
+                p,
+                0.5,
+                |n| {
+                    let d = p - n.com;
+                    let q = 1.0 / (1.0 + d.norm2());
+                    z.set(z.get() + n.mass * q);
+                    rep.set(rep.get() + d * (n.mass * q * q));
+                },
+                |b| {
+                    if b != 3 {
+                        let d = p - pos[b as usize];
+                        let q = 1.0 / (1.0 + d.norm2());
+                        z.set(z.get() + q);
+                        rep.set(rep.get() + d * (q * q));
+                    }
+                },
+            );
+            (rep.get(), z.get())
+        };
+        let mut exact = Vec2::ZERO;
+        let mut z_exact = 0.0;
+        for (j, &x) in pos.iter().enumerate() {
+            if j != 3 {
+                let d = p - x;
+                let q = 1.0 / (1.0 + d.norm2());
+                z_exact += q;
+                exact += d * (q * q);
+            }
+        }
+        assert!((z - z_exact).abs() < 0.05 * z_exact);
+        assert!((rep - exact).norm() < 0.05 * (1e-9 + exact.norm()));
+    }
+
+    #[test]
+    fn ulp_separated_points_terminate() {
+        let a = 0.1f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        let pos = vec![Vec2::splat(a), Vec2::splat(b), Vec2::new(0.9, 0.9)];
+        let mut t = Quadtree::new();
+        t.build(Par, &pos, Rect::from_points(&pos)).unwrap();
+        assert_eq!(t.collect_bodies().len(), 3);
+    }
+}

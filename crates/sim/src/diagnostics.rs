@@ -1,0 +1,210 @@
+//! Conservation and accuracy diagnostics.
+//!
+//! The paper validates by (a) conserving mass and energy across systems and
+//! (b) comparing "the L2 error norm of the final body positions" between
+//! implementations (< 1e-6 for the solar-system run). Both live here.
+
+use crate::system::SystemState;
+use nbody_math::{KahanSum, Vec3};
+use stdpar::prelude::*;
+
+/// Snapshot of the conserved quantities of a system.
+#[derive(Clone, Copy, Debug)]
+pub struct Diagnostics {
+    pub total_mass: f64,
+    pub kinetic_energy: f64,
+    pub potential_energy: f64,
+    pub total_energy: f64,
+    pub momentum: Vec3,
+    pub angular_momentum: Vec3,
+    pub center_of_mass: Vec3,
+}
+
+impl Diagnostics {
+    /// Measure all quantities. The potential is the exact `O(N²)` softened
+    /// pairwise sum with compensated accumulation — intended for
+    /// validation-sized systems (use [`Diagnostics::measure_sampled`] for
+    /// millions of bodies).
+    pub fn measure(state: &SystemState, g: f64, softening: f64) -> Diagnostics {
+        let kinetic = kinetic_energy(state);
+        let potential = potential_energy_exact(state, g, softening);
+        Diagnostics {
+            total_mass: state.total_mass(),
+            kinetic_energy: kinetic,
+            potential_energy: potential,
+            total_energy: kinetic + potential,
+            momentum: state.momentum(),
+            angular_momentum: state.angular_momentum(),
+            center_of_mass: state.center_of_mass(),
+        }
+    }
+
+    /// Like [`Diagnostics::measure`], but estimate the potential from a
+    /// deterministic sample of `samples` bodies (unbiased up to sampling
+    /// error; fine for drift *monitoring* at large N).
+    pub fn measure_sampled(state: &SystemState, g: f64, softening: f64, samples: usize) -> Diagnostics {
+        let kinetic = kinetic_energy(state);
+        let potential = potential_energy_sampled(state, g, softening, samples);
+        Diagnostics {
+            total_mass: state.total_mass(),
+            kinetic_energy: kinetic,
+            potential_energy: potential,
+            total_energy: kinetic + potential,
+            momentum: state.momentum(),
+            angular_momentum: state.angular_momentum(),
+            center_of_mass: state.center_of_mass(),
+        }
+    }
+}
+
+/// `Σ ½ m v²` with compensated summation.
+pub fn kinetic_energy(state: &SystemState) -> f64 {
+    state
+        .velocities
+        .iter()
+        .zip(&state.masses)
+        .map(|(v, m)| 0.5 * m * v.norm2())
+        .collect::<KahanSum>()
+        .value()
+}
+
+/// Exact softened potential `−G Σ_{i<j} m_i m_j / √(r² + ε²)`, parallel
+/// over rows with per-row compensated sums.
+pub fn potential_energy_exact(state: &SystemState, g: f64, softening: f64) -> f64 {
+    let n = state.len();
+    let eps2 = softening * softening;
+    let pos = &state.positions;
+    let mass = &state.masses;
+    let row = |i: usize| -> f64 {
+        let mut s = KahanSum::new();
+        for j in (i + 1)..n {
+            let r2 = pos[i].distance2(pos[j]) + eps2;
+            if r2 > 0.0 {
+                s.add(-g * mass[i] * mass[j] / r2.sqrt());
+            }
+        }
+        s.value()
+    };
+    transform_reduce(Par, 0..n, KahanSum::new(), |a, b| a.merge(b), |i| {
+        let mut s = KahanSum::new();
+        s.add(row(i));
+        s
+    })
+    .value()
+}
+
+/// Sampled potential estimate: exact field of `k` deterministic probe
+/// bodies, scaled to the full population.
+pub fn potential_energy_sampled(state: &SystemState, g: f64, softening: f64, k: usize) -> f64 {
+    let n = state.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let k = k.max(1).min(n);
+    let stride = (n / k).max(1);
+    let eps2 = softening * softening;
+    let pos = &state.positions;
+    let mass = &state.masses;
+    // Σ over sampled i of m_i φ_i, then ×(n / #samples) / 2.
+    let probes: Vec<usize> = (0..n).step_by(stride).collect();
+    let total = transform_reduce(
+        Par,
+        0..probes.len(),
+        0.0f64,
+        |a, b| a + b,
+        |pi| {
+            let i = probes[pi];
+            let mut phi = 0.0;
+            for j in 0..n {
+                if j != i {
+                    let r2 = pos[i].distance2(pos[j]) + eps2;
+                    phi -= g * mass[j] / r2.sqrt();
+                }
+            }
+            mass[i] * phi
+        },
+    );
+    0.5 * total * (n as f64 / probes.len() as f64)
+}
+
+/// The paper's validation metric: the L2 norm of the difference between two
+/// position arrays, `‖a − b‖₂ = √(Σ_i |a_i − b_i|²)`.
+pub fn l2_error(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l2_error length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.distance2(*y))
+        .collect::<KahanSum>()
+        .value()
+        .sqrt()
+}
+
+/// Relative L2 error, normalised by `‖b‖₂` (scale-free variant for SI-unit
+/// systems where absolute positions are ~1e11 m).
+pub fn l2_error_relative(a: &[Vec3], b: &[Vec3]) -> f64 {
+    let denom = b.iter().map(|y| y.norm2()).collect::<KahanSum>().value().sqrt();
+    if denom == 0.0 {
+        l2_error(a, b)
+    } else {
+        l2_error(a, b) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{galaxy_collision, plummer};
+
+    #[test]
+    fn two_body_energies() {
+        let s = crate::system::SystemState::from_parts(
+            vec![Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)],
+            vec![Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)],
+            vec![3.0, 1.0],
+        );
+        let d = Diagnostics::measure(&s, 1.0, 0.0);
+        assert_eq!(d.total_mass, 4.0);
+        assert_eq!(d.kinetic_energy, 0.5);
+        assert!((d.potential_energy - (-1.5)).abs() < 1e-15);
+        assert!((d.total_energy - (-1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sampled_potential_tracks_exact() {
+        let s = plummer(3000, 41);
+        let exact = potential_energy_exact(&s, 1.0, 0.0);
+        let sampled = potential_energy_sampled(&s, 1.0, 0.0, 600);
+        assert!(
+            (sampled - exact).abs() < 0.1 * exact.abs(),
+            "sampled {sampled} vs exact {exact}"
+        );
+        // Full sampling equals the exact computation (up to reassociation).
+        let full = potential_energy_sampled(&s, 1.0, 0.0, s.len());
+        assert!((full - exact).abs() < 1e-9 * exact.abs());
+    }
+
+    #[test]
+    fn l2_error_basics() {
+        let a = vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)];
+        let b = vec![Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0)];
+        assert_eq!(l2_error(&a, &b), 0.0);
+        let c = vec![Vec3::new(3.0, 0.0, 0.0), Vec3::new(1.0, 4.0, 0.0)];
+        assert_eq!(l2_error(&a, &c), 5.0);
+        assert!(l2_error_relative(&a, &c) > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn l2_error_length_mismatch_panics() {
+        let _ = l2_error(&[Vec3::ZERO], &[]);
+    }
+
+    #[test]
+    fn plummer_total_energy_is_negative_and_bound() {
+        let s = galaxy_collision(2000, 42);
+        let d = Diagnostics::measure(&s, 1.0, 0.0);
+        assert!(d.total_energy < 0.0, "collision system should be bound: {}", d.total_energy);
+        assert!(d.kinetic_energy > 0.0);
+        assert!(d.momentum.norm() < 1e-9);
+    }
+}

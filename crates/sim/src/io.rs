@@ -1,0 +1,228 @@
+//! Snapshot I/O: save and restore [`SystemState`]s.
+//!
+//! The paper's artifact generates workloads on the fly; a reusable library
+//! additionally needs snapshots so long runs can be checkpointed and
+//! externally-produced initial conditions (e.g. a real JPL SBDB export)
+//! can be loaded. Two formats:
+//!
+//! * **CSV** — `x,y,z,vx,vy,vz,m` per line, interoperable with plotting
+//!   tools;
+//! * **binary** — `NBSNAP01` magic, little-endian `u64` count, then the
+//!   three arrays; lossless `f64` round-trip and ~3× smaller than CSV.
+
+use crate::system::SystemState;
+use nbody_math::Vec3;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"NBSNAP01";
+
+/// Write a CSV snapshot (`x,y,z,vx,vy,vz,m` per body, with header).
+pub fn write_csv<W: Write>(state: &SystemState, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "x,y,z,vx,vy,vz,m")?;
+    for i in 0..state.len() {
+        let p = state.positions[i];
+        let v = state.velocities[i];
+        // {:e} keeps full f64 precision in a compact, parseable form.
+        writeln!(
+            w,
+            "{:e},{:e},{:e},{:e},{:e},{:e},{:e}",
+            p.x, p.y, p.z, v.x, v.y, v.z, state.masses[i]
+        )?;
+    }
+    w.flush()
+}
+
+/// Read a CSV snapshot produced by [`write_csv`] (header required).
+pub fn read_csv<R: Read>(r: R) -> io::Result<SystemState> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
+    if header.trim() != "x,y,z,vx,vy,vz,m" {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "unexpected csv header"));
+    }
+    let mut state = SystemState::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<f64> = line
+            .split(',')
+            .map(|f| f.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 2))
+            })?;
+        if fields.len() != 7 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected 7 fields, got {}", lineno + 2, fields.len()),
+            ));
+        }
+        state.push(
+            Vec3::new(fields[0], fields[1], fields[2]),
+            Vec3::new(fields[3], fields[4], fields[5]),
+            fields[6],
+        );
+    }
+    Ok(state)
+}
+
+/// Write the lossless binary snapshot format.
+pub fn write_binary<W: Write>(state: &SystemState, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    w.write_all(MAGIC)?;
+    w.write_all(&(state.len() as u64).to_le_bytes())?;
+    for p in &state.positions {
+        for c in [p.x, p.y, p.z] {
+            w.write_all(&c.to_le_bytes())?;
+        }
+    }
+    for v in &state.velocities {
+        for c in [v.x, v.y, v.z] {
+            w.write_all(&c.to_le_bytes())?;
+        }
+    }
+    for &m in &state.masses {
+        w.write_all(&m.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read the binary snapshot format.
+pub fn read_binary<R: Read>(r: R) -> io::Result<SystemState> {
+    let mut r = BufReader::new(r);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic"));
+    }
+    let mut len = [0u8; 8];
+    r.read_exact(&mut len)?;
+    let n = u64::from_le_bytes(len) as usize;
+    // Guard against absurd headers before allocating.
+    if n > (1 << 33) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible body count"));
+    }
+    let read_f64 = |r: &mut BufReader<R>| -> io::Result<f64> {
+        let mut b = [0u8; 8];
+        r.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    };
+    let mut positions = Vec::with_capacity(n);
+    for _ in 0..n {
+        positions.push(Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?));
+    }
+    let mut velocities = Vec::with_capacity(n);
+    for _ in 0..n {
+        velocities.push(Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?));
+    }
+    let mut masses = Vec::with_capacity(n);
+    for _ in 0..n {
+        masses.push(read_f64(&mut r)?);
+    }
+    Ok(SystemState::from_parts(positions, velocities, masses))
+}
+
+/// Convenience wrappers over file paths (format chosen by extension:
+/// `.csv` → CSV, anything else → binary).
+pub fn save(state: &SystemState, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    let f = std::fs::File::create(path)?;
+    if path.extension().is_some_and(|e| e == "csv") {
+        write_csv(state, f)
+    } else {
+        write_binary(state, f)
+    }
+}
+
+/// See [`save`].
+pub fn load(path: impl AsRef<Path>) -> io::Result<SystemState> {
+    let path = path.as_ref();
+    let f = std::fs::File::open(path)?;
+    if path.extension().is_some_and(|e| e == "csv") {
+        read_csv(f)
+    } else {
+        read_binary(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::galaxy_collision;
+
+    #[test]
+    fn binary_round_trip_is_lossless() {
+        let state = galaxy_collision(500, 21);
+        let mut buf = Vec::new();
+        write_binary(&state, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(state.positions, back.positions);
+        assert_eq!(state.velocities, back.velocities);
+        assert_eq!(state.masses, back.masses);
+    }
+
+    #[test]
+    fn csv_round_trip_is_lossless() {
+        // `{:e}` prints enough digits for exact f64 round-trip.
+        let state = galaxy_collision(200, 22);
+        let mut buf = Vec::new();
+        write_csv(&state, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(state.positions, back.positions);
+        assert_eq!(state.velocities, back.velocities);
+        assert_eq!(state.masses, back.masses);
+    }
+
+    #[test]
+    fn empty_state_round_trips() {
+        let state = SystemState::new();
+        let mut buf = Vec::new();
+        write_binary(&state, &mut buf).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap().len(), 0);
+        let mut csv = Vec::new();
+        write_csv(&state, &mut csv).unwrap();
+        assert_eq!(read_csv(&csv[..]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = read_binary(&b"NOTASNAP\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_binary_rejected() {
+        let state = galaxy_collision(10, 23);
+        let mut buf = Vec::new();
+        write_binary(&state, &mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn malformed_csv_rejected() {
+        assert!(read_csv(&b"wrong,header\n"[..]).is_err());
+        assert!(read_csv(&b"x,y,z,vx,vy,vz,m\n1,2,3\n"[..]).is_err());
+        assert!(read_csv(&b"x,y,z,vx,vy,vz,m\n1,2,3,4,5,6,abc\n"[..]).is_err());
+        assert!(read_csv(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn file_save_load_by_extension() {
+        let state = galaxy_collision(50, 24);
+        let dir = std::env::temp_dir();
+        let bin = dir.join("nbsnap_test.bin");
+        let csv = dir.join("nbsnap_test.csv");
+        save(&state, &bin).unwrap();
+        save(&state, &csv).unwrap();
+        assert_eq!(load(&bin).unwrap().positions, state.positions);
+        assert_eq!(load(&csv).unwrap().positions, state.positions);
+        let _ = std::fs::remove_file(bin);
+        let _ = std::fs::remove_file(csv);
+    }
+}

@@ -1,0 +1,221 @@
+//! Body state in structure-of-arrays layout.
+
+use nbody_math::{Aabb, Vec3};
+use stdpar::prelude::*;
+
+/// The state of an N-body system: positions, velocities, masses.
+///
+/// Stored as separate arrays (SoA) exactly like the paper's implementation,
+/// so each kernel touches only the fields it needs.
+#[derive(Clone, Debug, Default)]
+pub struct SystemState {
+    pub positions: Vec<Vec3>,
+    pub velocities: Vec<Vec3>,
+    pub masses: Vec<f64>,
+}
+
+impl SystemState {
+    /// An empty system.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from parallel arrays.
+    ///
+    /// # Panics
+    /// Panics if the array lengths differ.
+    pub fn from_parts(positions: Vec<Vec3>, velocities: Vec<Vec3>, masses: Vec<f64>) -> Self {
+        assert_eq!(positions.len(), velocities.len(), "positions/velocities length mismatch");
+        assert_eq!(positions.len(), masses.len(), "positions/masses length mismatch");
+        SystemState { positions, velocities, masses }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Append one body.
+    pub fn push(&mut self, pos: Vec3, vel: Vec3, mass: f64) {
+        self.positions.push(pos);
+        self.velocities.push(vel);
+        self.masses.push(mass);
+    }
+
+    /// Append all bodies of `other`.
+    pub fn extend(&mut self, other: &SystemState) {
+        self.positions.extend_from_slice(&other.positions);
+        self.velocities.extend_from_slice(&other.velocities);
+        self.masses.extend_from_slice(&other.masses);
+    }
+
+    /// CALCULATEBOUNDINGBOX (paper Algorithm 3): parallel reduction over
+    /// body positions to the smallest box containing all bodies.
+    pub fn bounding_box<P: ExecutionPolicy>(&self, policy: P) -> Aabb {
+        let pos = &self.positions;
+        transform_reduce(
+            policy,
+            0..pos.len(),
+            Aabb::EMPTY,
+            |a, b| a.union(b),
+            |i| Aabb::from_point(pos[i]),
+        )
+    }
+
+    /// Total mass.
+    pub fn total_mass(&self) -> f64 {
+        nbody_math::kahan::kahan_sum(&self.masses)
+    }
+
+    /// Total linear momentum `Σ m v`.
+    pub fn momentum(&self) -> Vec3 {
+        let mut p = Vec3::ZERO;
+        for (v, m) in self.velocities.iter().zip(&self.masses) {
+            p += *v * *m;
+        }
+        p
+    }
+
+    /// Total angular momentum about the origin `Σ m (x × v)`.
+    pub fn angular_momentum(&self) -> Vec3 {
+        let mut l = Vec3::ZERO;
+        for ((x, v), m) in self.positions.iter().zip(&self.velocities).zip(&self.masses) {
+            l += x.cross(*v) * *m;
+        }
+        l
+    }
+
+    /// Centre of mass.
+    pub fn center_of_mass(&self) -> Vec3 {
+        let m = self.total_mass();
+        if m <= 0.0 {
+            return Vec3::ZERO;
+        }
+        let mut c = Vec3::ZERO;
+        for (x, w) in self.positions.iter().zip(&self.masses) {
+            c += *x * *w;
+        }
+        c / m
+    }
+
+    /// Shift into the centre-of-momentum frame (zero net momentum, COM at
+    /// the origin). Workload generators call this so the galaxy collision
+    /// stays centred in the box.
+    pub fn to_com_frame(&mut self) {
+        let m = self.total_mass();
+        if m <= 0.0 {
+            return;
+        }
+        let com = self.center_of_mass();
+        let v_com = self.momentum() / m;
+        for x in &mut self.positions {
+            *x -= com;
+        }
+        for v in &mut self.velocities {
+            *v -= v_com;
+        }
+    }
+
+    /// True iff all fields are finite and masses non-negative.
+    pub fn is_valid(&self) -> bool {
+        self.positions.iter().all(|p| p.is_finite())
+            && self.velocities.iter().all(|v| v.is_finite())
+            && self.masses.iter().all(|&m| m.is_finite() && m >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SystemState {
+        SystemState::from_parts(
+            vec![Vec3::new(1.0, 0.0, 0.0), Vec3::new(-1.0, 0.0, 0.0)],
+            vec![Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, -1.0, 0.0)],
+            vec![2.0, 2.0],
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let s = sample();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_mass(), 4.0);
+        assert_eq!(s.momentum(), Vec3::ZERO);
+        assert_eq!(s.center_of_mass(), Vec3::ZERO);
+        // L = Σ m (x × v): both bodies orbit counter-clockwise in z.
+        assert_eq!(s.angular_momentum(), Vec3::new(0.0, 0.0, 4.0));
+    }
+
+    #[test]
+    fn bounding_box_policies_agree() {
+        let mut s = SystemState::new();
+        let mut r = nbody_math::SplitMix64::new(5);
+        for _ in 0..10_000 {
+            s.push(
+                Vec3::new(r.uniform(-5.0, 7.0), r.uniform(0.0, 1.0), r.uniform(-2.0, 2.0)),
+                Vec3::ZERO,
+                1.0,
+            );
+        }
+        let b_seq = s.bounding_box(Seq);
+        let b_par = s.bounding_box(Par);
+        let b_unseq = s.bounding_box(ParUnseq);
+        assert_eq!(b_seq, b_par);
+        assert_eq!(b_seq, b_unseq);
+        for &p in &s.positions {
+            assert!(b_seq.contains(p));
+        }
+    }
+
+    #[test]
+    fn com_frame_zeroes_momentum() {
+        let mut s = sample();
+        s.velocities[0] = Vec3::new(3.0, 1.0, 0.5);
+        s.positions[1] = Vec3::new(4.0, 4.0, 4.0);
+        s.to_com_frame();
+        assert!(s.momentum().norm() < 1e-12);
+        assert!(s.center_of_mass().norm() < 1e-12);
+    }
+
+    #[test]
+    fn extend_and_push() {
+        let mut s = sample();
+        let t = sample();
+        s.extend(&t);
+        assert_eq!(s.len(), 4);
+        s.push(Vec3::ZERO, Vec3::ZERO, 1.0);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.total_mass(), 9.0);
+    }
+
+    #[test]
+    fn validity_checks() {
+        let mut s = sample();
+        assert!(s.is_valid());
+        s.masses[0] = -1.0;
+        assert!(!s.is_valid());
+        s.masses[0] = 1.0;
+        s.positions[0].x = f64::NAN;
+        assert!(!s.is_valid());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_parts_panic() {
+        let _ = SystemState::from_parts(vec![Vec3::ZERO], vec![], vec![1.0]);
+    }
+
+    #[test]
+    fn empty_bounding_box() {
+        let s = SystemState::new();
+        assert!(s.bounding_box(Par).is_empty());
+        assert_eq!(s.total_mass(), 0.0);
+        assert_eq!(s.center_of_mass(), Vec3::ZERO);
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-phase step timings (powers the paper's Fig. 8 breakdown).
+
+use std::time::Duration;
+
+/// Wall-clock time of each phase of one integration step (paper Algorithm
+/// 2 for the octree, Algorithm 6 for the BVH — phases not applicable to a
+/// solver stay zero).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepTimings {
+    /// CALCULATEBOUNDINGBOX.
+    pub bbox: Duration,
+    /// HILBERTSORT (BVH only).
+    pub sort: Duration,
+    /// BUILDTREE (octree) / BVH level construction.
+    pub build: Duration,
+    /// CALCULATEMULTIPOLES (octree; folded into `build` for the BVH, which
+    /// accumulates masses during construction).
+    pub multipole: Duration,
+    /// CALCULATEFORCE.
+    pub force: Duration,
+    /// UPDATEPOSITION (filled by the integrator).
+    pub update: Duration,
+}
+
+impl StepTimings {
+    /// Total step time.
+    pub fn total(&self) -> Duration {
+        self.bbox + self.sort + self.build + self.multipole + self.force + self.update
+    }
+
+    /// Everything except the force phase (the paper's Fig. 8 plots the
+    /// relative cost of the non-force components).
+    pub fn non_force(&self) -> Duration {
+        self.total() - self.force
+    }
+
+    /// Element-wise sum (for averaging over steps).
+    pub fn accumulate(&mut self, other: &StepTimings) {
+        self.bbox += other.bbox;
+        self.sort += other.sort;
+        self.build += other.build;
+        self.multipole += other.multipole;
+        self.force += other.force;
+        self.update += other.update;
+    }
+
+    /// Phase names and durations, in algorithm order.
+    pub fn phases(&self) -> [(&'static str, Duration); 6] {
+        [
+            ("bbox", self.bbox),
+            ("sort", self.sort),
+            ("build", self.build),
+            ("multipole", self.multipole),
+            ("force", self.force),
+            ("update", self.update),
+        ]
+    }
+}
+
+/// Time a closure, adding the elapsed time into `slot`.
+#[inline]
+pub fn timed<R>(slot: &mut Duration, f: impl FnOnce() -> R) -> R {
+    let start = std::time::Instant::now();
+    let r = f();
+    *slot += start.elapsed();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_accumulate() {
+        let mut a = StepTimings {
+            bbox: Duration::from_millis(1),
+            force: Duration::from_millis(10),
+            ..StepTimings::default()
+        };
+        assert_eq!(a.total(), Duration::from_millis(11));
+        assert_eq!(a.non_force(), Duration::from_millis(1));
+
+        let b = StepTimings {
+            force: Duration::from_millis(5),
+            update: Duration::from_millis(2),
+            ..StepTimings::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.total(), Duration::from_millis(18));
+    }
+
+    #[test]
+    fn timed_measures_and_returns() {
+        let mut slot = Duration::ZERO;
+        let out = timed(&mut slot, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(slot >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn phases_are_ordered() {
+        let t = StepTimings::default();
+        let names: Vec<&str> = t.phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["bbox", "sort", "build", "multipole", "force", "update"]);
+    }
+}

@@ -1,0 +1,425 @@
+//! Workload generators.
+//!
+//! All generators are deterministic functions of `(n, seed)` via SplitMix64
+//! streams, matching the paper's requirement that "the experiments simulate
+//! a deterministic collision between two neighboring galaxies" so identical
+//! initial conditions run on every algorithm and configuration.
+//!
+//! * [`galaxy_collision`] — the paper's benchmark workload: two Plummer
+//!   spheres on an approach orbit (natural units, `G = 1`).
+//! * [`plummer`] — a single virialised Plummer (1911) sphere.
+//! * [`uniform_cube`] — uniform density cube (stress test for the trees).
+//! * [`spinning_disk`] — exponential disk with circular velocities.
+//! * [`solar_system`] — the synthetic stand-in for NASA's JPL Small-Body
+//!   Database used in the paper's validation experiment (§V-A): a solar
+//!   mass at the origin plus `n` massless-scale bodies on Keplerian orbits
+//!   with belt-like element distributions, in SI units.
+
+use crate::system::SystemState;
+use nbody_math::{SplitMix64, Vec3, AU, G_SI, M_SUN};
+
+/// A named, reproducible workload (used by the benchmark harness).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    GalaxyCollision { n: usize, seed: u64 },
+    Plummer { n: usize, seed: u64 },
+    UniformCube { n: usize, seed: u64 },
+    SpinningDisk { n: usize, seed: u64 },
+    SolarSystem { n: usize, seed: u64 },
+}
+
+impl WorkloadSpec {
+    pub fn generate(self) -> SystemState {
+        match self {
+            WorkloadSpec::GalaxyCollision { n, seed } => galaxy_collision(n, seed),
+            WorkloadSpec::Plummer { n, seed } => plummer(n, seed),
+            WorkloadSpec::UniformCube { n, seed } => uniform_cube(n, seed),
+            WorkloadSpec::SpinningDisk { n, seed } => spinning_disk(n, seed),
+            WorkloadSpec::SolarSystem { n, seed } => solar_system(n, seed),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadSpec::GalaxyCollision { .. } => "galaxy",
+            WorkloadSpec::Plummer { .. } => "plummer",
+            WorkloadSpec::UniformCube { .. } => "uniform",
+            WorkloadSpec::SpinningDisk { .. } => "disk",
+            WorkloadSpec::SolarSystem { .. } => "solar",
+        }
+    }
+}
+
+/// A virialised Plummer sphere with `n` bodies, total mass 1, scale radius
+/// 1, in `G = 1` units (Aarseth–Hénon–Wielen sampling).
+pub fn plummer(n: usize, seed: u64) -> SystemState {
+    let mut state = SystemState::new();
+    if n == 0 {
+        return state;
+    }
+    let root = SplitMix64::new(seed);
+    let m = 1.0 / n as f64;
+    for i in 0..n {
+        let mut r = root.fork(i as u64);
+        // Radius from the cumulative mass profile: M(r) = r³/(1+r²)^{3/2}.
+        let u = loop {
+            let u = r.next_f64();
+            if u > 1e-10 {
+                break u;
+            }
+        };
+        let radius = 1.0 / (u.powf(-2.0 / 3.0) - 1.0).sqrt();
+        // Clamp the rare far-out tail so the bounding cube stays sane.
+        let radius = radius.min(20.0);
+        let dir = Vec3::from(r.unit_sphere());
+        let pos = dir * radius;
+
+        // Speed via von Neumann rejection on g(q) = q²(1−q²)^{7/2}.
+        let q = loop {
+            let q = r.next_f64();
+            let g = q * q * (1.0 - q * q).powf(3.5);
+            if r.next_f64() * 0.1 < g {
+                break q;
+            }
+        };
+        let v_esc = std::f64::consts::SQRT_2 * (1.0 + radius * radius).powf(-0.25);
+        let vdir = Vec3::from(r.unit_sphere());
+        state.push(pos, vdir * (q * v_esc), m);
+    }
+    state.to_com_frame();
+    state
+}
+
+/// The paper's benchmark workload: a deterministic collision between two
+/// neighbouring galaxies. Two Plummer spheres of `n/2` bodies each, offset
+/// and set on an approaching, slightly off-axis orbit (so the encounter
+/// has angular momentum), total mass 1, `G = 1`.
+pub fn galaxy_collision(n: usize, seed: u64) -> SystemState {
+    let n_a = n / 2;
+    let n_b = n - n_a;
+    let mut a = plummer(n_a, seed ^ 0xA11CE);
+    let b = plummer(n_b, seed ^ 0xB0B);
+
+    let offset = Vec3::new(3.0, 0.8, 0.0);
+    let approach = Vec3::new(0.35, 0.0, 0.0);
+    for p in &mut a.positions {
+        *p -= offset * 0.5;
+    }
+    for v in &mut a.velocities {
+        *v += approach * 0.5;
+    }
+    let mut combined = a;
+    let mut b = b;
+    for p in &mut b.positions {
+        *p += offset * 0.5;
+    }
+    for v in &mut b.velocities {
+        *v -= approach * 0.5;
+    }
+    // Halve per-body mass so the total stays 1.
+    for m in combined.masses.iter_mut().chain(b.masses.iter_mut()) {
+        *m *= 0.5;
+    }
+    combined.extend(&b);
+    combined.to_com_frame();
+    combined
+}
+
+/// Uniform-density cube `[-1, 1]³` with small random velocities — the
+/// best case for the octree (shallow, balanced subdivision).
+pub fn uniform_cube(n: usize, seed: u64) -> SystemState {
+    let mut state = SystemState::new();
+    let root = SplitMix64::new(seed);
+    let m = 1.0 / n.max(1) as f64;
+    for i in 0..n {
+        let mut r = root.fork(i as u64);
+        let pos = Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0));
+        let vel = Vec3::new(r.normal(), r.normal(), r.normal()) * 0.05;
+        state.push(pos, vel, m);
+    }
+    state.to_com_frame();
+    state
+}
+
+/// Exponential disk (scale length 1, aspect 0.05) with approximately
+/// circular orbits around the collective centre — a rotation-dominated
+/// workload with strong clustering in z.
+pub fn spinning_disk(n: usize, seed: u64) -> SystemState {
+    let mut state = SystemState::new();
+    if n == 0 {
+        return state;
+    }
+    let root = SplitMix64::new(seed);
+    let m = 1.0 / n as f64;
+    for i in 0..n {
+        let mut r = root.fork(i as u64);
+        // Radial CDF of an exponential disk is 1-(1+x)e^{-x}, i.e. a
+        // Gamma(2,1) law — sampled exactly as the sum of two Exp(1) draws.
+        let radius = -(r.next_f64().max(1e-12)).ln() - (r.next_f64().max(1e-12)).ln();
+        let radius = radius.clamp(0.02, 8.0);
+        let phi = r.uniform(0.0, 2.0 * std::f64::consts::PI);
+        let z = r.normal() * 0.05;
+        let pos = Vec3::new(radius * phi.cos(), radius * phi.sin(), z);
+        // Circular speed for the enclosed mass of an exponential disk,
+        // roughly M(<r) ≈ 1 − (1+r)e^{-r} in G = M = 1 units.
+        let enclosed = 1.0 - (1.0 + radius) * (-radius).exp();
+        let v_circ = (enclosed / radius.max(0.05)).sqrt();
+        let vel = Vec3::new(-phi.sin(), phi.cos(), 0.0) * v_circ;
+        state.push(pos, vel, m);
+    }
+    state.to_com_frame();
+    state
+}
+
+/// Synthetic solar-system ensemble: the validation stand-in for the JPL
+/// Small-Body Database (paper §V-A simulates 1,039,551 small bodies for one
+/// day at one-hour steps). SI units (metres, seconds, kilograms).
+///
+/// One solar-mass body sits at index 0; bodies `1..n+1` are asteroids with
+/// main-belt-like orbital elements (`a` mostly 2.1–3.3 au, low `e`, a few
+/// degrees of inclination), each given a tiny mass so the dynamics are
+/// heliocentric but mass bookkeeping stays non-trivial.
+///
+/// Returns `n + 1` bodies. Use [`nbody_math::G_SI`] as the gravitational
+/// constant and seconds as the time unit.
+pub fn solar_system(n: usize, seed: u64) -> SystemState {
+    let mut state = SystemState::new();
+    state.push(Vec3::ZERO, Vec3::ZERO, M_SUN);
+    let root = SplitMix64::new(seed);
+    let mu = G_SI * M_SUN;
+    for i in 0..n {
+        let mut r = root.fork(i as u64);
+        // Semi-major axis: 85% main belt, 15% scattered 0.5–30 au.
+        let a_au = if r.next_f64() < 0.85 {
+            r.uniform(2.1, 3.3)
+        } else {
+            0.5 * (60.0f64).powf(r.next_f64()) // log-uniform 0.5..30
+        };
+        let a = a_au * AU;
+        let e = r.uniform(0.0, 0.25);
+        let inc = (r.normal() * 0.05).abs().min(0.5); // radians, Rayleigh-ish
+        let raan = r.uniform(0.0, 2.0 * std::f64::consts::PI);
+        let argp = r.uniform(0.0, 2.0 * std::f64::consts::PI);
+        let mean_anom = r.uniform(0.0, 2.0 * std::f64::consts::PI);
+        let (pos, vel) = kepler_to_state(a, e, inc, raan, argp, mean_anom, mu);
+        state.push(pos, vel, 1.0e12); // ~large-asteroid mass; dynamically tiny
+    }
+    state
+}
+
+/// Convert Keplerian elements to Cartesian state (standard perifocal →
+/// inertial rotation). `mu = G·M` of the central body.
+pub fn kepler_to_state(
+    a: f64,
+    e: f64,
+    inc: f64,
+    raan: f64,
+    argp: f64,
+    mean_anom: f64,
+    mu: f64,
+) -> (Vec3, Vec3) {
+    let ecc_anom = solve_kepler(mean_anom, e);
+    let (sin_e, cos_e) = ecc_anom.sin_cos();
+    // Perifocal coordinates.
+    let x_p = a * (cos_e - e);
+    let y_p = a * (1.0 - e * e).sqrt() * sin_e;
+    let radius = a * (1.0 - e * cos_e);
+    let speed_factor = (mu * a).sqrt() / radius;
+    let vx_p = -speed_factor * sin_e;
+    let vy_p = speed_factor * (1.0 - e * e).sqrt() * cos_e;
+
+    // Rotation perifocal → inertial: Rz(raan) Rx(inc) Rz(argp).
+    let (so, co) = raan.sin_cos();
+    let (si, ci) = inc.sin_cos();
+    let (sw, cw) = argp.sin_cos();
+    let r11 = co * cw - so * sw * ci;
+    let r12 = -co * sw - so * cw * ci;
+    let r21 = so * cw + co * sw * ci;
+    let r22 = -so * sw + co * cw * ci;
+    let r31 = sw * si;
+    let r32 = cw * si;
+
+    let pos = Vec3::new(r11 * x_p + r12 * y_p, r21 * x_p + r22 * y_p, r31 * x_p + r32 * y_p);
+    let vel = Vec3::new(r11 * vx_p + r12 * vy_p, r21 * vx_p + r22 * vy_p, r31 * vx_p + r32 * vy_p);
+    (pos, vel)
+}
+
+/// Solve Kepler's equation `M = E − e sin E` by Newton iteration.
+pub fn solve_kepler(mean_anom: f64, e: f64) -> f64 {
+    let mut ecc = if e > 0.8 { std::f64::consts::PI } else { mean_anom };
+    for _ in 0..32 {
+        let f = ecc - e * ecc.sin() - mean_anom;
+        let fp = 1.0 - e * ecc.cos();
+        let step = f / fp;
+        ecc -= step;
+        if step.abs() < 1e-14 {
+            break;
+        }
+    }
+    ecc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::gravity::direct_accel;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for spec in [
+            WorkloadSpec::GalaxyCollision { n: 100, seed: 1 },
+            WorkloadSpec::Plummer { n: 100, seed: 1 },
+            WorkloadSpec::UniformCube { n: 100, seed: 1 },
+            WorkloadSpec::SpinningDisk { n: 100, seed: 1 },
+            WorkloadSpec::SolarSystem { n: 100, seed: 1 },
+        ] {
+            let a = spec.generate();
+            let b = spec.generate();
+            assert_eq!(a.positions, b.positions, "{}", spec.name());
+            assert_eq!(a.velocities, b.velocities);
+            assert_eq!(a.masses, b.masses);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = galaxy_collision(100, 1);
+        let b = galaxy_collision(100, 2);
+        assert_ne!(a.positions, b.positions);
+    }
+
+    #[test]
+    fn plummer_is_centred_and_unit_mass() {
+        let s = plummer(5000, 3);
+        assert_eq!(s.len(), 5000);
+        assert!((s.total_mass() - 1.0).abs() < 1e-12);
+        assert!(s.center_of_mass().norm() < 1e-10);
+        assert!(s.momentum().norm() < 1e-10);
+        assert!(s.is_valid());
+        // Half-mass radius of a Plummer sphere ≈ 1.3 a.
+        let mut radii: Vec<f64> = s.positions.iter().map(|p| p.norm()).collect();
+        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let half_mass_r = radii[2500];
+        assert!((0.8..2.0).contains(&half_mass_r), "half-mass radius {half_mass_r}");
+    }
+
+    #[test]
+    fn plummer_is_roughly_virialised() {
+        // 2K + U ≈ 0 for a self-gravitating equilibrium (within sampling noise).
+        let s = plummer(4000, 4);
+        let mut kinetic = 0.0;
+        for (v, m) in s.velocities.iter().zip(&s.masses) {
+            kinetic += 0.5 * m * v.norm2();
+        }
+        let mut potential = 0.0;
+        for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                let r = s.positions[i].distance(s.positions[j]);
+                if r > 0.0 {
+                    potential -= s.masses[i] * s.masses[j] / r;
+                }
+            }
+        }
+        let virial = 2.0 * kinetic / (-potential);
+        assert!((0.7..1.3).contains(&virial), "virial ratio {virial}");
+    }
+
+    #[test]
+    fn galaxy_collision_has_two_clusters_approaching() {
+        let s = galaxy_collision(2000, 5);
+        assert_eq!(s.len(), 2000);
+        assert!((s.total_mass() - 1.0).abs() < 1e-12);
+        assert!(s.momentum().norm() < 1e-10);
+        // The two halves should have clearly separated centres along x.
+        let com_a: Vec3 =
+            s.positions[..1000].iter().fold(Vec3::ZERO, |a, &p| a + p) / 1000.0;
+        let com_b: Vec3 =
+            s.positions[1000..].iter().fold(Vec3::ZERO, |a, &p| a + p) / 1000.0;
+        assert!((com_a - com_b).norm() > 2.0, "separation {}", (com_a - com_b).norm());
+        // And they approach each other.
+        let v_a: Vec3 = s.velocities[..1000].iter().fold(Vec3::ZERO, |a, &v| a + v) / 1000.0;
+        let v_b: Vec3 = s.velocities[1000..].iter().fold(Vec3::ZERO, |a, &v| a + v) / 1000.0;
+        let closing = (v_b - v_a).dot((com_a - com_b).normalized());
+        assert!(closing > 0.1, "closing speed {closing}");
+    }
+
+    #[test]
+    fn odd_body_counts_split_correctly() {
+        let s = galaxy_collision(101, 6);
+        assert_eq!(s.len(), 101);
+    }
+
+    #[test]
+    fn uniform_cube_fills_the_box() {
+        let s = uniform_cube(8000, 7);
+        let b = s.bounding_box(stdpar::policy::Seq);
+        assert!(b.extent().min_component() > 1.8); // nearly the full [-1,1]³
+        assert!(s.is_valid());
+    }
+
+    #[test]
+    fn disk_is_flat_and_rotating() {
+        let s = spinning_disk(4000, 8);
+        let mean_abs_z: f64 =
+            s.positions.iter().map(|p| p.z.abs()).sum::<f64>() / s.len() as f64;
+        let mean_r: f64 = s.positions.iter().map(|p| (p.x * p.x + p.y * p.y).sqrt()).sum::<f64>()
+            / s.len() as f64;
+        assert!(mean_abs_z < mean_r * 0.2, "z {mean_abs_z} vs r {mean_r}");
+        assert!(s.angular_momentum().z > 0.1); // net spin
+    }
+
+    #[test]
+    fn solve_kepler_known_values() {
+        assert!((solve_kepler(0.0, 0.5)).abs() < 1e-14);
+        assert!((solve_kepler(std::f64::consts::PI, 0.3) - std::f64::consts::PI).abs() < 1e-12);
+        // Residual check across the range.
+        for e in [0.0, 0.1, 0.5, 0.9, 0.99] {
+            for k in 0..20 {
+                let m = k as f64 * 0.314;
+                let ecc = solve_kepler(m, e);
+                assert!((ecc - e * ecc.sin() - m).abs() < 1e-10, "e={e}, M={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn kepler_state_respects_vis_viva() {
+        let mu = G_SI * M_SUN;
+        let a = 2.5 * AU;
+        for e in [0.0, 0.1, 0.3] {
+            let (pos, vel) = kepler_to_state(a, e, 0.2, 1.0, 2.0, 0.7, mu);
+            let r = pos.norm();
+            let v2 = vel.norm2();
+            let vis_viva = mu * (2.0 / r - 1.0 / a);
+            assert!((v2 - vis_viva).abs() < 1e-6 * vis_viva, "e={e}");
+            // r must be between perihelion and aphelion.
+            assert!(r >= a * (1.0 - e) * 0.999 && r <= a * (1.0 + e) * 1.001);
+        }
+    }
+
+    #[test]
+    fn solar_system_orbits_are_bound_and_heliocentric() {
+        let s = solar_system(500, 9);
+        assert_eq!(s.len(), 501);
+        assert_eq!(s.masses[0], M_SUN);
+        let mu = G_SI * M_SUN;
+        for i in 1..s.len() {
+            let r = s.positions[i].norm();
+            let v2 = s.velocities[i].norm2();
+            let energy = 0.5 * v2 - mu / r;
+            assert!(energy < 0.0, "body {i} unbound");
+            assert!(r > 0.3 * AU && r < 40.0 * AU, "body {i} at {} au", r / AU);
+        }
+    }
+
+    #[test]
+    fn solar_system_sun_dominates_field() {
+        let s = solar_system(200, 10);
+        // At any asteroid, acceleration ≈ heliocentric two-body value.
+        let probe = 5;
+        let a = direct_accel(s.positions[probe], Some(probe as u32), &s.positions, &s.masses, G_SI, 0.0);
+        let r = s.positions[probe].norm();
+        let kepler = G_SI * M_SUN / (r * r);
+        assert!((a.norm() - kepler).abs() < 1e-3 * kepler);
+    }
+}

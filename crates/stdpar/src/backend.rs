@@ -1,0 +1,210 @@
+//! Parallel execution backends.
+//!
+//! The paper evaluates the *same* ISO C++ source under several toolchains
+//! (NVC++, AdaptiveCpp, GCC/TBB, Clang — Figs. 8 & 9) and finds small
+//! differences "attributed mainly in the sorting algorithm". To reproduce
+//! that axis on one machine, every parallel algorithm in this crate can run
+//! on either of two substrates:
+//!
+//! * [`Backend::Rayon`] — rayon's work-stealing pool with adaptive
+//!   splitting (dynamic load balancing, like TBB);
+//! * [`Backend::Threads`] — plain scoped OS threads with static contiguous
+//!   chunking (like a static-schedule OpenMP runtime), including a
+//!   hand-rolled parallel merge sort.
+//!
+//! The backend is a process-global setting (benchmarks sweep it between
+//! runs, not concurrently).
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// Which parallel substrate executes `Par`/`ParUnseq` algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// rayon work-stealing (dynamic scheduling).
+    Rayon,
+    /// scoped OS threads with static chunking.
+    Threads,
+}
+
+impl Backend {
+    pub const ALL: [Backend; 2] = [Backend::Rayon, Backend::Threads];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Rayon => "rayon",
+            Backend::Threads => "threads",
+        }
+    }
+}
+
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Select the global backend.
+pub fn set_backend(b: Backend) {
+    BACKEND.store(b as u8, Ordering::Relaxed);
+}
+
+/// The currently selected backend.
+pub fn current_backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => Backend::Rayon,
+        _ => Backend::Threads,
+    }
+}
+
+/// Run `f` under backend `b`, restoring the previous backend afterwards.
+///
+/// Not re-entrant across concurrently running harnesses (the setting is
+/// process-global); benchmark drivers call it from a single thread.
+pub fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
+    let prev = current_backend();
+    set_backend(b);
+    let r = f();
+    set_backend(prev);
+    r
+}
+
+/// Override the worker count used by the [`Backend::Threads`] backend
+/// (`0` = use [`hardware_parallelism`]). rayon's pool size is fixed at
+/// process start by rayon itself.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Number of hardware threads.
+pub fn hardware_parallelism() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Worker count the Threads backend will use.
+pub fn thread_count() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => hardware_parallelism(),
+        n => n,
+    }
+}
+
+/// Split `range` into at most `parts` contiguous chunks of near-equal size.
+pub fn split_range(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    let n = range.len();
+    if n == 0 || parts == 0 {
+        return vec![];
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = range.start;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, range.end);
+    out
+}
+
+/// Run `f` once per chunk of `range` on scoped OS threads (the Threads
+/// backend's fundamental primitive). `f(chunk_index, chunk_range)`.
+pub fn scoped_chunks(range: Range<usize>, f: impl Fn(usize, Range<usize>) + Sync) {
+    let chunks = split_range(range, thread_count());
+    if chunks.len() <= 1 {
+        if let Some(c) = chunks.into_iter().next() {
+            f(0, c);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for (i, c) in chunks.into_iter().enumerate() {
+            let f = &f;
+            s.spawn(move || f(i, c));
+        }
+    });
+}
+
+/// Grain size used by `ParUnseq` chunking under rayon: large contiguous
+/// blocks so the inner loops vectorize, like a SIMD-width-agnostic
+/// `#pragma omp simd`.
+pub fn unseq_grain(n: usize) -> usize {
+    let target_chunks = 8 * hardware_parallelism();
+    (n / target_chunks.max(1)).max(1024).min(n.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_round_trip() {
+        let prev = current_backend();
+        set_backend(Backend::Threads);
+        assert_eq!(current_backend(), Backend::Threads);
+        set_backend(Backend::Rayon);
+        assert_eq!(current_backend(), Backend::Rayon);
+        set_backend(prev);
+    }
+
+    #[test]
+    fn with_backend_restores() {
+        let prev = current_backend();
+        with_backend(Backend::Threads, || {
+            assert_eq!(current_backend(), Backend::Threads);
+        });
+        assert_eq!(current_backend(), prev);
+    }
+
+    #[test]
+    fn split_range_covers_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let chunks = split_range(10..10 + n, parts);
+                let total: usize = chunks.iter().map(|c| c.len()).sum();
+                assert_eq!(total, n, "n={n}, parts={parts}");
+                // Contiguous and ordered.
+                let mut expect = 10;
+                for c in &chunks {
+                    assert_eq!(c.start, expect);
+                    assert!(!c.is_empty());
+                    expect = c.end;
+                }
+                // Balanced to within one element.
+                if let (Some(min), Some(max)) = (
+                    chunks.iter().map(|c| c.len()).min(),
+                    chunks.iter().map(|c| c.len()).max(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_chunks_visits_every_index_once() {
+        let n = 10_007;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        scoped_chunks(0..n, |_, r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn thread_count_override() {
+        set_threads(3);
+        assert_eq!(thread_count(), 3);
+        set_threads(0);
+        assert_eq!(thread_count(), hardware_parallelism());
+    }
+
+    #[test]
+    fn unseq_grain_is_sane() {
+        assert!(unseq_grain(10) >= 1);
+        assert!(unseq_grain(1_000_000) >= 1024);
+        assert!(unseq_grain(0) >= 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Execution policies (C++ `std::execution::seq` / `par` / `par_unseq`).
+//!
+//! The policies are zero-sized types passed by value, exactly like the C++
+//! tag objects. The two properties the paper cares about are surfaced as
+//! associated constants and marker traits:
+//!
+//! * **forward progress** — `par` provides *parallel forward progress*
+//!   ("if a thread starts running it will eventually be scheduled again"),
+//!   which starvation-free algorithms with critical sections require.
+//!   `par_unseq` only provides *weakly parallel* forward progress and
+//!   forbids blocking synchronization. The [`ParallelForwardProgress`]
+//!   marker trait is implemented for [`Seq`] and [`Par`] but **not**
+//!   [`ParUnseq`], so lock-taking algorithms can demand it at compile time.
+//! * **vectorization** — `par_unseq` permits interleaving element
+//!   operations on one thread; our implementations use large contiguous
+//!   chunks with tight inner loops for it, while `par` uses fine-grained
+//!   dynamic scheduling.
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Seq {}
+    impl Sealed for super::Par {}
+    impl Sealed for super::ParUnseq {}
+}
+
+/// An execution policy tag. Sealed: exactly `Seq`, `Par`, `ParUnseq`.
+pub trait ExecutionPolicy: sealed::Sealed + Copy + Send + Sync + 'static {
+    /// Human-readable name used in benchmark output ("seq", "par", …).
+    const NAME: &'static str;
+    /// True when user callables run on more than one thread.
+    const IS_PARALLEL: bool;
+    /// True when element operations may be interleaved/vectorized within a
+    /// thread of execution (C++ "unsequenced"): blocking sync is forbidden.
+    const UNSEQUENCED: bool;
+}
+
+/// Sequential execution (C++ `std::execution::seq`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Seq;
+
+/// Parallel execution with *parallel forward progress* guarantees
+/// (C++ `std::execution::par`). Lock-based, starvation-free algorithms are
+/// allowed under this policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Par;
+
+/// Parallel + vectorized execution with only *weakly parallel* forward
+/// progress (C++ `std::execution::par_unseq`). Callables must be lock-free:
+/// no critical sections, no spin-waiting on other elements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParUnseq;
+
+impl ExecutionPolicy for Seq {
+    const NAME: &'static str = "seq";
+    const IS_PARALLEL: bool = false;
+    const UNSEQUENCED: bool = false;
+}
+
+impl ExecutionPolicy for Par {
+    const NAME: &'static str = "par";
+    const IS_PARALLEL: bool = true;
+    const UNSEQUENCED: bool = false;
+}
+
+impl ExecutionPolicy for ParUnseq {
+    const NAME: &'static str = "par_unseq";
+    const IS_PARALLEL: bool = true;
+    const UNSEQUENCED: bool = true;
+}
+
+/// Marker for policies that provide parallel forward progress, i.e. under
+/// which a blocked thread's lock holder is guaranteed to eventually run.
+///
+/// Implemented for [`Seq`] (trivially: one thread never waits on another
+/// *concurrently-running* element — note the octree build never self-locks
+/// because a single thread releases before re-entry) and [`Par`], and
+/// deliberately **not** for [`ParUnseq`]: the Concurrent Octree BUILDTREE
+/// bound (`P: ParallelForwardProgress`) turns the paper's "hangs on non-ITS
+/// GPUs" into a compile-time rejection.
+pub trait ParallelForwardProgress: ExecutionPolicy {}
+impl ParallelForwardProgress for Seq {}
+impl ParallelForwardProgress for Par {}
+
+/// Runtime-selectable policy, for benchmark harnesses that sweep policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DynPolicy {
+    Seq,
+    Par,
+    ParUnseq,
+}
+
+impl DynPolicy {
+    pub const ALL: [DynPolicy; 3] = [DynPolicy::Seq, DynPolicy::Par, DynPolicy::ParUnseq];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DynPolicy::Seq => Seq::NAME,
+            DynPolicy::Par => Par::NAME,
+            DynPolicy::ParUnseq => ParUnseq::NAME,
+        }
+    }
+
+    /// Monomorphize: call `f` with the corresponding policy tag.
+    pub fn dispatch<R>(self, f: impl PolicyVisitor<R>) -> R {
+        match self {
+            DynPolicy::Seq => f.visit(Seq),
+            DynPolicy::Par => f.visit(Par),
+            DynPolicy::ParUnseq => f.visit(ParUnseq),
+        }
+    }
+}
+
+/// Visitor used by [`DynPolicy::dispatch`].
+pub trait PolicyVisitor<R> {
+    fn visit<P: ExecutionPolicy>(self, policy: P) -> R;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn policy_constants() {
+        assert!(!Seq::IS_PARALLEL && !Seq::UNSEQUENCED);
+        assert!(Par::IS_PARALLEL && !Par::UNSEQUENCED);
+        assert!(ParUnseq::IS_PARALLEL && ParUnseq::UNSEQUENCED);
+        assert_eq!(Seq::NAME, "seq");
+        assert_eq!(Par::NAME, "par");
+        assert_eq!(ParUnseq::NAME, "par_unseq");
+    }
+
+    #[test]
+    fn policies_are_zero_sized() {
+        assert_eq!(std::mem::size_of::<Seq>(), 0);
+        assert_eq!(std::mem::size_of::<Par>(), 0);
+        assert_eq!(std::mem::size_of::<ParUnseq>(), 0);
+    }
+
+    fn requires_pfp<P: ParallelForwardProgress>(_: P) -> &'static str {
+        P::NAME
+    }
+
+    #[test]
+    fn forward_progress_marker() {
+        // Compiles for Seq and Par; `requires_pfp(ParUnseq)` must not compile
+        // (covered by the compile-fail doc-test below).
+        assert_eq!(requires_pfp(Seq), "seq");
+        assert_eq!(requires_pfp(Par), "par");
+    }
+
+    /// ```compile_fail
+    /// use stdpar::policy::{ParUnseq, ParallelForwardProgress};
+    /// fn requires_pfp<P: ParallelForwardProgress>(_: P) {}
+    /// requires_pfp(ParUnseq); // par_unseq lacks parallel forward progress
+    /// ```
+    fn _par_unseq_is_rejected_for_locking_algorithms() {}
+
+    #[test]
+    fn dyn_policy_dispatch() {
+        struct NameOf;
+        impl PolicyVisitor<&'static str> for NameOf {
+            fn visit<P: ExecutionPolicy>(self, _p: P) -> &'static str {
+                P::NAME
+            }
+        }
+        assert_eq!(DynPolicy::Seq.dispatch(NameOf), "seq");
+        assert_eq!(DynPolicy::Par.dispatch(NameOf), "par");
+        assert_eq!(DynPolicy::ParUnseq.dispatch(NameOf), "par_unseq");
+        for p in DynPolicy::ALL {
+            assert_eq!(p.name(), p.dispatch(NameOf));
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! `std::transform_reduce` and friends.
+//!
+//! The paper's CALCULATEBOUNDINGBOX step is exactly a `transform_reduce`
+//! over body indices with a box-union reduction (Algorithm 3). The
+//! reduction operator must be associative and commutative — the parallel
+//! versions combine partials in unspecified order, as in C++.
+
+use crate::backend::{current_backend, split_range, thread_count, unseq_grain, Backend};
+use crate::policy::ExecutionPolicy;
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// `transform_reduce(policy, iota(range), identity, reduce, transform)`.
+///
+/// Maps each index through `transform` and folds the results with `reduce`,
+/// starting from `identity` (which must be the neutral element).
+pub fn transform_reduce<P, R>(
+    _policy: P,
+    range: Range<usize>,
+    identity: R,
+    reduce_op: impl Fn(R, R) -> R + Sync + Send,
+    transform: impl Fn(usize) -> R + Sync + Send,
+) -> R
+where
+    P: ExecutionPolicy,
+    R: Send + Sync + Clone,
+{
+    if !P::IS_PARALLEL {
+        let mut acc = identity;
+        for i in range {
+            acc = reduce_op(acc, transform(i));
+        }
+        return acc;
+    }
+    match current_backend() {
+        Backend::Rayon => {
+            if P::UNSEQUENCED {
+                let grain = unseq_grain(range.len());
+                let chunks: Vec<Range<usize>> = chunk_by_grain(range, grain);
+                chunks
+                    .into_par_iter()
+                    .map(|r| {
+                        let mut acc = identity.clone();
+                        for i in r {
+                            acc = reduce_op(acc, transform(i));
+                        }
+                        acc
+                    })
+                    .reduce(|| identity.clone(), &reduce_op)
+            } else {
+                range
+                    .into_par_iter()
+                    .map(&transform)
+                    .reduce(|| identity.clone(), &reduce_op)
+            }
+        }
+        Backend::Threads => {
+            let chunks = split_range(range, thread_count());
+            if chunks.is_empty() {
+                return identity;
+            }
+            let mut partials: Vec<Option<R>> = vec![None; chunks.len()];
+            std::thread::scope(|s| {
+                for (slot, r) in partials.iter_mut().zip(chunks) {
+                    let reduce_op = &reduce_op;
+                    let transform = &transform;
+                    let id = identity.clone();
+                    s.spawn(move || {
+                        let mut acc = id;
+                        for i in r {
+                            acc = reduce_op(acc, transform(i));
+                        }
+                        *slot = Some(acc);
+                    });
+                }
+            });
+            let mut acc = identity;
+            for p in partials.into_iter().flatten() {
+                acc = reduce_op(acc, p);
+            }
+            acc
+        }
+    }
+}
+
+fn chunk_by_grain(range: Range<usize>, grain: usize) -> Vec<Range<usize>> {
+    let grain = grain.max(1);
+    let mut out = Vec::with_capacity(range.len() / grain + 1);
+    let mut s = range.start;
+    while s < range.end {
+        let e = (s + grain).min(range.end);
+        out.push(s..e);
+        s = e;
+    }
+    out
+}
+
+/// Fold a slice with an associative+commutative operator.
+pub fn reduce<P, T>(
+    policy: P,
+    items: &[T],
+    identity: T,
+    reduce_op: impl Fn(T, T) -> T + Sync + Send,
+) -> T
+where
+    P: ExecutionPolicy,
+    T: Send + Sync + Clone,
+{
+    transform_reduce(policy, 0..items.len(), identity, reduce_op, |i| items[i].clone())
+}
+
+/// Index of the minimum element under `key` (first one wins ties
+/// deterministically by smallest index). Returns `None` for empty input.
+pub fn min_element<P, T, K>(policy: P, items: &[T], key: impl Fn(&T) -> K + Sync) -> Option<usize>
+where
+    P: ExecutionPolicy,
+    T: Sync,
+    K: PartialOrd + Send + Sync + Clone,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let best = transform_reduce(
+        policy,
+        0..items.len(),
+        None::<(usize, K)>,
+        |a, b| match (a, b) {
+            (None, x) => x,
+            (x, None) => x,
+            (Some((ia, ka)), Some((ib, kb))) => match kb.partial_cmp(&ka) {
+                Some(std::cmp::Ordering::Less) => Some((ib, kb)),
+                Some(std::cmp::Ordering::Equal) if ib < ia => Some((ib, kb)),
+                _ => Some((ia, ka)),
+            },
+        },
+        |i| Some((i, key(&items[i]))),
+    );
+    best.map(|(i, _)| i)
+}
+
+/// Index of the maximum element under `key`. See [`min_element`].
+pub fn max_element<P, T, K>(policy: P, items: &[T], key: impl Fn(&T) -> K + Sync) -> Option<usize>
+where
+    P: ExecutionPolicy,
+    T: Sync,
+    K: PartialOrd + Send + Sync + Clone,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let best = transform_reduce(
+        policy,
+        0..items.len(),
+        None::<(usize, K)>,
+        |a, b| match (a, b) {
+            (None, x) => x,
+            (x, None) => x,
+            (Some((ia, ka)), Some((ib, kb))) => match kb.partial_cmp(&ka) {
+                Some(std::cmp::Ordering::Greater) => Some((ib, kb)),
+                Some(std::cmp::Ordering::Equal) if ib < ia => Some((ib, kb)),
+                _ => Some((ia, ka)),
+            },
+        },
+        |i| Some((i, key(&items[i]))),
+    );
+    best.map(|(i, _)| i)
+}
+
+/// Count the indices for which `pred` holds.
+pub fn count_if<P: ExecutionPolicy>(
+    policy: P,
+    range: Range<usize>,
+    pred: impl Fn(usize) -> bool + Sync + Send,
+) -> usize {
+    transform_reduce(policy, range, 0usize, |a, b| a + b, |i| usize::from(pred(i)))
+}
+
+/// True iff `pred` holds for every index (vacuously true on empty ranges).
+pub fn all_of<P: ExecutionPolicy>(
+    policy: P,
+    range: Range<usize>,
+    pred: impl Fn(usize) -> bool + Sync + Send,
+) -> bool {
+    transform_reduce(policy, range, true, |a, b| a && b, pred)
+}
+
+/// True iff `pred` holds for at least one index.
+pub fn any_of<P: ExecutionPolicy>(
+    policy: P,
+    range: Range<usize>,
+    pred: impl Fn(usize) -> bool + Sync + Send,
+) -> bool {
+    transform_reduce(policy, range, false, |a, b| a || b, pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{with_backend, Backend};
+    use crate::policy::{Par, ParUnseq, Seq};
+
+    fn sum_matches<P: ExecutionPolicy + Copy>(p: P) {
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let n = 100_000usize;
+                let got = transform_reduce(p, 0..n, 0u64, |a, b| a + b, |i| i as u64);
+                assert_eq!(got, (n as u64 - 1) * n as u64 / 2);
+            });
+        }
+    }
+
+    #[test]
+    fn sum_seq() {
+        sum_matches(Seq);
+    }
+
+    #[test]
+    fn sum_par() {
+        sum_matches(Par);
+    }
+
+    #[test]
+    fn sum_par_unseq() {
+        sum_matches(ParUnseq);
+    }
+
+    #[test]
+    fn empty_range_returns_identity() {
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                assert_eq!(transform_reduce(Par, 7..7, 42u32, |a, b| a + b, |_| 1), 42);
+            });
+        }
+    }
+
+    #[test]
+    fn reduce_slice() {
+        let v: Vec<u32> = (1..=100).collect();
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                assert_eq!(reduce(Par, &v, 0, |a, b| a + b), 5050);
+                assert_eq!(reduce(ParUnseq, &v, u32::MAX, |a, b| a.min(b)), 1);
+            });
+        }
+    }
+
+    #[test]
+    fn min_max_element() {
+        let v = vec![5.0f64, -1.0, 3.0, -1.0, 9.0, 9.0];
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                assert_eq!(min_element(Par, &v, |&x| x), Some(1)); // first -1.0
+                assert_eq!(max_element(Par, &v, |&x| x), Some(4)); // first 9.0
+                assert_eq!(min_element(Seq, &v, |&x| x), Some(1));
+                assert_eq!(max_element(ParUnseq, &v, |&x| x), Some(4));
+            });
+        }
+        let empty: Vec<f64> = vec![];
+        assert_eq!(min_element(Par, &empty, |&x| x), None);
+        assert_eq!(max_element(Par, &empty, |&x| x), None);
+    }
+
+    #[test]
+    fn count_all_any() {
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                assert_eq!(count_if(Par, 0..100, |i| i % 3 == 0), 34);
+                assert!(all_of(Par, 0..100, |i| i < 100));
+                assert!(!all_of(ParUnseq, 0..100, |i| i < 99));
+                assert!(any_of(Par, 0..100, |i| i == 57));
+                assert!(!any_of(Par, 0..100, |i| i > 1000));
+                // Vacuous truth / falsity on empty ranges.
+                assert!(all_of(Par, 3..3, |_| false));
+                assert!(!any_of(Par, 3..3, |_| true));
+            });
+        }
+    }
+
+    #[test]
+    fn bounding_box_style_reduction() {
+        // Mirrors paper Algorithm 3: reduce (min, max) tuples.
+        let xs: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64 - 500.0).collect();
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let (lo, hi) = transform_reduce(
+                    ParUnseq,
+                    0..xs.len(),
+                    (f64::INFINITY, f64::NEG_INFINITY),
+                    |a, b| (a.0.min(b.0), a.1.max(b.1)),
+                    |i| (xs[i], xs[i]),
+                );
+                assert_eq!(lo, -500.0);
+                assert_eq!(hi, 499.0);
+            });
+        }
+    }
+}

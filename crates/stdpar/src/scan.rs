@@ -1,0 +1,173 @@
+//! Parallel prefix sums (`std::exclusive_scan` / `std::inclusive_scan`).
+//!
+//! Used by the BVH level construction offsets and by benchmark harnesses.
+//! The parallel algorithm is the classic three-phase blocked scan:
+//! (1) per-chunk partial reductions in parallel, (2) a short sequential
+//! scan over the chunk totals, (3) a parallel per-chunk re-scan seeded with
+//! the chunk offset. The operator must be associative.
+
+use crate::backend::thread_count;
+use crate::foreach::for_each_index;
+use crate::policy::ExecutionPolicy;
+use crate::sync_slice::SyncSlice;
+
+/// Exclusive prefix scan: `out[i] = init ⊕ in[0] ⊕ … ⊕ in[i-1]`.
+pub fn exclusive_scan<P, T>(
+    policy: P,
+    input: &[T],
+    init: T,
+    op: impl Fn(T, T) -> T + Sync + Send,
+) -> Vec<T>
+where
+    P: ExecutionPolicy,
+    T: Send + Sync + Copy,
+{
+    scan_impl(policy, input, init, op, false)
+}
+
+/// Inclusive prefix scan: `out[i] = init ⊕ in[0] ⊕ … ⊕ in[i]`.
+pub fn inclusive_scan<P, T>(
+    policy: P,
+    input: &[T],
+    init: T,
+    op: impl Fn(T, T) -> T + Sync + Send,
+) -> Vec<T>
+where
+    P: ExecutionPolicy,
+    T: Send + Sync + Copy,
+{
+    scan_impl(policy, input, init, op, true)
+}
+
+fn scan_impl<P, T>(
+    policy: P,
+    input: &[T],
+    init: T,
+    op: impl Fn(T, T) -> T + Sync + Send,
+    inclusive: bool,
+) -> Vec<T>
+where
+    P: ExecutionPolicy,
+    T: Send + Sync + Copy,
+{
+    let n = input.len();
+    if n == 0 {
+        return vec![];
+    }
+    if !P::IS_PARALLEL || n < 4096 {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = init;
+        for &v in input {
+            if inclusive {
+                acc = op(acc, v);
+                out.push(acc);
+            } else {
+                out.push(acc);
+                acc = op(acc, v);
+            }
+        }
+        return out;
+    }
+
+    let chunks = crate::backend::split_range(0..n, 4 * thread_count());
+    let nchunks = chunks.len();
+
+    // Phase 1: per-chunk totals.
+    let mut totals: Vec<Option<T>> = vec![None; nchunks];
+    {
+        let totals_view = SyncSlice::new(&mut totals);
+        let chunks_ref = &chunks;
+        let op_ref = &op;
+        for_each_index(policy, 0..nchunks, |c| {
+            let r = chunks_ref[c].clone();
+            let mut acc = input[r.start];
+            for &v in &input[r.start + 1..r.end] {
+                acc = op_ref(acc, v);
+            }
+            unsafe { totals_view.write(c, Some(acc)) };
+        });
+    }
+
+    // Phase 2: sequential scan of chunk totals → chunk seeds.
+    let mut seeds = Vec::with_capacity(nchunks);
+    let mut acc = init;
+    for t in totals.into_iter().flatten() {
+        seeds.push(acc);
+        acc = op(acc, t);
+    }
+
+    // Phase 3: per-chunk scans seeded by offsets.
+    let mut out: Vec<T> = vec![init; n];
+    {
+        let out_view = SyncSlice::new(&mut out);
+        let chunks_ref = &chunks;
+        let seeds_ref = &seeds;
+        let op_ref = &op;
+        for_each_index(policy, 0..nchunks, |c| {
+            let r = chunks_ref[c].clone();
+            let mut acc = seeds_ref[c];
+            for i in r {
+                if inclusive {
+                    acc = op_ref(acc, input[i]);
+                    unsafe { out_view.write(i, acc) };
+                } else {
+                    unsafe { out_view.write(i, acc) };
+                    acc = op_ref(acc, input[i]);
+                }
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{with_backend, Backend};
+    use crate::policy::{Par, ParUnseq, Seq};
+
+    #[test]
+    fn exclusive_matches_reference_small() {
+        let input = vec![1u64, 2, 3, 4, 5];
+        let out = exclusive_scan(Seq, &input, 0, |a, b| a + b);
+        assert_eq!(out, vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn inclusive_matches_reference_small() {
+        let input = vec![1u64, 2, 3, 4, 5];
+        let out = inclusive_scan(Seq, &input, 0, |a, b| a + b);
+        assert_eq!(out, vec![1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_large() {
+        let input: Vec<u64> = (0..100_000).map(|i| (i * 2654435761u64) % 1000).collect();
+        let expect_ex = exclusive_scan(Seq, &input, 7, |a, b| a + b);
+        let expect_in = inclusive_scan(Seq, &input, 7, |a, b| a + b);
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                assert_eq!(exclusive_scan(Par, &input, 7, |a, b| a + b), expect_ex);
+                assert_eq!(inclusive_scan(Par, &input, 7, |a, b| a + b), expect_in);
+                assert_eq!(exclusive_scan(ParUnseq, &input, 7, |a, b| a + b), expect_ex);
+                assert_eq!(inclusive_scan(ParUnseq, &input, 7, |a, b| a + b), expect_in);
+            });
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = vec![];
+        assert!(exclusive_scan(Par, &empty, 0, |a, b| a + b).is_empty());
+        assert!(inclusive_scan(Par, &empty, 0, |a, b| a + b).is_empty());
+        assert_eq!(exclusive_scan(Par, &[9u32], 1, |a, b| a + b), vec![1]);
+        assert_eq!(inclusive_scan(Par, &[9u32], 1, |a, b| a + b), vec![10]);
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        let input = vec![3i64, 1, 4, 1, 5, 9, 2, 6];
+        let out = inclusive_scan(Seq, &input, i64::MIN, |a, b| a.max(b));
+        assert_eq!(out, vec![3, 3, 4, 4, 5, 9, 9, 9]);
+    }
+}

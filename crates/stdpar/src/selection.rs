@@ -1,0 +1,205 @@
+//! Selection and stream-compaction algorithms (`std::copy_if`,
+//! `std::partition_copy`, `std::adjacent_difference`, `std::iota`).
+//!
+//! Round out the C++ parallel-algorithm surface. The parallel
+//! `copy_if`/`partition_copy` use the classic two-phase compaction: a
+//! per-chunk count + exclusive scan of offsets, then a parallel writeback
+//! — all stable (input order preserved), as the C++ versions are.
+
+use crate::backend::{split_range, thread_count};
+use crate::foreach::for_each_index;
+use crate::policy::ExecutionPolicy;
+use crate::scan::exclusive_scan;
+use crate::sync_slice::SyncSlice;
+
+/// `std::iota`: the vector `[start, start+1, …)` of length `n`.
+pub fn iota_vec(start: u32, n: usize) -> Vec<u32> {
+    (0..n as u32).map(|i| start + i).collect()
+}
+
+/// Stable parallel `copy_if`: all `src[i]` with `pred(i, &src[i])`, in
+/// input order.
+pub fn copy_if<P, T>(policy: P, src: &[T], pred: impl Fn(usize, &T) -> bool + Sync + Send) -> Vec<T>
+where
+    P: ExecutionPolicy,
+    T: Send + Sync + Copy,
+{
+    let n = src.len();
+    if !P::IS_PARALLEL || n < 4096 {
+        return src
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| pred(*i, t))
+            .map(|(_, &t)| t)
+            .collect();
+    }
+    let chunks = split_range(0..n, 4 * thread_count());
+    let nchunks = chunks.len();
+    // Phase 1: per-chunk match counts.
+    let mut counts = vec![0usize; nchunks];
+    {
+        let out = SyncSlice::new(&mut counts);
+        let chunks_ref = &chunks;
+        let pred_ref = &pred;
+        for_each_index(policy, 0..nchunks, |c| {
+            let r = chunks_ref[c].clone();
+            let k = r.clone().filter(|&i| pred_ref(i, &src[i])).count();
+            unsafe { out.write(c, k) };
+        });
+    }
+    // Phase 2: offsets; phase 3: parallel writeback.
+    let offsets = exclusive_scan(policy, &counts, 0usize, |a, b| a + b);
+    let total = offsets.last().map_or(0, |&o| o) + counts.last().copied().unwrap_or(0);
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    #[allow(clippy::uninit_vec)]
+    // SAFETY: every slot below `total` is written exactly once in phase 3.
+    unsafe {
+        out.set_len(total)
+    };
+    {
+        let view = SyncSlice::new(&mut out);
+        let chunks_ref = &chunks;
+        let offsets_ref = &offsets;
+        let pred_ref = &pred;
+        for_each_index(policy, 0..nchunks, |c| {
+            let mut w = offsets_ref[c];
+            for i in chunks_ref[c].clone() {
+                if pred_ref(i, &src[i]) {
+                    unsafe { view.write(w, src[i]) };
+                    w += 1;
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Stable parallel `partition_copy`: `(matching, rest)`.
+pub fn partition_copy<P, T>(
+    policy: P,
+    src: &[T],
+    pred: impl Fn(usize, &T) -> bool + Sync + Send,
+) -> (Vec<T>, Vec<T>)
+where
+    P: ExecutionPolicy + Copy,
+    T: Send + Sync + Copy,
+{
+    let yes = copy_if(policy, src, &pred);
+    let no = copy_if(policy, src, |i, t| !pred(i, t));
+    (yes, no)
+}
+
+/// `std::adjacent_difference`: `out[0] = in[0]`, `out[i] = op(in[i], in[i-1])`.
+pub fn adjacent_difference<P, T>(
+    policy: P,
+    src: &[T],
+    op: impl Fn(T, T) -> T + Sync + Send,
+) -> Vec<T>
+where
+    P: ExecutionPolicy,
+    T: Send + Sync + Copy,
+{
+    let n = src.len();
+    if n == 0 {
+        return vec![];
+    }
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    #[allow(clippy::uninit_vec)]
+    // SAFETY: every index in 0..n is written exactly once below.
+    unsafe {
+        out.set_len(n)
+    };
+    {
+        let view = SyncSlice::new(&mut out);
+        for_each_index(policy, 0..n, |i| unsafe {
+            if i == 0 {
+                view.write(0, src[0]);
+            } else {
+                view.write(i, op(src[i], src[i - 1]));
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{with_backend, Backend};
+    use crate::policy::{Par, ParUnseq, Seq};
+
+    fn sample(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i.wrapping_mul(2654435761) % 1000).collect()
+    }
+
+    #[test]
+    fn copy_if_matches_filter_all_policies() {
+        let v = sample(50_000);
+        let expect: Vec<u64> = v.iter().copied().filter(|&x| x % 3 == 0).collect();
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                assert_eq!(copy_if(Seq, &v, |_, &x| x % 3 == 0), expect);
+                assert_eq!(copy_if(Par, &v, |_, &x| x % 3 == 0), expect);
+                assert_eq!(copy_if(ParUnseq, &v, |_, &x| x % 3 == 0), expect);
+            });
+        }
+    }
+
+    #[test]
+    fn copy_if_is_stable() {
+        // Order preservation with an index-dependent predicate.
+        let v = sample(20_000);
+        let got = copy_if(Par, &v, |i, _| i % 7 == 0);
+        let expect: Vec<u64> = v.iter().enumerate().filter(|(i, _)| i % 7 == 0).map(|(_, &x)| x).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn copy_if_edge_cases() {
+        let empty: Vec<u64> = vec![];
+        assert!(copy_if(Par, &empty, |_, _| true).is_empty());
+        let v = sample(10_000);
+        assert_eq!(copy_if(Par, &v, |_, _| true), v);
+        assert!(copy_if(Par, &v, |_, _| false).is_empty());
+    }
+
+    #[test]
+    fn partition_copy_covers_both_sides() {
+        let v = sample(30_000);
+        let (yes, no) = partition_copy(Par, &v, |_, &x| x < 500);
+        assert_eq!(yes.len() + no.len(), v.len());
+        assert!(yes.iter().all(|&x| x < 500));
+        assert!(no.iter().all(|&x| x >= 500));
+        // Stability of both sides.
+        let expect_yes: Vec<u64> = v.iter().copied().filter(|&x| x < 500).collect();
+        assert_eq!(yes, expect_yes);
+    }
+
+    #[test]
+    fn adjacent_difference_matches_reference() {
+        let v = vec![3i64, 7, 2, 10, 10];
+        let got = adjacent_difference(Par, &v, |a, b| a - b);
+        assert_eq!(got, vec![3, 4, -5, 8, 0]);
+        let empty: Vec<i64> = vec![];
+        assert!(adjacent_difference(Par, &empty, |a, b| a - b).is_empty());
+        let one = adjacent_difference(Seq, &[42i64], |a, b| a - b);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn adjacent_difference_large_parallel_matches_seq() {
+        let v = sample(100_000);
+        let seq: Vec<u64> = adjacent_difference(Seq, &v, |a, b| a.wrapping_sub(b));
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                assert_eq!(adjacent_difference(ParUnseq, &v, |a, b| a.wrapping_sub(b)), seq);
+            });
+        }
+    }
+
+    #[test]
+    fn iota() {
+        assert_eq!(iota_vec(5, 4), vec![5, 6, 7, 8]);
+        assert!(iota_vec(0, 0).is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Parallel sorting (`std::sort(par, …)`) and permutation application.
+//!
+//! HILBERTSORT (paper Algorithm 7) sorts all bodies by the Hilbert index of
+//! their grid cell with `std::sort(par, …)`. The paper notes (§V-A, issue 2)
+//! that toolchains without `views::zip` instead "sort an auxiliary buffer of
+//! Hilbert and body index pairs, applying it as a permutation afterwards" —
+//! that is exactly the [`sort_by_key`] + [`apply_permutation`] pair here.
+//!
+//! Backends:
+//! * rayon — `par_sort_unstable_by` (parallel quicksort, dynamic).
+//! * threads — hand-rolled parallel merge sort: per-chunk `sort_unstable_by`
+//!   followed by log₂(chunks) parallel pairwise merge passes.
+
+use crate::backend::{current_backend, split_range, thread_count, Backend};
+use crate::foreach::for_each_index;
+use crate::policy::ExecutionPolicy;
+use crate::sync_slice::SyncSlice;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Sort `v` with comparator `cmp` under `policy`. Unstable.
+pub fn sort_unstable_by<P, T>(_policy: P, v: &mut [T], cmp: impl Fn(&T, &T) -> Ordering + Sync + Send)
+where
+    P: ExecutionPolicy,
+    T: Send + Clone,
+{
+    if !P::IS_PARALLEL || v.len() < 2048 {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    match current_backend() {
+        Backend::Rayon => v.par_sort_unstable_by(cmp),
+        Backend::Threads => threads_merge_sort(v, &cmp),
+    }
+}
+
+/// Sort by a key function. Unstable.
+pub fn sort_by_key<P, T, K>(policy: P, v: &mut [T], key: impl Fn(&T) -> K + Sync + Send)
+where
+    P: ExecutionPolicy,
+    T: Send + Clone,
+    K: Ord,
+{
+    sort_unstable_by(policy, v, |a, b| key(a).cmp(&key(b)));
+}
+
+/// Gather `src` through `perm` into a new vector: `out[i] = src[perm[i]]`.
+///
+/// `perm` must be a permutation of `0..src.len()` (checked in debug builds).
+/// This is the "apply it as a permutation afterwards" step of the paper's
+/// AdaptiveCpp/Clang HILBERTSORT fallback.
+pub fn apply_permutation<P, T>(policy: P, src: &[T], perm: &[u32]) -> Vec<T>
+where
+    P: ExecutionPolicy,
+    T: Send + Sync + Copy,
+{
+    assert_eq!(src.len(), perm.len(), "permutation length mismatch");
+    debug_assert!(is_permutation(perm), "perm is not a permutation of 0..n");
+    let n = src.len();
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    // SAFETY: every index in 0..n is written exactly once below before use.
+    #[allow(clippy::uninit_vec)]
+    unsafe {
+        out.set_len(n)
+    };
+    {
+        let view = SyncSlice::new(&mut out);
+        for_each_index(policy, 0..n, |i| unsafe {
+            view.write(i, src[perm[i] as usize]);
+        });
+    }
+    out
+}
+
+fn is_permutation(perm: &[u32]) -> bool {
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        let p = p as usize;
+        if p >= perm.len() || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+/// Parallel merge sort for the Threads backend.
+fn threads_merge_sort<T: Send + Clone>(v: &mut [T], cmp: &(impl Fn(&T, &T) -> Ordering + Sync)) {
+    let n = v.len();
+    let nchunks = thread_count().next_power_of_two();
+    let chunks = split_range(0..n, nchunks);
+    if chunks.len() <= 1 {
+        v.sort_unstable_by(cmp);
+        return;
+    }
+
+    // Phase 1: sort each chunk on its own thread.
+    {
+        let base = v.as_mut_ptr() as usize;
+        std::thread::scope(|s| {
+            for r in chunks.iter().cloned() {
+                s.spawn(move || {
+                    // SAFETY: chunks are disjoint subslices of `v`.
+                    let ptr = base as *mut T;
+                    let sub = unsafe { std::slice::from_raw_parts_mut(ptr.add(r.start), r.len()) };
+                    sub.sort_unstable_by(cmp);
+                });
+            }
+        });
+    }
+
+    // Phase 2: pairwise parallel merges, ping-ponging with a scratch buffer.
+    let mut runs: Vec<std::ops::Range<usize>> = chunks;
+    let mut scratch: Vec<T> = v.to_vec();
+    let mut src_is_v = true;
+    while runs.len() > 1 {
+        let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
+        {
+            // Merge run pairs from `src` into `dst`.
+            let (src_ptr, dst_ptr) = if src_is_v {
+                (v.as_ptr() as usize, scratch.as_mut_ptr() as usize)
+            } else {
+                (scratch.as_ptr() as usize, v.as_mut_ptr() as usize)
+            };
+            std::thread::scope(|s| {
+                let mut i = 0;
+                while i < runs.len() {
+                    let left = runs[i].clone();
+                    let right = if i + 1 < runs.len() { runs[i + 1].clone() } else { left.end..left.end };
+                    next_runs.push(left.start..right.end);
+                    s.spawn(move || {
+                        // SAFETY: each merged output span [left.start, right.end)
+                        // is disjoint across pairs; src is not mutated.
+                        let src = src_ptr as *const T;
+                        let dst = dst_ptr as *mut T;
+                        unsafe { merge_runs(src, dst, left, right, cmp) };
+                    });
+                    i += 2;
+                }
+            });
+        }
+        runs = next_runs;
+        src_is_v = !src_is_v;
+    }
+    if !src_is_v {
+        // Final data lives in scratch; copy back.
+        v.clone_from_slice(&scratch);
+    }
+}
+
+/// Merge `src[left]` and `src[right]` (each sorted) into `dst[left.start..right.end]`.
+///
+/// # Safety
+/// `src` and `dst` must both be valid for the full span, and no other thread
+/// may access that span of `dst` concurrently.
+unsafe fn merge_runs<T: Clone>(
+    src: *const T,
+    dst: *mut T,
+    left: std::ops::Range<usize>,
+    right: std::ops::Range<usize>,
+    cmp: &impl Fn(&T, &T) -> Ordering,
+) {
+    let mut a = left.start;
+    let mut b = right.start;
+    let mut o = left.start;
+    while a < left.end && b < right.end {
+        let va = &*src.add(a);
+        let vb = &*src.add(b);
+        if cmp(vb, va) == Ordering::Less {
+            dst.add(o).write(vb.clone());
+            b += 1;
+        } else {
+            dst.add(o).write(va.clone());
+            a += 1;
+        }
+        o += 1;
+    }
+    while a < left.end {
+        dst.add(o).write((*src.add(a)).clone());
+        a += 1;
+        o += 1;
+    }
+    while b < right.end {
+        dst.add(o).write((*src.add(b)).clone());
+        b += 1;
+        o += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{with_backend, Backend};
+    use crate::policy::{Par, ParUnseq, Seq};
+
+    fn pseudo_random(n: usize, seed: u64) -> Vec<u64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s >> 16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_match_std_all_policies_and_backends() {
+        let input = pseudo_random(50_000, 3);
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let mut a = input.clone();
+                sort_unstable_by(Seq, &mut a, |x, y| x.cmp(y));
+                assert_eq!(a, expect);
+                let mut b = input.clone();
+                sort_unstable_by(Par, &mut b, |x, y| x.cmp(y));
+                assert_eq!(b, expect, "par backend={}", backend.name());
+                let mut c = input.clone();
+                sort_unstable_by(ParUnseq, &mut c, |x, y| x.cmp(y));
+                assert_eq!(c, expect);
+            });
+        }
+    }
+
+    #[test]
+    fn sort_by_key_descending() {
+        let mut v = pseudo_random(10_000, 4);
+        with_backend(Backend::Threads, || {
+            sort_by_key(Par, &mut v, |&x| std::cmp::Reverse(x));
+        });
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn small_and_edge_inputs() {
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let mut empty: Vec<u64> = vec![];
+                sort_unstable_by(Par, &mut empty, |a, b| a.cmp(b));
+                assert!(empty.is_empty());
+
+                let mut one = vec![5u64];
+                sort_unstable_by(Par, &mut one, |a, b| a.cmp(b));
+                assert_eq!(one, vec![5]);
+
+                let mut dup = vec![3u64; 5000];
+                sort_unstable_by(Par, &mut dup, |a, b| a.cmp(b));
+                assert!(dup.iter().all(|&x| x == 3));
+
+                // Already sorted and reverse sorted.
+                let mut asc: Vec<u64> = (0..10_000).collect();
+                sort_unstable_by(Par, &mut asc, |a, b| a.cmp(b));
+                assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+                let mut desc: Vec<u64> = (0..10_000).rev().collect();
+                sort_unstable_by(Par, &mut desc, |a, b| a.cmp(b));
+                assert!(desc.windows(2).all(|w| w[0] <= w[1]));
+            });
+        }
+    }
+
+    #[test]
+    fn threads_merge_sort_odd_chunk_counts() {
+        // Force the Threads path with a size that does not divide evenly.
+        with_backend(Backend::Threads, || {
+            let mut v = pseudo_random(12_345, 9);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            sort_unstable_by(Par, &mut v, |a, b| a.cmp(b));
+            assert_eq!(v, expect);
+        });
+    }
+
+    #[test]
+    fn hilbert_style_pair_sort_and_permutation() {
+        // The paper's fallback path: sort (key, index) pairs, then permute.
+        let keys = pseudo_random(20_000, 5);
+        let values: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let mut pairs: Vec<(u64, u32)> =
+                    keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+                sort_by_key(Par, &mut pairs, |&(k, i)| (k, i));
+                let perm: Vec<u32> = pairs.iter().map(|&(_, i)| i).collect();
+                let sorted_vals = apply_permutation(Par, &values, &perm);
+                let sorted_keys = apply_permutation(ParUnseq, &keys, &perm);
+                assert!(sorted_keys.windows(2).all(|w| w[0] <= w[1]));
+                // Each value still pairs with its original key.
+                for (i, &v) in sorted_vals.iter().enumerate() {
+                    assert_eq!(keys[v as usize], sorted_keys[i]);
+                }
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn apply_permutation_length_mismatch_panics() {
+        let _ = apply_permutation(Seq, &[1, 2, 3], &[0, 1]);
+    }
+
+    #[test]
+    fn is_permutation_detects_bad_inputs() {
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3, 1]));
+        assert!(is_permutation(&[]));
+    }
+}

@@ -1,0 +1,123 @@
+//! A `Sync` view over a mutable slice for index-disjoint parallel writes.
+//!
+//! The C++ parallel algorithms hand every element callable a raw view of the
+//! arrays it writes ("Applications are then responsible to ensure algorithm
+//! invocations do not introduce data-races", paper §II). Rust's `&mut [T]`
+//! cannot be shared across rayon closures, so [`SyncSlice`] provides the
+//! same contract explicitly: the *caller* guarantees distinct indices are
+//! written by distinct logical threads, and in exchange gets lock-free
+//! indexed writes.
+
+use std::marker::PhantomData;
+
+/// A shareable pointer+length view of `&mut [T]`.
+///
+/// All accessor methods are `unsafe`: the caller promises that no index is
+/// accessed concurrently from two threads (the usual stdpar data-race
+/// contract). Debug builds bounds-check every access.
+#[derive(Clone, Copy)]
+pub struct SyncSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the type only exposes unsafe accessors whose contract forbids
+// data races; with that contract upheld, sending/sharing the view is sound.
+unsafe impl<T: Send> Send for SyncSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SyncSlice<'_, T> {}
+
+impl<'a, T> SyncSlice<'a, T> {
+    /// Wrap a mutable slice. The borrow is held for `'a`, so the underlying
+    /// storage cannot be touched elsewhere while views exist.
+    #[inline]
+    pub fn new(slice: &'a mut [T]) -> Self {
+        Self { ptr: slice.as_mut_ptr(), len: slice.len(), _life: PhantomData }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to element `i`.
+    ///
+    /// # Safety
+    /// `i < len()`, and no other thread accesses index `i` concurrently.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "SyncSlice index {i} out of bounds {}", self.len);
+        &mut *self.ptr.add(i)
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// `i < len()`, and no other thread writes index `i` concurrently.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i)
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// `i < len()`, and no other thread accesses index `i` concurrently.
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        *self.ptr.add(i) = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let mut data = vec![0usize; 10_000];
+        let view = SyncSlice::new(&mut data);
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                s.spawn(move || {
+                    let mut i = t;
+                    while i < view.len() {
+                        unsafe { view.write(i, i * 2) };
+                        i += 4;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn get_mut_and_read() {
+        let mut data = vec![1.0f64, 2.0, 3.0];
+        let view = SyncSlice::new(&mut data);
+        unsafe {
+            *view.get_mut(1) += 10.0;
+            assert_eq!(view.read(1), 12.0);
+        }
+        assert_eq!(data, vec![1.0, 12.0, 3.0]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v: Vec<u8> = vec![];
+        let s = SyncSlice::new(&mut v);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+}

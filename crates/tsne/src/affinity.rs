@@ -1,0 +1,229 @@
+//! Input-space affinities: perplexity-calibrated Gaussian conditionals,
+//! restricted to k nearest neighbours and symmetrised (van der Maaten 2013,
+//! §3 of the Barnes-Hut-SNE paper).
+
+use stdpar::prelude::*;
+
+/// Symmetric sparse joint distribution `P` in CSR layout.
+#[derive(Clone, Debug)]
+pub struct SparseAffinities {
+    /// Row offsets (`n + 1` entries).
+    pub offsets: Vec<usize>,
+    /// Column indices per row.
+    pub columns: Vec<u32>,
+    /// `p_ij` values (sum over all entries ≈ 1).
+    pub values: Vec<f64>,
+}
+
+impl SparseAffinities {
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Iterate the nonzeros of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let r = self.offsets[i]..self.offsets[i + 1];
+        self.columns[r.clone()].iter().copied().zip(self.values[r].iter().copied())
+    }
+
+    /// Total probability mass (≈ 1 after construction).
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+/// Compute perplexity-calibrated affinities for `n` points of
+/// dimensionality `dim`, stored row-major in `data` (`n × dim`).
+///
+/// `k = min(n-1, ceil(3·perplexity))` neighbours per point, as in the
+/// reference implementation. `O(N²·dim)` neighbour search — appropriate
+/// for the N ≤ tens of thousands this crate targets.
+pub fn gaussian_affinities(data: &[f64], dim: usize, perplexity: f64) -> SparseAffinities {
+    assert!(dim > 0, "dim must be positive");
+    assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+    let n = data.len() / dim;
+    assert!(n >= 2, "need at least two points");
+    assert!(perplexity >= 1.0, "perplexity must be >= 1");
+    let k = ((3.0 * perplexity).ceil() as usize).min(n - 1).max(1);
+
+    // k nearest neighbours per point (squared distances), in parallel.
+    let mut knn: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+    {
+        let out = SyncSlice::new(&mut knn);
+        for_each_index(Par, 0..n, |i| {
+            let xi = &data[i * dim..(i + 1) * dim];
+            let mut dists: Vec<(u32, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let xj = &data[j * dim..(j + 1) * dim];
+                    let d2: f64 =
+                        xi.iter().zip(xj).map(|(a, b)| (a - b) * (a - b)).sum();
+                    (j as u32, d2)
+                })
+                .collect();
+            dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            dists.truncate(k);
+            unsafe { out.write(i, dists) };
+        });
+    }
+
+    // Per-row bandwidth calibration: find beta = 1/(2σ²) such that the
+    // Shannon entropy of p_{j|i} equals log2(perplexity).
+    let target_entropy = perplexity.ln(); // nats
+    let mut conditionals: Vec<Vec<f64>> = vec![Vec::new(); n];
+    {
+        let out = SyncSlice::new(&mut conditionals);
+        let knn_ref = &knn;
+        for_each_index(Par, 0..n, |i| {
+            let row = &knn_ref[i];
+            let d_min = row.first().map(|&(_, d)| d).unwrap_or(0.0);
+            let mut lo = 0.0f64;
+            let mut hi = f64::INFINITY;
+            let mut beta = 1.0 / (1e-12 + d_min.max(1e-12));
+            let mut probs = vec![0.0; row.len()];
+            for _ in 0..64 {
+                let mut sum = 0.0;
+                for (p, &(_, d2)) in probs.iter_mut().zip(row) {
+                    // Shift by d_min for numerical stability.
+                    *p = (-(d2 - d_min) * beta).exp();
+                    sum += *p;
+                }
+                let mut entropy = 0.0;
+                for p in probs.iter_mut() {
+                    *p /= sum;
+                    if *p > 1e-300 {
+                        entropy -= *p * p.ln();
+                    }
+                }
+                let diff = entropy - target_entropy;
+                if diff.abs() < 1e-5 {
+                    break;
+                }
+                if diff > 0.0 {
+                    // Too flat: increase beta (narrow the Gaussian).
+                    lo = beta;
+                    beta = if hi.is_finite() { 0.5 * (beta + hi) } else { beta * 2.0 };
+                } else {
+                    hi = beta;
+                    beta = 0.5 * (beta + lo);
+                }
+            }
+            unsafe { out.write(i, probs) };
+        });
+    }
+
+    // Symmetrise: p_ij = (p_{j|i} + p_{i|j}) / (2n), building CSR rows.
+    // Collect directed entries into per-row maps first.
+    let mut rows: Vec<std::collections::BTreeMap<u32, f64>> =
+        vec![std::collections::BTreeMap::new(); n];
+    for i in 0..n {
+        for (&(j, _), &p) in knn[i].iter().zip(conditionals[i].iter()) {
+            let w = p / (2.0 * n as f64);
+            *rows[i].entry(j).or_insert(0.0) += w;
+            *rows[j as usize].entry(i as u32).or_insert(0.0) += w;
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut columns = Vec::new();
+    let mut values = Vec::new();
+    offsets.push(0);
+    for row in rows {
+        for (j, w) in row {
+            columns.push(j);
+            values.push(w);
+        }
+        offsets.push(columns.len());
+    }
+    SparseAffinities { offsets, columns, values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::SplitMix64;
+
+    fn clusters(n_per: usize, dim: usize, centers: &[f64], seed: u64) -> Vec<f64> {
+        let mut r = SplitMix64::new(seed);
+        let mut data = Vec::new();
+        for &c in centers {
+            for _ in 0..n_per {
+                for _ in 0..dim {
+                    data.push(c + r.normal() * 0.3);
+                }
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn total_mass_is_one() {
+        let data = clusters(50, 4, &[0.0, 10.0], 1);
+        let p = gaussian_affinities(&data, 4, 15.0);
+        assert!((p.total() - 1.0).abs() < 1e-9, "total {}", p.total());
+        assert_eq!(p.n(), 100);
+    }
+
+    #[test]
+    fn affinities_are_symmetric() {
+        let data = clusters(30, 3, &[0.0, 5.0], 2);
+        let p = gaussian_affinities(&data, 3, 10.0);
+        // Rebuild a dense matrix to check symmetry.
+        let n = p.n();
+        let mut dense = vec![0.0; n * n];
+        for i in 0..n {
+            for (j, w) in p.row(i) {
+                dense[i * n + j as usize] = w;
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (dense[i * n + j] - dense[j * n + i]).abs() < 1e-12,
+                    "asymmetry at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_within_cluster_dominate() {
+        let n_per = 40;
+        let data = clusters(n_per, 5, &[0.0, 20.0], 3);
+        let p = gaussian_affinities(&data, 5, 10.0);
+        // Mass of within-cluster links should dwarf cross-cluster links.
+        let mut within = 0.0;
+        let mut across = 0.0;
+        for i in 0..p.n() {
+            for (j, w) in p.row(i) {
+                if (i < n_per) == ((j as usize) < n_per) {
+                    within += w;
+                } else {
+                    across += w;
+                }
+            }
+        }
+        assert!(within > 100.0 * across, "within {within}, across {across}");
+    }
+
+    #[test]
+    fn perplexity_is_matched() {
+        let data = clusters(60, 4, &[0.0], 4);
+        let perplexity = 12.0;
+        // Re-derive entropy from the conditionals implicitly: each row of
+        // the symmetrised matrix should have ~2k = 6·perplexity nonzeros
+        // (own k plus incoming links), and row masses should be ~1/n.
+        let p = gaussian_affinities(&data, 4, perplexity);
+        let n = p.n();
+        for i in 0..n {
+            let row_mass: f64 = p.row(i).map(|(_, w)| w).sum();
+            assert!(row_mass > 0.2 / n as f64, "row {i} mass {row_mass}");
+            assert!(row_mass < 5.0 / n as f64, "row {i} mass {row_mass}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_mismatched_dim() {
+        let _ = gaussian_affinities(&[1.0, 2.0, 3.0], 2, 5.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # bh-tsne — Barnes-Hut t-SNE on the concurrent octree
+//!
+//! The paper motivates Barnes-Hut beyond cosmology with "high-dimensional
+//! data visualisation in machine learning" (§I) and cites van der Maaten's
+//! Barnes-Hut-SNE (§VI, [28]). This crate implements that algorithm on top
+//! of `bh-octree`'s generic visitor traversal:
+//!
+//! 1. **Input affinities** ([`affinity`]): per-point Gaussian bandwidths
+//!    calibrated to a target perplexity by binary search; conditional
+//!    probabilities restricted to the k nearest neighbours (k = 3·perplexity,
+//!    as in the reference implementation) and symmetrised into a sparse
+//!    joint distribution `P`.
+//! 2. **Gradient descent** ([`gradient`]): the attractive term is the
+//!    sparse sum over `P`; the repulsive term — the `O(N²)` part — is
+//!    approximated with the Barnes-Hut octree using the Student-t kernel
+//!    `q = 1/(1+‖d‖²)`, at the same θ as the gravity solver. Standard
+//!    momentum + per-parameter gains + early exaggeration schedule.
+//!
+//! The embedding is 2-D (stored on the z = 0 plane, so the octree
+//! degenerates gracefully into the quadtree of the paper's Fig. 1).
+//!
+//! ```
+//! use bh_tsne::{Tsne, TsneConfig};
+//!
+//! // Two tight 5-D clusters → two separated 2-D islands.
+//! let mut data = Vec::new();
+//! for i in 0..60 {
+//!     let c = if i % 2 == 0 { 0.0 } else { 8.0 };
+//!     for d in 0..5 {
+//!         data.push(c + 0.01 * ((i * 5 + d) % 7) as f64);
+//!     }
+//! }
+//! let emb = Tsne::new(TsneConfig { iters: 150, perplexity: 10.0, ..Default::default() })
+//!     .run(&data, 5);
+//! assert_eq!(emb.len(), 60);
+//! ```
+
+pub mod affinity;
+pub mod gradient;
+
+pub use affinity::SparseAffinities;
+pub use gradient::{Tsne, TsneConfig};

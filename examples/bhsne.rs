@@ -1,0 +1,63 @@
+//! Barnes-Hut-SNE end to end (the paper's §I/§VI machine-learning
+//! motivation): embed clustered high-dimensional data into 2-D using the
+//! concurrent octree for the repulsive term.
+//!
+//!     cargo run --release --example bhsne
+
+use stdpar_nbody::math::SplitMix64;
+use stdpar_nbody::tsne::{SparseAffinities, Tsne, TsneConfig};
+
+fn main() {
+    // Five 16-dimensional Gaussian clusters, 80 points each.
+    let clusters = 5;
+    let per = 80;
+    let dim = 16;
+    let mut rng = SplitMix64::new(2024);
+    let mut data = Vec::with_capacity(clusters * per * dim);
+    for c in 0..clusters {
+        // Cluster centres on the corners of a simplex-ish arrangement.
+        let center: Vec<f64> = (0..dim).map(|d| if d % clusters == c { 10.0 } else { 0.0 }).collect();
+        for _ in 0..per {
+            for cd in &center {
+                data.push(cd + rng.normal() * 0.5);
+            }
+        }
+    }
+
+    println!("embedding {} points of dim {dim} (perplexity 25, theta 0.5)…", clusters * per);
+    let cfg = TsneConfig { perplexity: 25.0, iters: 400, ..TsneConfig::default() };
+    let p: SparseAffinities =
+        stdpar_nbody::tsne::affinity::gaussian_affinities(&data, dim, cfg.perplexity);
+    let t0 = std::time::Instant::now();
+    let emb = Tsne::new(cfg).run_with_affinities(&p);
+    println!("done in {:.2}s, KL = {:.3}", t0.elapsed().as_secs_f64(), Tsne::kl_divergence(&p, &emb));
+
+    // Report per-cluster centroids and the worst pairwise separation ratio.
+    let centroid = |g: &[[f64; 2]]| {
+        let n = g.len() as f64;
+        [g.iter().map(|p| p[0]).sum::<f64>() / n, g.iter().map(|p| p[1]).sum::<f64>() / n]
+    };
+    let mut intra_max: f64 = 0.0;
+    let mut cents = vec![];
+    for c in 0..clusters {
+        let g = &emb[c * per..(c + 1) * per];
+        let ctr = centroid(g);
+        let spread = g
+            .iter()
+            .map(|p| ((p[0] - ctr[0]).powi(2) + (p[1] - ctr[1]).powi(2)).sqrt())
+            .sum::<f64>()
+            / per as f64;
+        println!("cluster {c}: centroid ({:+7.2}, {:+7.2}), mean spread {spread:.2}", ctr[0], ctr[1]);
+        intra_max = intra_max.max(spread);
+        cents.push(ctr);
+    }
+    let mut inter_min = f64::INFINITY;
+    for a in 0..clusters {
+        for b in (a + 1)..clusters {
+            let d = ((cents[a][0] - cents[b][0]).powi(2) + (cents[a][1] - cents[b][1]).powi(2)).sqrt();
+            inter_min = inter_min.min(d);
+        }
+    }
+    println!("worst separation ratio (min inter / max intra): {:.2}", inter_min / intra_max);
+    assert!(inter_min > 1.5 * intra_max, "clusters failed to separate");
+}

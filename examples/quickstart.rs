@@ -1,0 +1,49 @@
+//! Quickstart: simulate a small galaxy collision with the Concurrent
+//! Octree and watch the conserved quantities.
+//!
+//!     cargo run --release --example quickstart
+//!     cargo run --release --example quickstart -- 20000 bvh
+
+use stdpar_nbody::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5_000);
+    let kind = match args.next().as_deref() {
+        Some("bvh") => SolverKind::Bvh,
+        Some("all-pairs") => SolverKind::AllPairs,
+        Some("all-pairs-col") => SolverKind::AllPairsCol,
+        _ => SolverKind::Octree,
+    };
+
+    println!("galaxy collision: {n} bodies, solver = {}", kind.name());
+    let state = galaxy_collision(n, 42);
+    let before = Diagnostics::measure(&state, 1.0, 1e-3);
+    println!(
+        "t=0      E = {:+.6}  K = {:.6}  |p| = {:.2e}  M = {:.6}",
+        before.total_energy, before.kinetic_energy, before.momentum.norm(), before.total_mass
+    );
+
+    let opts = SimOptions { dt: 1e-3, theta: 0.5, softening: 1e-3, ..SimOptions::default() };
+    let mut sim = Simulation::new(state, kind, opts).expect("solver supports the default policy");
+
+    for chunk in 0..5 {
+        let timings = sim.run(20);
+        let d = Diagnostics::measure(sim.state(), 1.0, 1e-3);
+        println!(
+            "t={:.3}  E = {:+.6}  K = {:.6}  |p| = {:.2e}  (step {:?}: force {:.1?}, build {:.1?})",
+            sim.time(),
+            d.total_energy,
+            d.kinetic_energy,
+            d.momentum.norm(),
+            20 * (chunk + 1),
+            timings.force / 20,
+            (timings.build + timings.sort + timings.multipole) / 20,
+        );
+    }
+
+    let after = Diagnostics::measure(sim.state(), 1.0, 1e-3);
+    let drift = ((after.total_energy - before.total_energy) / before.total_energy).abs();
+    println!("relative energy drift over {} steps: {drift:.3e}", sim.steps_done());
+    assert!(sim.state().is_valid(), "state must remain finite");
+}

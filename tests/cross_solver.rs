@@ -1,0 +1,117 @@
+//! Cross-solver agreement: the paper's validation logic — independent
+//! implementations must produce the same physics.
+
+use stdpar_nbody::prelude::*;
+use stdpar_nbody::sim::diagnostics::l2_error_relative;
+
+fn final_positions(state: &SystemState, kind: SolverKind, theta: f64, steps: usize) -> Vec<Vec3> {
+    let opts = SimOptions { dt: 1e-3, theta, softening: 1e-3, ..SimOptions::default() };
+    let mut sim = Simulation::new(state.clone(), kind, opts).unwrap();
+    sim.run(steps);
+    sim.into_state().positions
+}
+
+#[test]
+fn all_four_solvers_agree_exactly_at_theta_zero() {
+    // θ = 0 disables every approximation: the four algorithms compute the
+    // same field up to floating-point reassociation.
+    for spec in [
+        WorkloadSpec::GalaxyCollision { n: 200, seed: 3 },
+        WorkloadSpec::UniformCube { n: 200, seed: 3 },
+        WorkloadSpec::SpinningDisk { n: 200, seed: 3 },
+    ] {
+        let state = spec.generate();
+        let reference = final_positions(&state, SolverKind::AllPairs, 0.0, 10);
+        for kind in [SolverKind::AllPairsCol, SolverKind::Octree, SolverKind::Bvh] {
+            let got = final_positions(&state, kind, 0.0, 10);
+            let err = l2_error_relative(&got, &reference);
+            assert!(err < 1e-10, "{} on {}: L2 {err}", kind.name(), spec.name());
+        }
+    }
+}
+
+#[test]
+fn tree_solvers_stay_close_at_paper_theta() {
+    let state = galaxy_collision(1_000, 4);
+    let reference = final_positions(&state, SolverKind::AllPairs, 0.0, 20);
+    for kind in [SolverKind::Octree, SolverKind::Bvh] {
+        let got = final_positions(&state, kind, 0.5, 20);
+        let err = l2_error_relative(&got, &reference);
+        assert!(err < 1e-3, "{}: relative L2 {err}", kind.name());
+    }
+}
+
+#[test]
+fn octree_and_bvh_agree_with_each_other() {
+    // The paper's primary cross-check is between its own implementations.
+    let state = plummer(2_000, 5);
+    let a = final_positions(&state, SolverKind::Octree, 0.5, 15);
+    let b = final_positions(&state, SolverKind::Bvh, 0.5, 15);
+    let err = l2_error_relative(&a, &b);
+    assert!(err < 1e-3, "tree disagreement {err}");
+}
+
+#[test]
+fn solar_system_validation_small_scale() {
+    // Mini version of the §V-A validation: one day at one-hour steps,
+    // compare against the exact integrator, expect a tiny relative error.
+    use nbody_math::{DAY, G_SI};
+    let state = solar_system(400, 6);
+    let opts = |theta: f64| SimOptions {
+        dt: DAY / 24.0,
+        theta,
+        softening: 0.0,
+        g: G_SI,
+        ..SimOptions::default()
+    };
+    let mut exact = Simulation::new(state.clone(), SolverKind::AllPairs, opts(0.0)).unwrap();
+    exact.run(24);
+    for kind in [SolverKind::Octree, SolverKind::Bvh] {
+        let mut sim = Simulation::new(state.clone(), kind, opts(0.5)).unwrap();
+        sim.run(24);
+        let err = l2_error_relative(&sim.state().positions, &exact.state().positions);
+        assert!(err < 1e-6, "{}: {err} (paper criterion: < 1e-6)", kind.name());
+    }
+}
+
+#[test]
+fn quadrupole_beats_monopole_over_a_run() {
+    let state = galaxy_collision(800, 7);
+    let reference = final_positions(&state, SolverKind::AllPairs, 0.0, 10);
+    let run = |quad: bool| {
+        let opts = SimOptions {
+            dt: 1e-3,
+            theta: 0.9,
+            softening: 1e-3,
+            quadrupole: quad,
+            ..SimOptions::default()
+        };
+        let mut sim = Simulation::new(state.clone(), SolverKind::Octree, opts).unwrap();
+        sim.run(10);
+        l2_error_relative(&sim.state().positions, &reference)
+    };
+    let mono = run(false);
+    let quad = run(true);
+    assert!(quad < mono, "quadrupole {quad} should beat monopole {mono}");
+}
+
+#[test]
+fn policies_produce_equivalent_dynamics() {
+    let state = galaxy_collision(500, 8);
+    let run = |kind: SolverKind, policy: DynPolicy| {
+        let opts = SimOptions { dt: 1e-3, policy, ..SimOptions::default() };
+        let mut sim = Simulation::new(state.clone(), kind, opts).unwrap();
+        sim.run(5);
+        sim.into_state().positions
+    };
+    // BVH is deterministic across policies (pure reductions + stable keys).
+    let a = run(SolverKind::Bvh, DynPolicy::Seq);
+    let b = run(SolverKind::Bvh, DynPolicy::Par);
+    let c = run(SolverKind::Bvh, DynPolicy::ParUnseq);
+    assert!(l2_error_relative(&a, &b) < 1e-12);
+    assert!(l2_error_relative(&a, &c) < 1e-12);
+    // Octree multipole accumulation order may differ: near-equality.
+    let d = run(SolverKind::Octree, DynPolicy::Seq);
+    let e = run(SolverKind::Octree, DynPolicy::Par);
+    assert!(l2_error_relative(&d, &e) < 1e-9);
+}

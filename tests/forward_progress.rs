@@ -1,0 +1,61 @@
+//! Integration tests of the forward-progress result matrix (paper §V-B):
+//! which algorithm completes under which scheduling semantics.
+
+use stdpar_nbody::progress::reduce::reduction;
+use stdpar_nbody::progress::scheduler::{run_its, run_lockstep, Outcome};
+use stdpar_nbody::progress::tree_insert::{contended_insertion, insertion_threads, SharedTree};
+
+const BUDGET: u64 = 10_000_000;
+
+#[test]
+fn result_matrix_matches_the_paper() {
+    // Octree build: needs parallel forward progress.
+    assert!(run_its(contended_insertion(64, 0.5), BUDGET).completed());
+    assert!(matches!(
+        run_lockstep(contended_insertion(64, 0.5), 32, BUDGET),
+        Outcome::Livelock { .. }
+    ));
+    // Wait-free reduction (the BVH pipeline): runs everywhere.
+    assert!(run_its(reduction(64).0, BUDGET).completed());
+    assert!(run_lockstep(reduction(64).0, 32, BUDGET).completed());
+}
+
+#[test]
+fn its_octree_build_produces_a_correct_tree() {
+    for n in [3usize, 17, 128, 500] {
+        let tree = SharedTree::new();
+        let (threads, tree) = insertion_threads(tree, n, 0.5);
+        assert!(run_its(threads, BUDGET).completed(), "n={n}");
+        assert_eq!(tree.collect_bodies(), (0..n).collect::<Vec<_>>());
+        assert!(tree.no_locks_held());
+    }
+}
+
+#[test]
+fn warp_width_controls_the_hazard() {
+    // Width 1 = ITS-equivalent; livelock risk appears with any real warp.
+    assert!(run_lockstep(contended_insertion(32, 0.5), 1, BUDGET).completed());
+    for warp in [2usize, 4, 8, 32] {
+        let out = run_lockstep(contended_insertion(32, 0.5), warp, BUDGET);
+        assert!(matches!(out, Outcome::Livelock { .. }), "warp={warp}: {out:?}");
+    }
+}
+
+#[test]
+fn reduction_sums_are_correct_under_every_schedule() {
+    for warp in [1usize, 2, 16, 64] {
+        let (threads, tree) = reduction(64);
+        assert!(run_lockstep(threads, warp, BUDGET).completed());
+        assert_eq!(tree.root_sum(), 64 * 65 / 2);
+    }
+}
+
+#[test]
+fn schedulers_are_deterministic() {
+    let a = run_lockstep(contended_insertion(16, 0.5), 8, BUDGET);
+    let b = run_lockstep(contended_insertion(16, 0.5), 8, BUDGET);
+    assert_eq!(a, b);
+    let c = run_its(contended_insertion(16, 0.5), BUDGET);
+    let d = run_its(contended_insertion(16, 0.5), BUDGET);
+    assert_eq!(c, d);
+}

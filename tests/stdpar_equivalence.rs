@@ -1,0 +1,103 @@
+//! Property-based equivalence of the stdpar parallel algorithms with their
+//! sequential counterparts, across both backends and both parallel
+//! policies (the crate-level contract everything else builds on).
+//!
+//! Assertions inside `both_backends` closures use plain `assert!` (a panic
+//! fails the proptest case just the same).
+
+use proptest::prelude::*;
+use stdpar::prelude::*;
+
+fn both_backends(f: impl Fn()) {
+    for backend in Backend::ALL {
+        with_backend(backend, &f);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sort_equals_std_sort(v in prop::collection::vec(any::<i64>(), 0..5000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        both_backends(|| {
+            let mut a = v.clone();
+            sort_unstable_by(Par, &mut a, |x, y| x.cmp(y));
+            assert_eq!(a, expect);
+            let mut b = v.clone();
+            sort_unstable_by(ParUnseq, &mut b, |x, y| x.cmp(y));
+            assert_eq!(b, expect);
+        });
+    }
+
+    #[test]
+    fn transform_reduce_equals_fold(v in prop::collection::vec(0u32..1000, 0..4000)) {
+        let expect: u64 = v.iter().map(|&x| x as u64 * 3 + 1).sum();
+        both_backends(|| {
+            let f = |i: usize| v[i] as u64 * 3 + 1;
+            assert_eq!(transform_reduce(Par, 0..v.len(), 0u64, |a, b| a + b, f), expect);
+            assert_eq!(transform_reduce(ParUnseq, 0..v.len(), 0u64, |a, b| a + b, f), expect);
+            assert_eq!(transform_reduce(Seq, 0..v.len(), 0u64, |a, b| a + b, f), expect);
+        });
+    }
+
+    #[test]
+    fn scans_equal_sequential(v in prop::collection::vec(0u64..100, 0..6000)) {
+        let ex_seq = exclusive_scan(Seq, &v, 0, |a, b| a + b);
+        let in_seq = inclusive_scan(Seq, &v, 0, |a, b| a + b);
+        both_backends(|| {
+            assert_eq!(exclusive_scan(Par, &v, 0, |a, b| a + b), ex_seq);
+            assert_eq!(inclusive_scan(ParUnseq, &v, 0, |a, b| a + b), in_seq);
+        });
+    }
+
+    #[test]
+    fn min_max_match_iterator(v in prop::collection::vec(any::<i32>(), 1..3000)) {
+        let expect_min = v.iter().enumerate().min_by_key(|(_, &x)| x).map(|(i, _)| i);
+        let expect_max_val = *v.iter().max().unwrap();
+        both_backends(|| {
+            // Iterator::min_by_key returns the FIRST minimum, like ours.
+            assert_eq!(min_element(Par, &v, |&x| x), expect_min);
+            // max_element picks the first maximum; compare by value.
+            let got_max = max_element(Par, &v, |&x| x).unwrap();
+            assert_eq!(v[got_max], expect_max_val);
+        });
+    }
+
+    #[test]
+    fn permutation_gather_is_inverse_of_sorting(keys in prop::collection::vec(any::<u32>(), 1..2000)) {
+        let mut pairs: Vec<(u32, u32)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        sort_by_key(Par, &mut pairs, |&p| p);
+        let perm: Vec<u32> = pairs.iter().map(|&(_, i)| i).collect();
+        let gathered = apply_permutation(Par, &keys, &perm);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(gathered, expect);
+    }
+
+    #[test]
+    fn count_if_matches_filter(v in prop::collection::vec(0u32..50, 0..3000)) {
+        let expect = v.iter().filter(|&&x| x % 7 == 0).count();
+        both_backends(|| {
+            assert_eq!(count_if(ParUnseq, 0..v.len(), |i| v[i] % 7 == 0), expect);
+        });
+    }
+}
+
+#[test]
+fn fill_generate_copy_smoke_both_backends() {
+    for backend in Backend::ALL {
+        with_backend(backend, || {
+            let mut a = vec![0u32; 10_000];
+            fill(ParUnseq, &mut a, 7);
+            assert!(a.iter().all(|&x| x == 7));
+            let mut b = vec![0u32; 10_000];
+            generate(Par, &mut b, |i| i as u32);
+            let mut c = vec![0u32; 10_000];
+            copy(ParUnseq, &b, &mut c);
+            assert_eq!(b, c);
+        });
+    }
+}
