@@ -53,7 +53,7 @@ fn main() {
             }
         }
     }
-    stdpar::backend::set_backend(stdpar::backend::Backend::Rayon);
+    stdpar::backend::set_backend(stdpar::backend::Backend::Dynamic);
     print_table(&["algorithm", "policy", "backend", "throughput", "seconds"], &rows);
     println!();
     println!("n/a rows are the paper's portability result: octree and all-pairs-col");

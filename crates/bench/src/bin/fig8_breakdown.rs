@@ -4,7 +4,7 @@
 //! The paper plots, per toolchain (AdaptiveCpp / NVC++ / Clang), the share
 //! of bounding-box, tree-build, multipole and sort phases, and finds the
 //! spread between toolchains small and "attributed mainly in the sorting
-//! algorithm". Our toolchain axis is the stdpar backend (rayon vs threads).
+//! algorithm". Our toolchain axis is the stdpar backend (dynamic vs threads).
 //!
 //! Usage: `fig8_breakdown [--n=100000] [--steps=3]`
 
@@ -47,7 +47,7 @@ fn main() {
             ]);
         }
     }
-    stdpar::backend::set_backend(stdpar::backend::Backend::Rayon);
+    stdpar::backend::set_backend(stdpar::backend::Backend::Dynamic);
     print_table(
         &["algorithm", "backend", "bbox", "sort", "build", "multipole", "update", "(force share of total)"],
         &rows,

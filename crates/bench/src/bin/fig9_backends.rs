@@ -3,7 +3,7 @@
 //!
 //! The paper compares AdaptiveCpp vs NVC++ on GH200 over a body-count
 //! sweep and finds ≤1.25× differences, mostly in CALCULATEFORCE. Our two
-//! toolchains are the stdpar backends (rayon work-stealing vs static
+//! toolchains are the stdpar backends (dynamic self-scheduling vs static
 //! scoped threads) executing the *same* solver source.
 //!
 //! Usage: `fig9_backends [--min-log2=12] [--max-log2=18] [--steps=2] [--solver=octree|bvh]`
@@ -49,8 +49,8 @@ fn main() {
             format!("{:.2}x", tp[0].max(tp[1]) / tp[0].min(tp[1]).max(1e-12)),
         ]);
     }
-    stdpar::backend::set_backend(Backend::Rayon);
-    print_table(&["bodies", "rayon", "threads", "max/min"], &rows);
+    stdpar::backend::set_backend(Backend::Dynamic);
+    print_table(&["bodies", "dynamic", "threads", "max/min"], &rows);
     println!();
     println!("expected shape (paper): the two substrates stay within ~1.25x of each");
     println!("other at every size, differences concentrated in the force phase.");

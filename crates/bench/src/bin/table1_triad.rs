@@ -5,7 +5,7 @@
 //! parallel-algorithms TRIAD kernel (`a[i] = b[i] + s·c[i]`) and comparing
 //! against theoretical peak bandwidth. This binary does the same over the
 //! `stdpar` crate: per policy (seq / par / par_unseq) and backend
-//! (rayon / threads), it reports achieved GB/s.
+//! (dynamic / threads), it reports achieved GB/s.
 //!
 //! Usage: `table1_triad [--elems=33554432] [--reps=50]`
 

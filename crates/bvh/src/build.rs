@@ -115,6 +115,12 @@ impl Bvh {
         self.sorted = true;
     }
 
+    /// Invalidate any previous sort (a failed re-sort must not leave the
+    /// tree claiming stale sorted data is current).
+    pub(crate) fn unmark_sorted(&mut self) {
+        self.sorted = false;
+    }
+
     /// Number of leaf nodes (power of two, ≥ n).
     #[inline]
     pub fn leaf_count(&self) -> usize {
@@ -188,6 +194,21 @@ impl Bvh {
     ///
     /// All loops are element-independent, so any policy works — including
     /// `ParUnseq` (the paper's choice).
+    ///
+    /// Errors with [`BuildError::NotSorted`](nbody_resilience::BuildError)
+    /// when called before a successful sort of the current bodies.
+    pub fn try_build_and_accumulate<P: ExecutionPolicy>(
+        &mut self,
+        policy: P,
+    ) -> Result<(), nbody_resilience::BuildError> {
+        if !self.sorted {
+            return Err(nbody_resilience::BuildError::NotSorted);
+        }
+        self.build_and_accumulate(policy);
+        Ok(())
+    }
+
+    /// Panicking variant of [`Bvh::try_build_and_accumulate`].
     pub fn build_and_accumulate<P: ExecutionPolicy>(&mut self, policy: P) {
         assert!(self.sorted, "call hilbert_sort before build_and_accumulate");
         let n = self.n;

@@ -51,3 +51,4 @@ pub mod validate;
 
 pub use build::{Bvh, BvhParams, Curve};
 pub use nbody_math::gravity::ForceParams;
+pub use nbody_resilience::BuildError;

@@ -13,15 +13,14 @@
 use crate::build::{Bvh, Curve};
 use nbody_math::hilbert::HilbertGrid;
 use nbody_math::{Aabb, Vec3};
+use nbody_resilience::BuildError;
 use stdpar::prelude::*;
 
 impl Bvh {
-    /// Sort bodies along the Hilbert curve.
+    /// Sort bodies along the Hilbert curve, panicking on invalid input.
     ///
-    /// `bounds` is the output of CALCULATEBOUNDINGBOX. After this call,
-    /// [`Bvh::sorted_positions`] and the permutation are valid and
-    /// [`Bvh::build_and_accumulate`] may run. Any execution policy works
-    /// (`par_unseq` in the paper).
+    /// Thin wrapper over [`Bvh::try_hilbert_sort`] for callers that treat
+    /// bad input as a programming error.
     pub fn hilbert_sort<P: ExecutionPolicy>(
         &mut self,
         policy: P,
@@ -29,17 +28,52 @@ impl Bvh {
         masses: &[f64],
         bounds: Aabb,
     ) {
-        assert_eq!(positions.len(), masses.len(), "positions/masses length mismatch");
+        if let Err(e) = self.try_hilbert_sort(policy, positions, masses, bounds) {
+            panic!("hilbert_sort: {e}");
+        }
+    }
+
+    /// Sort bodies along the Hilbert curve.
+    ///
+    /// `bounds` is the output of CALCULATEBOUNDINGBOX. After this call,
+    /// [`Bvh::sorted_positions`] and the permutation are valid and
+    /// [`Bvh::build_and_accumulate`] may run. Any execution policy works
+    /// (`par_unseq` in the paper).
+    ///
+    /// Errors with [`BuildError::LengthMismatch`] if `positions` and
+    /// `masses` disagree, or [`BuildError::InvalidPositions`] if any
+    /// position is non-finite or the bounds of a non-empty system are
+    /// empty/non-finite.
+    pub fn try_hilbert_sort<P: ExecutionPolicy>(
+        &mut self,
+        policy: P,
+        positions: &[Vec3],
+        masses: &[f64],
+        bounds: Aabb,
+    ) -> Result<(), BuildError> {
+        if positions.len() != masses.len() {
+            return Err(BuildError::LengthMismatch {
+                positions: positions.len(),
+                masses: masses.len(),
+            });
+        }
         let n = positions.len();
         self.n = n;
+        self.unmark_sorted();
         if n == 0 {
             self.perm.clear();
             self.sorted_pos.clear();
             self.sorted_mass.clear();
             self.mark_sorted();
-            return;
+            return Ok(());
         }
-        assert!(!bounds.is_empty(), "non-empty bounds required for a non-empty system");
+        if bounds.is_empty()
+            || !bounds.min.is_finite()
+            || !bounds.max.is_finite()
+            || !positions.iter().all(|p| p.is_finite())
+        {
+            return Err(BuildError::InvalidPositions);
+        }
 
         let grid = HilbertGrid::new(bounds, self.params.hilbert_bits);
         let curve = self.params.curve;
@@ -69,6 +103,7 @@ impl Bvh {
         self.sorted_pos = apply_permutation(policy, positions, &self.perm);
         self.sorted_mass = apply_permutation(policy, masses, &self.perm);
         self.mark_sorted();
+        Ok(())
     }
 
     /// Hilbert keys of the *sorted* bodies (for tests/diagnostics).
@@ -190,6 +225,38 @@ mod tests {
         let h = mean_step(Curve::Hilbert);
         let m = mean_step(Curve::Morton);
         assert!(h < m, "hilbert {h} should beat morton {m}");
+    }
+
+    #[test]
+    fn try_sort_rejects_bad_inputs_typed() {
+        let mut b = Bvh::new();
+        // Length mismatch.
+        let err = b
+            .try_hilbert_sort(Par, &[Vec3::ZERO, Vec3::ONE], &[1.0], Aabb::new(Vec3::ZERO, Vec3::ONE))
+            .unwrap_err();
+        assert_eq!(err, BuildError::LengthMismatch { positions: 2, masses: 1 });
+        // NaN position.
+        let pos = vec![Vec3::new(f64::NAN, 0.0, 0.0), Vec3::ONE];
+        let err = b
+            .try_hilbert_sort(Par, &pos, &[1.0, 1.0], Aabb::new(Vec3::ZERO, Vec3::ONE))
+            .unwrap_err();
+        assert_eq!(err, BuildError::InvalidPositions);
+        // Empty bounds with bodies present.
+        let err = b
+            .try_hilbert_sort(Par, &[Vec3::ZERO], &[1.0], Aabb::EMPTY)
+            .unwrap_err();
+        assert_eq!(err, BuildError::InvalidPositions);
+        // Build without a successful sort is typed, not a hang or panic.
+        assert_eq!(b.try_build_and_accumulate(Par).unwrap_err(), BuildError::NotSorted);
+    }
+
+    #[test]
+    fn try_sort_then_try_build_round_trip() {
+        let (pos, mass) = random_system(500, 77);
+        let mut b = Bvh::new();
+        b.try_hilbert_sort(Par, &pos, &mass, Aabb::from_points(&pos)).unwrap();
+        b.try_build_and_accumulate(Par).unwrap();
+        crate::validate::BvhInvariants::check(&b).unwrap();
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub mod tree;
 pub mod validate;
 
 pub use force::ForceParams;
-pub use tree::{BuildError, BuildStats, Octree, MAX_DEPTH};
+pub use tree::{BuildError, BuildStats, Octree, DEFAULT_SPIN_BUDGET, MAX_DEPTH};
 pub use validate::TreeInvariants;

@@ -3,7 +3,8 @@
 
 use crate::tags::{self, Slot, CHILDREN, EMPTY, FIRST_GROUP, LOCKED};
 use nbody_math::{Aabb, AtomicF64, Vec3};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+pub use nbody_resilience::BuildError;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use stdpar::prelude::*;
 
 /// Maximum descent depth before bodies are chained as co-located.
@@ -27,30 +28,41 @@ pub struct BuildStats {
     pub retries: u32,
 }
 
-/// Build failure.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BuildError {
-    /// Pool growth exceeded the hard memory cap.
-    PoolExhausted { requested_nodes: u32 },
-    /// More bodies than the 31-bit index encoding supports.
-    TooManyBodies { n: usize },
-    /// Positions contained NaN/inf, or the bounding box was empty with n>0.
-    InvalidPositions,
+/// Default per-worker budget of *consecutive* spins on one locked slot.
+///
+/// Under parallel forward progress a lock holder finishes its constant-work
+/// critical section after a bounded delay, so a healthy build never comes
+/// close to this. Exhausting it means the holder is stuck (crashed,
+/// descheduled forever, or a seeded fault) — the build aborts with
+/// [`BuildError::SpinBudgetExhausted`] instead of hanging.
+pub const DEFAULT_SPIN_BUDGET: u64 = 1 << 24;
+
+/// Shared control block threaded through the per-body insert lambdas of one
+/// build attempt: the first worker to observe a fatal condition flags it and
+/// every other worker bails out promptly.
+struct InsertCtl {
+    /// A group allocation failed: grow the pool and restart the build.
+    overflow: AtomicBool,
+    /// A worker exceeded its spin budget: the build is livelocked.
+    spin_exhausted: AtomicBool,
+    /// Largest consecutive-spin count observed by a giving-up worker.
+    max_spins: AtomicU64,
 }
 
-impl std::fmt::Display for BuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            BuildError::PoolExhausted { requested_nodes } => {
-                write!(f, "octree node pool exhausted (requested {requested_nodes} nodes)")
-            }
-            BuildError::TooManyBodies { n } => write!(f, "too many bodies for u32 indices: {n}"),
-            BuildError::InvalidPositions => write!(f, "positions invalid or bounding box empty"),
+impl InsertCtl {
+    fn new() -> Self {
+        InsertCtl {
+            overflow: AtomicBool::new(false),
+            spin_exhausted: AtomicBool::new(false),
+            max_spins: AtomicU64::new(0),
         }
     }
-}
 
-impl std::error::Error for BuildError {}
+    /// True once any worker flagged a condition that dooms this attempt.
+    fn aborted(&self) -> bool {
+        self.overflow.load(Ordering::Relaxed) || self.spin_exhausted.load(Ordering::Relaxed)
+    }
+}
 
 /// The concurrent octree (see crate docs).
 pub struct Octree {
@@ -77,6 +89,14 @@ pub struct Octree {
     pub(crate) n_bodies: usize,
     /// High-water mark of initialised (zeroed) child slots.
     initialized: u32,
+    /// Per-worker consecutive-spin budget (see [`DEFAULT_SPIN_BUDGET`]).
+    spin_budget: u64,
+    /// One-shot fault: leave the root slot LOCKED for the next build.
+    inject_stuck_lock: bool,
+    /// One-shot fault: cap the allocator for the next build so it overflows.
+    inject_pool_exhaustion: bool,
+    /// Allocator cap in effect for the current build (`u32::MAX` = none).
+    alloc_limit: u32,
 }
 
 impl Default for Octree {
@@ -108,7 +128,40 @@ impl Octree {
             arrivals: Vec::new(),
             n_bodies: 0,
             initialized: 0,
+            spin_budget: DEFAULT_SPIN_BUDGET,
+            inject_stuck_lock: false,
+            inject_pool_exhaustion: false,
+            alloc_limit: u32::MAX,
         }
+    }
+
+    /// Bound the number of consecutive spins a worker may burn waiting on
+    /// one locked slot before the build aborts with
+    /// [`BuildError::SpinBudgetExhausted`]. A budget of 0 never spins.
+    pub fn set_spin_budget(&mut self, budget: u64) {
+        self.spin_budget = budget;
+    }
+
+    /// Current consecutive-spin budget.
+    pub fn spin_budget(&self) -> u64 {
+        self.spin_budget
+    }
+
+    /// Fault injection: the *next* build starts with the root slot LOCKED,
+    /// as if a worker died inside its critical section. Exactly one build is
+    /// affected; the rebuild after it observes a clean pool. Test-only in
+    /// spirit, but kept available in release builds so the resilience
+    /// harness can exercise production code paths.
+    pub fn inject_stuck_lock(&mut self) {
+        self.inject_stuck_lock = true;
+    }
+
+    /// Fault injection: the *next* build runs with the node allocator capped
+    /// at its first sibling group, forcing [`BuildError::PoolExhausted`]
+    /// without the usual grow-and-retry. One-shot, like
+    /// [`Octree::inject_stuck_lock`].
+    pub fn inject_pool_exhaustion(&mut self) {
+        self.inject_pool_exhaustion = true;
     }
 
     /// Enable or disable quadrupole moments for subsequent
@@ -212,27 +265,50 @@ impl Octree {
             self.next_colocated = make_atomic_u32(n, CHAIN_END);
         }
 
+        // One-shot fault arming: consumed by exactly this build.
+        let stuck_lock = std::mem::take(&mut self.inject_stuck_lock);
+        self.alloc_limit =
+            if std::mem::take(&mut self.inject_pool_exhaustion) { FIRST_GROUP } else { u32::MAX };
+
         let mut retries = 0u32;
         loop {
             self.reset_slots();
+            if stuck_lock && retries == 0 {
+                // Simulate a worker that died holding the root lock.
+                self.child[0].store(LOCKED, Ordering::Release);
+            }
             // Reset chains for this build.
             for_each(policy, &mut self.next_colocated[..n], |c| *c = AtomicU32::new(CHAIN_END));
 
-            let overflow = AtomicBool::new(false);
+            let ctl = InsertCtl::new();
             let this = &*self;
-            let ov = &overflow;
+            let c = &ctl;
             for_each_index(policy, 0..n, |b| {
-                if !ov.load(Ordering::Relaxed) {
-                    this.insert(b as u32, positions, ov);
+                if !c.aborted() {
+                    this.insert(b as u32, positions, c);
                 }
             });
 
-            if !overflow.load(Ordering::Relaxed) {
+            if ctl.spin_exhausted.load(Ordering::Relaxed) {
+                // Livelock: a bigger pool cannot help, so no retry here. The
+                // pool is left dirty (reset at the next build).
+                return Err(BuildError::SpinBudgetExhausted {
+                    spins: ctl.max_spins.load(Ordering::Relaxed),
+                });
+            }
+            if !ctl.overflow.load(Ordering::Relaxed) {
                 return Ok(BuildStats {
                     allocated_nodes: self.allocated_nodes(),
                     bodies: n,
                     retries,
                 });
+            }
+            if self.alloc_limit != u32::MAX {
+                // Injected exhaustion: report rather than grow, and disarm so
+                // the caller's retry observes a healthy allocator.
+                let limit = self.alloc_limit;
+                self.alloc_limit = u32::MAX;
+                return Err(BuildError::PoolExhausted { requested_nodes: limit });
             }
             retries += 1;
             let new_size = pool_size_for((self.child.len() as u32).saturating_mul(2));
@@ -241,17 +317,21 @@ impl Octree {
     }
 
     /// Insert one body (the per-element lambda of Algorithm 4).
-    fn insert(&self, b: u32, positions: &[Vec3], overflow: &AtomicBool) {
+    fn insert(&self, b: u32, positions: &[Vec3], ctl: &InsertCtl) {
         let p = positions[b as usize];
         let mut i = 0u32;
         let mut center = self.root_center;
         let mut half = self.root_edge * 0.5;
         let mut depth = 0u32;
+        // Consecutive spins on the *current* locked slot; any forward step
+        // (or even a failed CAS, which proves the slot changed) resets it.
+        let mut spins = 0u64;
         loop {
             let tag = self.child[i as usize].load(Ordering::Acquire);
             match tags::decode(tag) {
                 Slot::Node(c) => {
                     // Forward step: descend into the child covering `p`.
+                    spins = 0;
                     let oct = Aabb::octant_of(center, p);
                     center = octant_center(center, half, oct);
                     half *= 0.5;
@@ -259,6 +339,7 @@ impl Octree {
                     depth += 1;
                 }
                 Slot::Empty => {
+                    spins = 0;
                     // Try to claim the empty leaf directly.
                     if self.child[i as usize]
                         .compare_exchange_weak(
@@ -275,10 +356,24 @@ impl Octree {
                 }
                 Slot::Locked => {
                     // Another thread is sub-dividing: wait (starvation-free —
-                    // requires parallel forward progress, hence the `par` bound).
+                    // requires parallel forward progress, hence the `par`
+                    // bound). The wait is budgeted: a holder that never
+                    // publishes would otherwise livelock the whole build.
+                    spins += 1;
+                    if spins > self.spin_budget {
+                        ctl.max_spins.fetch_max(spins, Ordering::Relaxed);
+                        ctl.spin_exhausted.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    if spins.is_multiple_of(64) && ctl.spin_exhausted.load(Ordering::Relaxed) {
+                        // A peer already diagnosed the livelock; don't burn
+                        // a full budget rediscovering it.
+                        return;
+                    }
                     std::hint::spin_loop();
                 }
                 Slot::Body(b2) => {
+                    spins = 0;
                     // Try to lock the leaf for sub-division (Algorithm 5).
                     if self.child[i as usize]
                         .compare_exchange_weak(tag, LOCKED, Ordering::Acquire, Ordering::Relaxed)
@@ -311,7 +406,7 @@ impl Octree {
                         None => {
                             // Pool exhausted: restore the leaf, flag, abort.
                             self.child[i as usize].store(tags::body_tag(b2), Ordering::Release);
-                            overflow.store(true, Ordering::Relaxed);
+                            ctl.overflow.store(true, Ordering::Relaxed);
                             return;
                         }
                     }
@@ -325,7 +420,8 @@ impl Octree {
     /// atomic add operations" on a pre-reserved pool).
     fn allocate_group(&self) -> Option<u32> {
         let c = self.bump.fetch_add(CHILDREN, Ordering::Relaxed);
-        if (c as usize) + CHILDREN as usize <= self.child.len() {
+        let cap = (self.child.len() as u32).min(self.alloc_limit);
+        if c.saturating_add(CHILDREN) <= cap {
             Some(c)
         } else {
             None
@@ -571,6 +667,60 @@ mod tests {
             assert!(s >= n.max(FIRST_GROUP));
             assert_eq!((s - FIRST_GROUP) % CHILDREN, 0);
         }
+    }
+
+    #[test]
+    fn stuck_lock_detected_not_hung() {
+        let pos = random_points(200, 21);
+        let mut t = Octree::new();
+        t.set_spin_budget(10_000); // keep the test fast
+        t.inject_stuck_lock();
+        let err = t.build(Par, &pos, Aabb::from_points(&pos)).unwrap_err();
+        match err {
+            BuildError::SpinBudgetExhausted { spins } => assert!(spins > 10_000),
+            other => panic!("expected SpinBudgetExhausted, got {other:?}"),
+        }
+        // The injection was one-shot: an immediate rebuild succeeds.
+        let stats = t.build(Par, &pos, Aabb::from_points(&pos)).unwrap();
+        assert_eq!(stats.bodies, 200);
+        let mut bodies = crate::validate::collect_bodies(&t);
+        bodies.sort_unstable();
+        assert_eq!(bodies, (0..200u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stuck_lock_detected_sequentially() {
+        // Single-threaded: the budget is the only thing standing between the
+        // lone worker and an infinite spin.
+        let pos = random_points(50, 22);
+        let mut t = Octree::new();
+        t.set_spin_budget(1000);
+        t.inject_stuck_lock();
+        let err = t.build(Seq, &pos, Aabb::from_points(&pos)).unwrap_err();
+        assert!(matches!(err, BuildError::SpinBudgetExhausted { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn injected_pool_exhaustion_reports_and_recovers() {
+        let pos = random_points(500, 23);
+        let mut t = Octree::new();
+        t.inject_pool_exhaustion();
+        let err = t.build(Par, &pos, Aabb::from_points(&pos)).unwrap_err();
+        assert!(matches!(err, BuildError::PoolExhausted { .. }), "{err:?}");
+        assert!(err.is_retryable());
+        // One-shot: the retry builds normally.
+        let stats = t.build(Par, &pos, Aabb::from_points(&pos)).unwrap();
+        assert_eq!(stats.bodies, 500);
+    }
+
+    #[test]
+    fn healthy_build_untouched_by_budget() {
+        // A generous budget must never fire on a fault-free build.
+        let pos = random_points(3000, 24);
+        let mut t = Octree::new();
+        t.set_spin_budget(DEFAULT_SPIN_BUDGET);
+        let stats = t.build(Par, &pos, Aabb::from_points(&pos)).unwrap();
+        assert_eq!(stats.bodies, 3000);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Fault adapters for virtual threads: bounded spinning and slow workers.
+//!
+//! These wrap any [`VThread`] to model the *fault-tolerant* variants of the
+//! paper's algorithms:
+//!
+//! * [`BoundedSpin`] — the scheduler-simulator twin of the octree's
+//!   spin-budget (`bh_octree::DEFAULT_SPIN_BUDGET`): after `budget`
+//!   consecutive spin iterations the thread **aborts** (reports `Done`) and
+//!   records the exhaustion in a shared [`ExhaustionFlag`] instead of
+//!   spinning forever. Crucially, a *budgeted* spin iteration is reported to
+//!   the scheduler as [`Step::Progress`], not [`Step::Spin`]: a loop that is
+//!   guaranteed to terminate within `budget` iterations *does* satisfy
+//!   weakly-parallel forward progress — which is exactly why a bounded spin
+//!   turns the paper's non-ITS hang into a detectable, recoverable build
+//!   error rather than a livelock.
+//! * [`SlowWorker`] — stretches every step of the inner thread by a constant
+//!   factor, modelling a straggler core or a pre-empted worker. Under fair
+//!   (ITS) scheduling the rest of the system is unaffected; the adapter
+//!   exists so fault-injection runs can assert exactly that.
+
+use crate::scheduler::{Step, VThread};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared, cloneable record of spin-budget exhaustions across a thread
+/// group — the simulator analogue of `bh_octree`'s `InsertCtl` flag.
+#[derive(Clone, Debug, Default)]
+pub struct ExhaustionFlag(Rc<Cell<u64>>);
+
+impl ExhaustionFlag {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True iff at least one wrapped thread ran out of spin budget.
+    pub fn exhausted(&self) -> bool {
+        self.0.get() > 0
+    }
+
+    /// How many threads ran out of spin budget.
+    pub fn count(&self) -> u64 {
+        self.0.get()
+    }
+
+    fn record(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+}
+
+/// Abort after `budget` *consecutive* spins instead of spinning forever.
+///
+/// The consecutive counter resets whenever the inner thread makes progress,
+/// mirroring the octree insert loop: only an unbroken run of `Locked`
+/// observations counts toward the budget.
+pub struct BoundedSpin<T: VThread> {
+    inner: T,
+    budget: u64,
+    consecutive: u64,
+    flag: ExhaustionFlag,
+    aborted: bool,
+}
+
+impl<T: VThread> BoundedSpin<T> {
+    pub fn new(inner: T, budget: u64, flag: ExhaustionFlag) -> Self {
+        BoundedSpin { inner, budget, consecutive: 0, flag, aborted: false }
+    }
+
+    /// True iff this thread gave up (its work item was *not* completed).
+    pub fn aborted(&self) -> bool {
+        self.aborted
+    }
+}
+
+impl<T: VThread> VThread for BoundedSpin<T> {
+    fn pc(&self) -> u32 {
+        self.inner.pc()
+    }
+
+    fn step(&mut self) -> Step {
+        if self.aborted {
+            return Step::Done;
+        }
+        match self.inner.step() {
+            Step::Spin => {
+                self.consecutive += 1;
+                if self.consecutive > self.budget {
+                    self.aborted = true;
+                    self.flag.record();
+                    return Step::Done;
+                }
+                // In-budget spin: guaranteed-terminating, hence progress
+                // in the forward-progress-guarantee sense (see module docs).
+                Step::Progress
+            }
+            other => {
+                self.consecutive = 0;
+                other
+            }
+        }
+    }
+}
+
+/// Stretch every inner step by `factor`: `factor - 1` filler steps precede
+/// each real one. `factor = 1` is a transparent wrapper.
+pub struct SlowWorker<T: VThread> {
+    inner: T,
+    factor: u32,
+    pending: u32,
+}
+
+impl<T: VThread> SlowWorker<T> {
+    pub fn new(inner: T, factor: u32) -> Self {
+        assert!(factor >= 1, "factor must be at least 1");
+        SlowWorker { inner, factor, pending: 0 }
+    }
+}
+
+impl<T: VThread> VThread for SlowWorker<T> {
+    fn pc(&self) -> u32 {
+        self.inner.pc()
+    }
+
+    fn step(&mut self) -> Step {
+        if self.pending > 0 {
+            self.pending -= 1;
+            return Step::Progress;
+        }
+        let s = self.inner.step();
+        if s != Step::Done {
+            self.pending = self.factor - 1;
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{run_its, run_lockstep, Outcome};
+    use crate::tree_insert::{InsertThread, SharedTree, Slot};
+    use std::rc::Rc;
+
+    fn bounded_insertion(
+        n: usize,
+        budget: u64,
+    ) -> (Vec<Box<dyn VThread>>, Rc<SharedTree>, ExhaustionFlag) {
+        let tree = SharedTree::new();
+        let values: Rc<Vec<f64>> =
+            Rc::new((0..n).map(|i| 0.3 + 0.4 * (i as f64 + 0.5) / n as f64).collect());
+        let flag = ExhaustionFlag::new();
+        let threads: Vec<Box<dyn VThread>> = (0..n)
+            .map(|b| {
+                Box::new(BoundedSpin::new(
+                    InsertThread::new(tree.clone(), values.clone(), b),
+                    budget,
+                    flag.clone(),
+                )) as Box<dyn VThread>
+            })
+            .collect();
+        (threads, tree, flag)
+    }
+
+    #[test]
+    fn unbounded_contention_livelocks_bounded_reports_exhaustion() {
+        // Baseline: plain inserters in one warp hang under min-pc lockstep.
+        let raw = crate::tree_insert::contended_insertion(8, 0.5);
+        assert!(matches!(run_lockstep(raw, 8, 1_000_000), Outcome::Livelock { .. }));
+
+        // Bounded: same contention, same warp — completes, and the shared
+        // flag reports what happened instead of the scheduler hanging. The
+        // tree may be left dirty (locks held by aborted threads): detecting
+        // and rebuilding is the caller's retry contract, exactly as in
+        // `Octree::build`.
+        let (threads, _tree, flag) = bounded_insertion(8, 64);
+        let out = run_lockstep(threads, 8, 1_000_000);
+        assert!(out.completed(), "{out:?}");
+        assert!(flag.exhausted(), "expected at least one spin-budget abort");
+    }
+
+    #[test]
+    fn bounded_spin_under_fair_scheduling_never_exhausts() {
+        // Under ITS the holder is always rescheduled, so waiters only ever
+        // spin a handful of consecutive iterations: a generous budget is
+        // never hit and every body lands in the tree.
+        for n in [4usize, 16, 64] {
+            let (threads, tree, flag) = bounded_insertion(n, 10_000);
+            let out = run_its(threads, 10_000_000);
+            assert!(out.completed(), "n={n}: {out:?}");
+            assert!(!flag.exhausted(), "n={n}: spurious exhaustion");
+            assert_eq!(tree.collect_bodies(), (0..n).collect::<Vec<_>>());
+            assert!(tree.no_locks_held());
+        }
+    }
+
+    #[test]
+    fn stuck_lock_aborts_all_waiters_instead_of_hanging() {
+        // Adversary: a holder crashed mid-critical-section, leaving the
+        // root Locked forever (the simulator twin of
+        // `Octree::inject_stuck_lock`).
+        let tree = SharedTree::new();
+        tree.store_pub(0, Slot::Locked);
+        let values: Rc<Vec<f64>> = Rc::new(vec![0.25, 0.5, 0.75]);
+        let flag = ExhaustionFlag::new();
+        let threads: Vec<Box<dyn VThread>> = (0..3)
+            .map(|b| {
+                Box::new(BoundedSpin::new(
+                    InsertThread::new(tree.clone(), values.clone(), b),
+                    100,
+                    flag.clone(),
+                )) as Box<dyn VThread>
+            })
+            .collect();
+
+        // Without the budget this is an unconditional livelock under any
+        // scheduler; with it, every waiter aborts and reports.
+        let out = run_its(threads, 1_000_000);
+        assert!(out.completed(), "{out:?}");
+        assert_eq!(flag.count(), 3);
+        assert_eq!(tree.collect_bodies(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn bounded_spin_exhaustion_is_deterministic() {
+        let run = || {
+            let (threads, _, flag) = bounded_insertion(8, 64);
+            let out = run_lockstep(threads, 8, 1_000_000);
+            (out, flag.count())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn slow_worker_is_transparent_under_fair_scheduling() {
+        // One straggler (8× slower) among fast inserters: under ITS the run
+        // still completes with a consistent tree.
+        let tree = SharedTree::new();
+        let n = 8usize;
+        let values: Rc<Vec<f64>> =
+            Rc::new((0..n).map(|i| 0.3 + 0.4 * (i as f64 + 0.5) / n as f64).collect());
+        let threads: Vec<Box<dyn VThread>> = (0..n)
+            .map(|b| {
+                let t = InsertThread::new(tree.clone(), values.clone(), b);
+                if b == 0 {
+                    Box::new(SlowWorker::new(t, 8)) as Box<dyn VThread>
+                } else {
+                    Box::new(t) as Box<dyn VThread>
+                }
+            })
+            .collect();
+        let out = run_its(threads, 10_000_000);
+        assert!(out.completed(), "{out:?}");
+        assert_eq!(tree.collect_bodies(), (0..n).collect::<Vec<_>>());
+        assert!(tree.no_locks_held());
+    }
+
+    #[test]
+    fn slow_worker_factor_one_is_identity() {
+        let tree = SharedTree::new();
+        let values: Rc<Vec<f64>> = Rc::new(vec![0.4, 0.6]);
+        let threads: Vec<Box<dyn VThread>> = (0..2)
+            .map(|b| {
+                Box::new(SlowWorker::new(
+                    InsertThread::new(tree.clone(), values.clone(), b),
+                    1,
+                )) as Box<dyn VThread>
+            })
+            .collect();
+        assert!(run_its(threads, 100_000).completed());
+        assert_eq!(tree.collect_bodies(), vec![0, 1]);
+    }
+}

@@ -44,9 +44,11 @@
 //! ```
 
 pub mod atomic_accum;
+pub mod faults;
 pub mod reduce;
 pub mod scheduler;
 pub mod tree_insert;
 pub mod two_stage;
 
+pub use faults::{BoundedSpin, ExhaustionFlag, SlowWorker};
 pub use scheduler::{run_its, run_lockstep, Outcome, Step, VThread};

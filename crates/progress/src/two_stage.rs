@@ -177,14 +177,7 @@ mod tests {
     fn more_parts_means_more_parallelism() {
         // Under ITS, a finer stage-1 partition shortens the critical path
         // (steps to completion with fair round-robin stay similar, but the
-        // longest single leader's work shrinks). Compare serial work:
-        let serial_work = |parts: usize| {
-            let (threads, _, _) = two_stage_insertion(256, parts);
-            // Max bodies handled by any one leader.
-            threads.len()
-        };
-        assert!(serial_work(16) > serial_work(4) || true);
-        // Direct check on body distribution instead:
+        // longest single leader's work shrinks): one leader thread per part.
         let (t4, _, _) = two_stage_insertion(256, 4);
         let (t16, _, _) = two_stage_insertion(256, 16);
         assert_eq!(t4.len(), 4);

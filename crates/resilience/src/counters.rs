@@ -1,0 +1,105 @@
+//! Recovery diagnostics.
+
+use crate::error::BuildError;
+
+/// Counts of every recovery action the resilient solver took, so a run can
+/// report *how* it survived, not just that it did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Builds that failed with a retryable error and succeeded on retry.
+    pub build_retries: u64,
+    /// Steps where the active solver was abandoned for the next one in the
+    /// fallback chain.
+    pub fallbacks: u64,
+    /// Steps rejected because a body position was NaN/non-finite on entry.
+    pub invalid_states: u64,
+    /// Force passes discarded because an output acceleration was non-finite.
+    pub nonfinite_accels: u64,
+    /// Builds that reported a spin-budget (livelock) exhaustion.
+    pub spin_exhaustions: u64,
+    /// Builds that reported pool exhaustion.
+    pub pool_exhaustions: u64,
+    /// Slow-worker faults observed (informational; no recovery needed).
+    pub slow_workers: u64,
+}
+
+impl RecoveryCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total recovery actions (excludes informational `slow_workers`).
+    pub fn total_recoveries(&self) -> u64 {
+        self.build_retries + self.fallbacks + self.invalid_states + self.nonfinite_accels
+    }
+
+    /// Record a build error observed during a step (classification only;
+    /// the caller separately records the retry/fallback it chose).
+    pub fn record_build_error(&mut self, err: BuildError) {
+        match err {
+            BuildError::SpinBudgetExhausted { .. } => self.spin_exhaustions += 1,
+            BuildError::PoolExhausted { .. } => self.pool_exhaustions += 1,
+            BuildError::InvalidPositions => self.invalid_states += 1,
+            _ => {}
+        }
+    }
+
+    /// Merge another set of counters into this one.
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.build_retries += other.build_retries;
+        self.fallbacks += other.fallbacks;
+        self.invalid_states += other.invalid_states;
+        self.nonfinite_accels += other.nonfinite_accels;
+        self.spin_exhaustions += other.spin_exhaustions;
+        self.pool_exhaustions += other.pool_exhaustions;
+        self.slow_workers += other.slow_workers;
+    }
+}
+
+impl std::fmt::Display for RecoveryCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "retries={} fallbacks={} invalid-states={} nonfinite-accels={} \
+             spin-exhaustions={} pool-exhaustions={} slow-workers={}",
+            self.build_retries,
+            self.fallbacks,
+            self.invalid_states,
+            self.nonfinite_accels,
+            self.spin_exhaustions,
+            self.pool_exhaustions,
+            self.slow_workers,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_and_merge() {
+        let mut c = RecoveryCounters::new();
+        c.record_build_error(BuildError::SpinBudgetExhausted { spins: 10 });
+        c.record_build_error(BuildError::PoolExhausted { requested_nodes: 8 });
+        c.record_build_error(BuildError::InvalidPositions);
+        c.record_build_error(BuildError::NotSorted); // unclassified: no panic
+        assert_eq!(c.spin_exhaustions, 1);
+        assert_eq!(c.pool_exhaustions, 1);
+        assert_eq!(c.invalid_states, 1);
+
+        let mut d = RecoveryCounters { fallbacks: 2, build_retries: 1, ..Default::default() };
+        d.merge(&c);
+        assert_eq!(d.spin_exhaustions, 1);
+        assert_eq!(d.fallbacks, 2);
+        assert_eq!(d.total_recoveries(), 4);
+    }
+
+    #[test]
+    fn display_is_greppable() {
+        let c = RecoveryCounters { fallbacks: 3, ..Default::default() };
+        let s = c.to_string();
+        assert!(s.contains("fallbacks=3"), "{s}");
+    }
+}

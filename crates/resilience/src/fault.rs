@@ -1,0 +1,197 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultInjector`] decides — purely as a function of `(seed, step)` —
+//! which faults to inject into a simulation step. Determinism is the whole
+//! point: a failing resilience test reproduces from its seed alone, with no
+//! dependence on thread timing, global RNG state, or call order. Internally
+//! each step gets its own [SplitMix64](nbody_math::SplitMix64) stream seeded
+//! from `seed ^ mix(step)`, so querying steps out of order (or twice)
+//! returns identical answers.
+
+use nbody_math::SplitMix64;
+
+/// The classes of fault the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A worker acquires a tree-node lock and never releases it, livelocking
+    /// peers that spin on the slot.
+    StuckLock,
+    /// The tree node pool is artificially capped so the build overflows.
+    AllocExhaustion,
+    /// A body position is corrupted to NaN before the force pass.
+    NanPositions,
+    /// A worker makes progress far slower than its peers (tests fairness /
+    /// bounded-wait assumptions, not correctness).
+    SlowWorker,
+}
+
+impl FaultKind {
+    /// All fault kinds, in a fixed order (used for rate iteration).
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::StuckLock,
+        FaultKind::AllocExhaustion,
+        FaultKind::NanPositions,
+        FaultKind::SlowWorker,
+    ];
+
+    /// Stable lowercase name for logs and diagnostics tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::StuckLock => "stuck-lock",
+            FaultKind::AllocExhaustion => "alloc-exhaustion",
+            FaultKind::NanPositions => "nan-positions",
+            FaultKind::SlowWorker => "slow-worker",
+        }
+    }
+}
+
+/// A deterministic fault schedule.
+///
+/// Two mechanisms compose:
+/// * **rates** ([`FaultInjector::with_rate`]) — each step, each kind fires
+///   independently with the given probability, decided by the per-step RNG
+///   stream;
+/// * **script** ([`FaultInjector::at_step`]) — a kind fires at exactly the
+///   given step, unconditionally.
+///
+/// [`FaultInjector::faults_at`] returns the union, in [`FaultKind::ALL`]
+/// order, each kind at most once per step.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    seed: u64,
+    rates: Vec<(FaultKind, f64)>,
+    scripted: Vec<(u64, FaultKind)>,
+}
+
+impl FaultInjector {
+    /// A schedule that injects nothing (until configured).
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { seed, rates: Vec::new(), scripted: Vec::new() }
+    }
+
+    /// Seed this injector was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fire `kind` each step with probability `rate` (clamped to `[0, 1]`).
+    /// Later calls for the same kind replace earlier ones.
+    pub fn with_rate(mut self, kind: FaultKind, rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        if let Some(slot) = self.rates.iter_mut().find(|(k, _)| *k == kind) {
+            slot.1 = rate;
+        } else {
+            self.rates.push((kind, rate));
+        }
+        self
+    }
+
+    /// Fire `kind` at exactly `step`, regardless of rates.
+    pub fn at_step(mut self, step: u64, kind: FaultKind) -> Self {
+        self.scripted.push((step, kind));
+        self
+    }
+
+    /// The faults to inject at `step`. Pure in `(self, step)`: any query
+    /// order, repetition, or interleaving yields the same answer.
+    pub fn faults_at(&self, step: u64) -> Vec<FaultKind> {
+        // Decorrelate the per-step stream from both seed and step with a
+        // 64-bit finalizer so adjacent steps don't share low-bit structure.
+        let mut rng = SplitMix64::new(self.seed ^ mix(step));
+        let mut out = Vec::new();
+        for kind in FaultKind::ALL {
+            let by_rate = self
+                .rates
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .is_some_and(|&(_, rate)| rng.next_f64() < rate);
+            let by_script = self.scripted.iter().any(|&(s, k)| s == step && k == kind);
+            if by_rate || by_script {
+                out.push(kind);
+            }
+        }
+        out
+    }
+
+    /// Whether `kind` fires at `step`.
+    pub fn fires(&self, step: u64, kind: FaultKind) -> bool {
+        self.faults_at(step).contains(&kind)
+    }
+}
+
+/// Stafford variant 13 of the MurmurHash3 finalizer.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultInjector::new(0xDEAD_BEEF)
+            .with_rate(FaultKind::StuckLock, 0.3)
+            .with_rate(FaultKind::NanPositions, 0.1);
+        let b = a.clone();
+        for step in 0..500 {
+            assert_eq!(a.faults_at(step), b.faults_at(step), "step {step}");
+        }
+    }
+
+    #[test]
+    fn query_order_is_irrelevant() {
+        let inj = FaultInjector::new(77).with_rate(FaultKind::AllocExhaustion, 0.5);
+        let forward: Vec<_> = (0..100).map(|s| inj.faults_at(s)).collect();
+        let backward: Vec<_> = (0..100).rev().map(|s| inj.faults_at(s)).collect();
+        for (s, faults) in backward.iter().rev().enumerate() {
+            assert_eq!(&forward[s], faults);
+        }
+    }
+
+    #[test]
+    fn scripted_faults_fire_exactly_once() {
+        let inj = FaultInjector::new(1).at_step(17, FaultKind::StuckLock);
+        for step in 0..100 {
+            let hit = inj.fires(step, FaultKind::StuckLock);
+            assert_eq!(hit, step == 17, "step {step}");
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let inj = FaultInjector::new(99).with_rate(FaultKind::SlowWorker, 0.25);
+        let hits = (0..4000).filter(|&s| inj.fires(s, FaultKind::SlowWorker)).count();
+        // 4000 trials at p=0.25: expect ~1000; allow a generous band.
+        assert!((800..1200).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn zero_and_full_rates() {
+        let never = FaultInjector::new(5).with_rate(FaultKind::NanPositions, 0.0);
+        let always = FaultInjector::new(5).with_rate(FaultKind::NanPositions, 1.0);
+        for step in 0..200 {
+            assert!(!never.fires(step, FaultKind::NanPositions));
+            assert!(always.fires(step, FaultKind::NanPositions));
+        }
+    }
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let mut names: Vec<_> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn rate_replacement_not_duplication() {
+        let inj = FaultInjector::new(3)
+            .with_rate(FaultKind::StuckLock, 1.0)
+            .with_rate(FaultKind::StuckLock, 0.0);
+        assert!(!inj.fires(0, FaultKind::StuckLock));
+        assert_eq!(inj.rates.len(), 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # nbody-resilience — typed failures and deterministic fault injection
+//!
+//! The paper's concurrent tree builds (§IV) are lock-based: a stuck worker,
+//! an undersized node pool, or a single NaN position can wedge or poison an
+//! entire simulation step. This crate centralises the *failure vocabulary*
+//! shared by `bh-octree`, `bh-bvh`, and `nbody-sim`:
+//!
+//! * [`BuildError`] — every way a tree build can fail, as one typed enum,
+//!   with [`BuildError::is_retryable`] encoding which failures the builders
+//!   recover from by retrying with grown capacity;
+//! * [`FaultKind`] / [`FaultInjector`] — a seeded, deterministic fault
+//!   schedule for exercising those failure paths in tests: the same seed
+//!   always injects the same faults at the same steps;
+//! * [`RecoveryCounters`] — diagnostics accumulated by the resilient solver
+//!   wrapper so tests (and operators) can assert *what* was recovered.
+//!
+//! The crate is deliberately dependency-light (only `nbody-math` for the
+//! [SplitMix64](nbody_math::SplitMix64) generator) so every layer of the
+//! workspace can name these types without cycles.
+
+pub mod counters;
+pub mod error;
+pub mod fault;
+
+pub use counters::RecoveryCounters;
+pub use error::BuildError;
+pub use fault::{FaultInjector, FaultKind};

@@ -9,6 +9,13 @@
 //!   tools;
 //! * **binary** — `NBSNAP01` magic, little-endian `u64` count, then the
 //!   three arrays; lossless `f64` round-trip and ~3× smaller than CSV.
+//!
+//! Readers are strict: a truncated file, a malformed record, or any
+//! non-finite value is rejected with a descriptive [`SnapshotError`]
+//! *before* the state reaches a solver — a NaN that slips in here would
+//! otherwise surface steps later as a mysteriously invalid tree. The
+//! `io::Result` entry points ([`read_csv`], [`read_binary`], [`load`])
+//! convert the typed error into `io::ErrorKind::InvalidData`.
 
 use crate::system::SystemState;
 use nbody_math::Vec3;
@@ -16,6 +23,90 @@ use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"NBSNAP01";
+
+/// Why a snapshot could not be loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure (not a format problem).
+    Io(io::Error),
+    /// The binary magic did not match `NBSNAP01`.
+    BadMagic,
+    /// The file ended before the promised payload: `n` bodies declared,
+    /// data ran out in `section` at body `body`.
+    Truncated { n: u64, section: &'static str, body: u64 },
+    /// The declared body count exceeds any plausible snapshot.
+    ImplausibleCount(u64),
+    /// The CSV header line was missing or wrong.
+    BadHeader,
+    /// A CSV record failed to parse (`line` is 1-based, counting the header).
+    Malformed { line: usize, reason: String },
+    /// A value was NaN/infinite, or a mass was negative: `what` names the
+    /// offending field, `body` the 0-based record.
+    NonFinite { body: usize, what: &'static str },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "i/o error: {e}"),
+            SnapshotError::BadMagic => write!(f, "bad snapshot magic (want NBSNAP01)"),
+            SnapshotError::Truncated { n, section, body } => write!(
+                f,
+                "truncated snapshot: header promises {n} bodies but {section} data ends at body {body}"
+            ),
+            SnapshotError::ImplausibleCount(n) => write!(f, "implausible body count {n}"),
+            SnapshotError::BadHeader => write!(f, "missing or unexpected csv header"),
+            SnapshotError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            SnapshotError::NonFinite { body, what } => {
+                write!(f, "body {body}: non-finite or negative {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for io::Error {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Io(inner) => inner,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Reject snapshots whose values no solver can consume.
+fn validate_state(state: &SystemState) -> Result<(), SnapshotError> {
+    for (i, p) in state.positions.iter().enumerate() {
+        if !p.is_finite() {
+            return Err(SnapshotError::NonFinite { body: i, what: "position" });
+        }
+    }
+    for (i, v) in state.velocities.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(SnapshotError::NonFinite { body: i, what: "velocity" });
+        }
+    }
+    for (i, &m) in state.masses.iter().enumerate() {
+        if !m.is_finite() || m < 0.0 {
+            return Err(SnapshotError::NonFinite { body: i, what: "mass" });
+        }
+    }
+    Ok(())
+}
 
 /// Write a CSV snapshot (`x,y,z,vx,vy,vz,m` per body, with header).
 pub fn write_csv<W: Write>(state: &SystemState, w: W) -> io::Result<()> {
@@ -34,14 +125,13 @@ pub fn write_csv<W: Write>(state: &SystemState, w: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Read a CSV snapshot produced by [`write_csv`] (header required).
-pub fn read_csv<R: Read>(r: R) -> io::Result<SystemState> {
+/// Read a CSV snapshot produced by [`write_csv`] (header required), with
+/// typed failure reporting. See [`SnapshotError`].
+pub fn try_read_csv<R: Read>(r: R) -> Result<SystemState, SnapshotError> {
     let mut lines = BufReader::new(r).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
+    let header = lines.next().ok_or(SnapshotError::BadHeader)??;
     if header.trim() != "x,y,z,vx,vy,vz,m" {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unexpected csv header"));
+        return Err(SnapshotError::BadHeader);
     }
     let mut state = SystemState::new();
     for (lineno, line) in lines.enumerate() {
@@ -53,14 +143,12 @@ pub fn read_csv<R: Read>(r: R) -> io::Result<SystemState> {
             .split(',')
             .map(|f| f.trim().parse::<f64>())
             .collect::<Result<_, _>>()
-            .map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 2))
-            })?;
+            .map_err(|e| SnapshotError::Malformed { line: lineno + 2, reason: e.to_string() })?;
         if fields.len() != 7 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("line {}: expected 7 fields, got {}", lineno + 2, fields.len()),
-            ));
+            return Err(SnapshotError::Malformed {
+                line: lineno + 2,
+                reason: format!("expected 7 fields, got {}", fields.len()),
+            });
         }
         state.push(
             Vec3::new(fields[0], fields[1], fields[2]),
@@ -68,7 +156,13 @@ pub fn read_csv<R: Read>(r: R) -> io::Result<SystemState> {
             fields[6],
         );
     }
+    validate_state(&state)?;
     Ok(state)
+}
+
+/// [`try_read_csv`] with the error lowered into `io::Error` (InvalidData).
+pub fn read_csv<R: Read>(r: R) -> io::Result<SystemState> {
+    try_read_csv(r).map_err(io::Error::from)
 }
 
 /// Write the lossless binary snapshot format.
@@ -92,39 +186,65 @@ pub fn write_binary<W: Write>(state: &SystemState, w: W) -> io::Result<()> {
     w.flush()
 }
 
-/// Read the binary snapshot format.
-pub fn read_binary<R: Read>(r: R) -> io::Result<SystemState> {
+/// Read the binary snapshot format, with typed failure reporting. See
+/// [`SnapshotError`].
+pub fn try_read_binary<R: Read>(r: R) -> Result<SystemState, SnapshotError> {
     let mut r = BufReader::new(r);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic"));
+        return Err(SnapshotError::BadMagic);
     }
     let mut len = [0u8; 8];
     r.read_exact(&mut len)?;
-    let n = u64::from_le_bytes(len) as usize;
+    let n = u64::from_le_bytes(len);
     // Guard against absurd headers before allocating.
     if n > (1 << 33) {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible body count"));
+        return Err(SnapshotError::ImplausibleCount(n));
     }
-    let read_f64 = |r: &mut BufReader<R>| -> io::Result<f64> {
-        let mut b = [0u8; 8];
-        r.read_exact(&mut b)?;
-        Ok(f64::from_le_bytes(b))
-    };
+    let n = n as usize;
+    // Distinguish "file ended mid-payload" from a raw EOF error: the header
+    // made a promise the data does not keep.
+    let read_f64 =
+        |r: &mut BufReader<R>, section: &'static str, body: usize| -> Result<f64, SnapshotError> {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b).map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    SnapshotError::Truncated { n: n as u64, section, body: body as u64 }
+                } else {
+                    SnapshotError::Io(e)
+                }
+            })?;
+            Ok(f64::from_le_bytes(b))
+        };
     let mut positions = Vec::with_capacity(n);
-    for _ in 0..n {
-        positions.push(Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?));
+    for i in 0..n {
+        positions.push(Vec3::new(
+            read_f64(&mut r, "position", i)?,
+            read_f64(&mut r, "position", i)?,
+            read_f64(&mut r, "position", i)?,
+        ));
     }
     let mut velocities = Vec::with_capacity(n);
-    for _ in 0..n {
-        velocities.push(Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?));
+    for i in 0..n {
+        velocities.push(Vec3::new(
+            read_f64(&mut r, "velocity", i)?,
+            read_f64(&mut r, "velocity", i)?,
+            read_f64(&mut r, "velocity", i)?,
+        ));
     }
     let mut masses = Vec::with_capacity(n);
-    for _ in 0..n {
-        masses.push(read_f64(&mut r)?);
+    for i in 0..n {
+        masses.push(read_f64(&mut r, "mass", i)?);
     }
-    Ok(SystemState::from_parts(positions, velocities, masses))
+    let state = SystemState::from_parts(positions, velocities, masses);
+    validate_state(&state)?;
+    Ok(state)
+}
+
+/// [`try_read_binary`] with the error lowered into `io::Error` (InvalidData).
+pub fn read_binary<R: Read>(r: R) -> io::Result<SystemState> {
+    try_read_binary(r).map_err(io::Error::from)
 }
 
 /// Convenience wrappers over file paths (format chosen by extension:
@@ -210,6 +330,78 @@ mod tests {
         assert!(read_csv(&b"x,y,z,vx,vy,vz,m\n1,2,3\n"[..]).is_err());
         assert!(read_csv(&b"x,y,z,vx,vy,vz,m\n1,2,3,4,5,6,abc\n"[..]).is_err());
         assert!(read_csv(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_binary_names_section_and_body() {
+        let state = galaxy_collision(10, 25);
+        let mut buf = Vec::new();
+        write_binary(&state, &mut buf).unwrap();
+        // Cut inside the velocity block: header + positions + 2.5 velocities.
+        buf.truncate(8 + 8 + 10 * 24 + 2 * 24 + 12);
+        match try_read_binary(&buf[..]) {
+            Err(SnapshotError::Truncated { n, section, body }) => {
+                assert_eq!(n, 10);
+                assert_eq!(section, "velocity");
+                assert_eq!(body, 2);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // The io::Result wrapper keeps the description.
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("velocity"), "got: {err}");
+    }
+
+    #[test]
+    fn nan_snapshots_rejected_with_descriptive_error() {
+        // Binary: corrupt one position, one velocity, one mass in turn.
+        let mut state = galaxy_collision(5, 26);
+        state.positions[3].y = f64::NAN;
+        let mut buf = Vec::new();
+        write_binary(&state, &mut buf).unwrap();
+        match try_read_binary(&buf[..]) {
+            Err(SnapshotError::NonFinite { body: 3, what: "position" }) => {}
+            other => panic!("expected NonFinite position, got {other:?}"),
+        }
+
+        let mut state = galaxy_collision(5, 26);
+        state.velocities[1].z = f64::INFINITY;
+        let mut buf = Vec::new();
+        write_binary(&state, &mut buf).unwrap();
+        match try_read_binary(&buf[..]) {
+            Err(SnapshotError::NonFinite { body: 1, what: "velocity" }) => {}
+            other => panic!("expected NonFinite velocity, got {other:?}"),
+        }
+
+        let mut state = galaxy_collision(5, 26);
+        state.masses[4] = -1.0;
+        let mut buf = Vec::new();
+        write_binary(&state, &mut buf).unwrap();
+        match try_read_binary(&buf[..]) {
+            Err(SnapshotError::NonFinite { body: 4, what: "mass" }) => {}
+            other => panic!("expected NonFinite mass, got {other:?}"),
+        }
+
+        // CSV path rejects the same corruption ("NaN" parses as f64::NAN).
+        let mut state = galaxy_collision(5, 26);
+        state.positions[0].x = f64::NAN;
+        let mut csv = Vec::new();
+        write_csv(&state, &mut csv).unwrap();
+        let err = read_csv(&csv[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("position"), "got: {err}");
+    }
+
+    #[test]
+    fn implausible_count_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        match try_read_binary(&buf[..]) {
+            Err(SnapshotError::ImplausibleCount(n)) => assert_eq!(n, u64::MAX),
+            other => panic!("expected ImplausibleCount, got {other:?}"),
+        }
     }
 
     #[test]

@@ -22,12 +22,15 @@ pub mod integrator;
 pub mod io;
 pub mod recorder;
 pub mod render;
+pub mod resilient;
 pub mod solver;
 pub mod system;
 pub mod timing;
 pub mod workload;
 
 pub use integrator::{IntegratorKind, SimOptions, Simulation};
+pub use io::SnapshotError;
+pub use resilient::{ComputeError, ResilientConfig, ResilientSolver};
 pub use solver::{make_solver, ForceSolver, SolverError, SolverKind, SolverParams};
 pub use recorder::Recorder;
 pub use timing::StepTimings;
@@ -35,6 +38,7 @@ pub use timing::StepTimings;
 pub mod prelude {
     pub use crate::diagnostics::{l2_error, Diagnostics};
     pub use crate::integrator::{IntegratorKind, SimOptions, Simulation};
+    pub use crate::resilient::{ComputeError, ResilientConfig, ResilientSolver};
     pub use crate::solver::{make_solver, ForceSolver, SolverKind, SolverParams};
     pub use crate::system::SystemState;
     pub use crate::timing::StepTimings;

@@ -15,6 +15,7 @@
 //! [`SolverError::RequiresForwardProgress`] — the paper's "reliably caused
 //! them to hang" case, §V-B).
 
+use crate::resilient::ComputeError;
 use crate::system::SystemState;
 use crate::timing::{timed, StepTimings};
 use bh_bvh::{Bvh, BvhParams};
@@ -22,6 +23,7 @@ use bh_octree::Octree;
 use nbody_math::atomic_f64::atomic_f64_vec;
 use nbody_math::gravity::{pair_accel, ForceParams};
 use nbody_math::Vec3;
+use nbody_resilience::FaultKind;
 use std::sync::atomic::Ordering;
 use stdpar::policy::DynPolicy;
 use stdpar::prelude::*;
@@ -126,6 +128,35 @@ pub trait ForceSolver: Send {
     /// work — an extra approximation, useful as an ablation).
     fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], reuse_tree: bool)
         -> StepTimings;
+
+    /// Fallible variant of [`ForceSolver::compute`]: tree solvers surface
+    /// build failures as [`ComputeError`] values instead of panicking, so a
+    /// wrapper (see [`crate::resilient::ResilientSolver`]) can retry or
+    /// degrade. The default delegates to `compute` for solvers that cannot
+    /// fail structurally (the all-pairs baselines).
+    fn try_compute(
+        &mut self,
+        state: &SystemState,
+        accel: &mut [Vec3],
+        reuse_tree: bool,
+    ) -> Result<StepTimings, ComputeError> {
+        Ok(self.compute(state, accel, reuse_tree))
+    }
+
+    /// Check the solver's internal acceleration structure against `state`
+    /// (tree invariants: every body reachable, boxes nested, no stale
+    /// locks). Solvers without internal structure trivially pass.
+    fn validate(&self, _state: &SystemState) -> Result<(), ComputeError> {
+        Ok(())
+    }
+
+    /// Arm a one-shot injected fault for the next `try_compute`. Returns
+    /// `true` if this solver supports injecting `kind`; the all-pairs
+    /// baselines (and faults handled at the state level, like NaN
+    /// positions) return `false`.
+    fn inject_fault(&mut self, _kind: FaultKind) -> bool {
+        false
+    }
 }
 
 /// Construct a solver for a runtime-selected policy.
@@ -393,15 +424,28 @@ impl<P: ParallelForwardProgress> ForceSolver for OctreeSolver<P> {
     }
 
     fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], reuse: bool) -> StepTimings {
+        match self.try_compute(state, accel, reuse) {
+            Ok(t) => t,
+            Err(e) => panic!("octree build failed: {e}"),
+        }
+    }
+
+    fn try_compute(
+        &mut self,
+        state: &SystemState,
+        accel: &mut [Vec3],
+        reuse: bool,
+    ) -> Result<StepTimings, ComputeError> {
         let mut t = StepTimings::default();
         let can_reuse = reuse && self.built && self.tree.n_bodies() == state.len();
         if !can_reuse {
+            self.built = false;
             let bbox = timed(&mut t.bbox, || state.bounding_box(self.policy));
+            let mut built = Ok(Default::default());
             timed(&mut t.build, || {
-                self.tree
-                    .build(self.policy, &state.positions, bbox)
-                    .expect("octree build failed")
+                built = self.tree.build(self.policy, &state.positions, bbox);
             });
+            let _stats: bh_octree::BuildStats = built.map_err(ComputeError::Build)?;
             timed(&mut t.multipole, || {
                 self.tree.compute_multipoles(self.policy, &state.positions, &state.masses)
             });
@@ -417,7 +461,27 @@ impl<P: ParallelForwardProgress> ForceSolver for OctreeSolver<P> {
                 self.tree.compute_forces(Seq, &state.positions, &state.masses, accel, &fp);
             }
         });
-        t
+        Ok(t)
+    }
+
+    fn validate(&self, state: &SystemState) -> Result<(), ComputeError> {
+        bh_octree::TreeInvariants::check(&self.tree, &state.positions)
+            .map(|_| ())
+            .map_err(ComputeError::InvariantViolation)
+    }
+
+    fn inject_fault(&mut self, kind: FaultKind) -> bool {
+        match kind {
+            FaultKind::StuckLock => {
+                self.tree.inject_stuck_lock();
+                true
+            }
+            FaultKind::AllocExhaustion => {
+                self.tree.inject_pool_exhaustion();
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -454,21 +518,45 @@ impl<P: ExecutionPolicy> ForceSolver for BvhSolver<P> {
     }
 
     fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], reuse: bool) -> StepTimings {
+        match self.try_compute(state, accel, reuse) {
+            Ok(t) => t,
+            Err(e) => panic!("bvh build failed: {e}"),
+        }
+    }
+
+    fn try_compute(
+        &mut self,
+        state: &SystemState,
+        accel: &mut [Vec3],
+        reuse: bool,
+    ) -> Result<StepTimings, ComputeError> {
         let mut t = StepTimings::default();
         let can_reuse = reuse && self.built && self.bvh.n_bodies() == state.len();
         if !can_reuse {
+            self.built = false;
             let bbox = timed(&mut t.bbox, || state.bounding_box(self.policy));
+            let mut sorted = Ok(());
             timed(&mut t.sort, || {
-                self.bvh.hilbert_sort(self.policy, &state.positions, &state.masses, bbox)
+                sorted =
+                    self.bvh.try_hilbert_sort(self.policy, &state.positions, &state.masses, bbox);
             });
-            timed(&mut t.build, || self.bvh.build_and_accumulate(self.policy));
+            sorted.map_err(ComputeError::Build)?;
+            let mut built = Ok(());
+            timed(&mut t.build, || built = self.bvh.try_build_and_accumulate(self.policy));
+            built.map_err(ComputeError::Build)?;
             self.built = true;
         }
         let fp = self.params.force_params();
         timed(&mut t.force, || {
             self.bvh.compute_forces(self.policy, &state.positions, accel, &fp);
         });
-        t
+        Ok(t)
+    }
+
+    fn validate(&self, _state: &SystemState) -> Result<(), ComputeError> {
+        bh_bvh::validate::BvhInvariants::check(&self.bvh)
+            .map(|_| ())
+            .map_err(ComputeError::InvariantViolation)
     }
 }
 
@@ -565,6 +653,56 @@ mod tests {
         );
         // BVH runs everywhere (the paper's portability result).
         assert!(make_solver(SolverKind::Bvh, DynPolicy::ParUnseq, SolverParams::default()).is_ok());
+    }
+
+    #[test]
+    fn empty_and_single_body_systems_never_panic() {
+        // Degenerate systems through every solver kind and policy: no
+        // bodies at all, then a single body (zero net force).
+        use crate::system::SystemState;
+        let empty = SystemState::new();
+        let single =
+            SystemState::from_parts(vec![Vec3::new(0.3, -0.2, 0.9)], vec![Vec3::ZERO], vec![2.5]);
+        let kinds = [
+            SolverKind::AllPairs,
+            SolverKind::AllPairsCol,
+            SolverKind::Octree,
+            SolverKind::Bvh,
+            SolverKind::AllPairsTiled,
+        ];
+        for kind in kinds {
+            for policy in [DynPolicy::Seq, DynPolicy::Par, DynPolicy::ParUnseq] {
+                let Ok(mut solver) = make_solver(kind, policy, SolverParams::default()) else {
+                    continue; // forward-progress rejection, covered elsewhere
+                };
+                let mut none: Vec<Vec3> = vec![];
+                solver.compute(&empty, &mut none, false);
+                let mut one = vec![Vec3::splat(99.0)];
+                solver.compute(&single, &mut one, false);
+                assert_eq!(one[0], Vec3::ZERO, "{} {:?}", kind.name(), policy);
+            }
+        }
+    }
+
+    #[test]
+    fn try_compute_surfaces_octree_build_errors() {
+        let state = galaxy_collision(100, 16);
+        let mut solver = OctreeSolver::new(Par, SolverParams::default());
+        assert!(solver.inject_fault(nbody_resilience::FaultKind::AllocExhaustion));
+        let mut acc = vec![Vec3::ZERO; state.len()];
+        let err = solver.try_compute(&state, &mut acc, false).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::resilient::ComputeError::Build(
+                    nbody_resilience::BuildError::PoolExhausted { .. }
+                )
+            ),
+            "{err:?}"
+        );
+        // The failure is transient: the next call succeeds and validates.
+        solver.try_compute(&state, &mut acc, false).unwrap();
+        solver.validate(&state).unwrap();
     }
 
     #[test]

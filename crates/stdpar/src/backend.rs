@@ -6,34 +6,49 @@
 //! that axis on one machine, every parallel algorithm in this crate can run
 //! on either of two substrates:
 //!
-//! * [`Backend::Rayon`] — rayon's work-stealing pool with adaptive
-//!   splitting (dynamic load balancing, like TBB);
+//! * [`Backend::Dynamic`] — a self-scheduling executor: workers claim
+//!   grain-sized chunks from a shared atomic cursor (dynamic load
+//!   balancing, like a TBB/rayon-style runtime) — implemented in-tree on
+//!   scoped OS threads so the crate has no external dependencies;
 //! * [`Backend::Threads`] — plain scoped OS threads with static contiguous
 //!   chunking (like a static-schedule OpenMP runtime), including a
 //!   hand-rolled parallel merge sort.
 //!
 //! The backend is a process-global setting (benchmarks sweep it between
 //! runs, not concurrently).
+//!
+//! ## Panic safety
+//!
+//! Both substrates are panic-safe: if a user closure panics on a worker
+//! thread, the *first* panic payload is captured, the remaining workers
+//! stop claiming new work (dynamic) or finish their static chunk, and the
+//! payload is re-raised on the calling thread once every sibling has
+//! joined. Without this, `std::thread::scope` would abort the process on a
+//! double panic and replace the payload with a generic "a scoped thread
+//! panicked" message.
 
+use std::any::Any;
 use std::num::NonZeroUsize;
 use std::ops::Range;
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Which parallel substrate executes `Par`/`ParUnseq` algorithms.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
-    /// rayon work-stealing (dynamic scheduling).
-    Rayon,
+    /// Self-scheduling chunk claiming (dynamic load balancing).
+    Dynamic,
     /// scoped OS threads with static chunking.
     Threads,
 }
 
 impl Backend {
-    pub const ALL: [Backend; 2] = [Backend::Rayon, Backend::Threads];
+    pub const ALL: [Backend; 2] = [Backend::Dynamic, Backend::Threads];
 
     pub fn name(self) -> &'static str {
         match self {
-            Backend::Rayon => "rayon",
+            Backend::Dynamic => "dynamic",
             Backend::Threads => "threads",
         }
     }
@@ -50,7 +65,7 @@ pub fn set_backend(b: Backend) {
 /// The currently selected backend.
 pub fn current_backend() -> Backend {
     match BACKEND.load(Ordering::Relaxed) {
-        0 => Backend::Rayon,
+        0 => Backend::Dynamic,
         _ => Backend::Threads,
     }
 }
@@ -67,9 +82,8 @@ pub fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
     r
 }
 
-/// Override the worker count used by the [`Backend::Threads`] backend
-/// (`0` = use [`hardware_parallelism`]). rayon's pool size is fixed at
-/// process start by rayon itself.
+/// Override the worker count used by both backends
+/// (`0` = use [`hardware_parallelism`]).
 pub fn set_threads(n: usize) {
     THREADS.store(n, Ordering::Relaxed);
 }
@@ -79,7 +93,7 @@ pub fn hardware_parallelism() -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
-/// Worker count the Threads backend will use.
+/// Worker count the backends will use.
 pub fn thread_count() -> usize {
     match THREADS.load(Ordering::Relaxed) {
         0 => hardware_parallelism(),
@@ -107,8 +121,50 @@ pub fn split_range(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Captures the first panic raised by any worker of a parallel region, so
+/// it can be re-raised on the calling thread after all siblings joined.
+pub(crate) struct PanicCell {
+    poisoned: AtomicBool,
+    payload: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl PanicCell {
+    pub(crate) fn new() -> Self {
+        PanicCell { poisoned: AtomicBool::new(false), payload: Mutex::new(None) }
+    }
+
+    /// Run `f`, capturing a panic instead of unwinding across the thread
+    /// boundary. Only the first captured payload is kept.
+    pub(crate) fn run(&self, f: impl FnOnce()) {
+        if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+            let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+            self.poisoned.store(true, Ordering::Release);
+        }
+    }
+
+    /// True once any worker has panicked — used by the dynamic executor to
+    /// stop claiming new chunks.
+    pub(crate) fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Re-raise the first captured panic, if any.
+    pub(crate) fn rethrow(&self) {
+        let payload = self.payload.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+}
+
 /// Run `f` once per chunk of `range` on scoped OS threads (the Threads
 /// backend's fundamental primitive). `f(chunk_index, chunk_range)`.
+///
+/// Panic-safe: the first panicking chunk's payload propagates to the caller
+/// after every worker has joined.
 pub fn scoped_chunks(range: Range<usize>, f: impl Fn(usize, Range<usize>) + Sync) {
     let chunks = split_range(range, thread_count());
     if chunks.len() <= 1 {
@@ -117,17 +173,74 @@ pub fn scoped_chunks(range: Range<usize>, f: impl Fn(usize, Range<usize>) + Sync
         }
         return;
     }
+    let panics = PanicCell::new();
     std::thread::scope(|s| {
         for (i, c) in chunks.into_iter().enumerate() {
             let f = &f;
-            s.spawn(move || f(i, c));
+            let panics = &panics;
+            s.spawn(move || panics.run(|| f(i, c)));
         }
     });
+    panics.rethrow();
 }
 
-/// Grain size used by `ParUnseq` chunking under rayon: large contiguous
-/// blocks so the inner loops vectorize, like a SIMD-width-agnostic
-/// `#pragma omp simd`.
+/// Run `f(chunk_range)` over `range` with dynamic self-scheduling: workers
+/// repeatedly claim the next `grain`-sized chunk from a shared cursor (the
+/// Dynamic backend's fundamental primitive — load balancing like a
+/// work-stealing runtime, without per-task queues).
+///
+/// Panic-safe: on a worker panic the remaining workers stop claiming new
+/// chunks and the first payload is re-raised on the caller.
+pub fn dynamic_chunks(range: Range<usize>, grain: usize, f: impl Fn(Range<usize>) + Sync) {
+    let n = range.len();
+    if n == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    let workers = thread_count().min(n.div_ceil(grain));
+    if workers <= 1 {
+        let mut s = range.start;
+        while s < range.end {
+            let e = (s + grain).min(range.end);
+            f(s..e);
+            s = e;
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(range.start);
+    let panics = PanicCell::new();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let f = &f;
+            let cursor = &cursor;
+            let panics = &panics;
+            let end = range.end;
+            s.spawn(move || loop {
+                if panics.poisoned() {
+                    return;
+                }
+                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                if start >= end {
+                    return;
+                }
+                let stop = (start + grain).min(end);
+                panics.run(|| f(start..stop));
+            });
+        }
+    });
+    panics.rethrow();
+}
+
+/// Grain size used by fine-grained dynamic scheduling under `Par`: small
+/// enough that uneven per-element cost balances, large enough that the
+/// claim cost amortises.
+pub fn par_grain(n: usize) -> usize {
+    let target_chunks = 32 * thread_count();
+    (n / target_chunks.max(1)).clamp(1, 4096)
+}
+
+/// Grain size used by `ParUnseq` chunking: large contiguous blocks so the
+/// inner loops vectorize, like a SIMD-width-agnostic `#pragma omp simd`.
 pub fn unseq_grain(n: usize) -> usize {
     let target_chunks = 8 * hardware_parallelism();
     (n / target_chunks.max(1)).max(1024).min(n.max(1))
@@ -142,8 +255,8 @@ mod tests {
         let prev = current_backend();
         set_backend(Backend::Threads);
         assert_eq!(current_backend(), Backend::Threads);
-        set_backend(Backend::Rayon);
-        assert_eq!(current_backend(), Backend::Rayon);
+        set_backend(Backend::Dynamic);
+        assert_eq!(current_backend(), Backend::Dynamic);
         set_backend(prev);
     }
 
@@ -194,6 +307,86 @@ mod tests {
     }
 
     #[test]
+    fn dynamic_chunks_visits_every_index_once() {
+        for grain in [1usize, 7, 64, 100_000] {
+            let n = 10_007;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            dynamic_chunks(0..n, grain, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "grain={grain}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_chunks_nonzero_start() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        dynamic_chunks(40..100, 9, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), usize::from(i >= 40), "i={i}");
+        }
+    }
+
+    #[test]
+    fn scoped_chunks_propagates_first_panic_payload() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            scoped_chunks(0..10_000, |_, r| {
+                if r.contains(&0) {
+                    panic!("worker exploded deliberately");
+                }
+            });
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "worker exploded deliberately");
+    }
+
+    #[test]
+    fn dynamic_chunks_propagates_panic_and_stays_usable() {
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            dynamic_chunks(0..100_000, 64, |r| {
+                if r.start == 0 {
+                    panic!("boom {}", 42);
+                }
+            });
+        }))
+        .unwrap_err();
+        // rustc may const-fold the formatted message into a `&str` payload.
+        let msg = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(msg, "boom 42");
+        // The executor must remain fully functional after a panic.
+        let count = AtomicUsize::new(0);
+        dynamic_chunks(0..1000, 10, |r| {
+            count.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn multiple_panicking_workers_do_not_abort() {
+        // Every chunk panics; exactly one payload must surface, and the
+        // process must not abort from a panic-while-panicking.
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            scoped_chunks(0..10_000, |_, _| panic!("all workers fail"));
+        }))
+        .unwrap_err();
+        assert_eq!(err.downcast_ref::<&str>().copied().unwrap_or(""), "all workers fail");
+    }
+
+    #[test]
     fn thread_count_override() {
         set_threads(3);
         assert_eq!(thread_count(), 3);
@@ -206,5 +399,7 @@ mod tests {
         assert!(unseq_grain(10) >= 1);
         assert!(unseq_grain(1_000_000) >= 1024);
         assert!(unseq_grain(0) >= 1);
+        assert!(par_grain(0) >= 1);
+        assert!(par_grain(1_000_000) >= 1);
     }
 }

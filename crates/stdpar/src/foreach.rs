@@ -7,9 +7,10 @@
 //! `par_unseq` they run in large contiguous chunks whose inner loop the
 //! compiler can vectorize.
 
-use crate::backend::{current_backend, scoped_chunks, unseq_grain, Backend};
+use crate::backend::{
+    current_backend, dynamic_chunks, par_grain, scoped_chunks, unseq_grain, Backend,
+};
 use crate::policy::ExecutionPolicy;
-use rayon::prelude::*;
 use std::ops::Range;
 
 /// Invoke `f(i)` for every `i` in `range` under `policy`.
@@ -25,19 +26,19 @@ pub fn for_each_index<P: ExecutionPolicy>(
         return;
     }
     match current_backend() {
-        Backend::Rayon => {
-            if P::UNSEQUENCED {
+        Backend::Dynamic => {
+            let grain = if P::UNSEQUENCED {
                 // Large contiguous blocks; tight inner loop for vectorization.
-                let grain = unseq_grain(range.len());
-                let chunks = split_range_by_grain(range, grain);
-                chunks.into_par_iter().for_each(|r| {
-                    for i in r {
-                        f(i);
-                    }
-                });
+                unseq_grain(range.len())
             } else {
-                range.into_par_iter().for_each(f);
-            }
+                // Fine-grained claiming balances uneven per-element cost.
+                par_grain(range.len())
+            };
+            dynamic_chunks(range, grain, |r| {
+                for i in r {
+                    f(i);
+                }
+            });
         }
         Backend::Threads => {
             scoped_chunks(range, |_, r| {
@@ -74,30 +75,21 @@ pub fn for_each<P: ExecutionPolicy, T: Send>(
         }
         return;
     }
+    let base = items.as_mut_ptr() as usize;
+    let len = items.len();
+    let touch = move |r: Range<usize>| {
+        // SAFETY: chunks are disjoint index ranges over one slice.
+        let ptr = base as *mut T;
+        for i in r {
+            f(unsafe { &mut *ptr.add(i) });
+        }
+    };
     match current_backend() {
-        Backend::Rayon => {
-            if P::UNSEQUENCED {
-                let grain = unseq_grain(items.len());
-                items.par_chunks_mut(grain).for_each(|chunk| {
-                    for t in chunk {
-                        f(t);
-                    }
-                });
-            } else {
-                items.par_iter_mut().for_each(f);
-            }
+        Backend::Dynamic => {
+            let grain = if P::UNSEQUENCED { unseq_grain(len) } else { par_grain(len) };
+            dynamic_chunks(0..len, grain, touch);
         }
-        Backend::Threads => {
-            let base = items.as_mut_ptr() as usize;
-            let len = items.len();
-            scoped_chunks(0..len, move |_, r| {
-                // SAFETY: chunks are disjoint index ranges over one slice.
-                let ptr = base as *mut T;
-                for i in r {
-                    f(unsafe { &mut *ptr.add(i) });
-                }
-            });
-        }
+        Backend::Threads => scoped_chunks(0..len, move |_, r| touch(r)),
     }
 }
 
@@ -109,17 +101,17 @@ pub fn for_each_chunk<P: ExecutionPolicy>(
     grain: usize,
     f: impl Fn(Range<usize>) + Sync + Send,
 ) {
-    let chunks = split_range_by_grain(range, grain);
     if !P::IS_PARALLEL {
-        for c in chunks {
+        for c in split_range_by_grain(range, grain) {
             f(c);
         }
         return;
     }
     match current_backend() {
-        Backend::Rayon => chunks.into_par_iter().for_each(f),
+        Backend::Dynamic => dynamic_chunks(range, grain.max(1), f),
         Backend::Threads => {
             // Static distribution of chunks over workers.
+            let chunks = split_range_by_grain(range, grain);
             let n = chunks.len();
             let chunks_ref = &chunks;
             scoped_chunks(0..n, move |_, r| {
@@ -221,6 +213,26 @@ mod tests {
             *lock.lock().unwrap() += 1;
         });
         assert_eq!(*lock.lock().unwrap(), 1000);
+    }
+
+    #[test]
+    fn panicking_element_propagates_message() {
+        // The tentpole's panic-safety contract, visible at the algorithm
+        // level: the original message survives both backends.
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    for_each_index(Par, 0..50_000, |i| {
+                        if i == 17 {
+                            panic!("element 17 failed");
+                        }
+                    });
+                }))
+                .unwrap_err();
+                let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+                assert_eq!(msg, "element 17 failed", "backend={}", backend.name());
+            });
+        }
     }
 
     #[test]

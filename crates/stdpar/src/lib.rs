@@ -40,11 +40,14 @@
 //! Two interchangeable parallel substrates stand in for the paper's multiple
 //! C++ toolchains (NVC++, AdaptiveCpp, GCC, Clang in Figs. 8–9):
 //!
-//! * [`Backend::Rayon`](backend::Backend) — work-stealing, dynamic
-//!   load-balancing (like TBB-backed libstdc++);
+//! * [`Backend::Dynamic`](backend::Backend) — self-scheduling chunk
+//!   claiming, dynamic load-balancing (like TBB-backed libstdc++);
 //! * [`Backend::Threads`](backend::Backend) — static contiguous chunking on
 //!   scoped OS threads (like a plain OpenMP-static runtime).
 //!
+//! Both are implemented in-tree on `std::thread::scope` (no external
+//! runtime) and are panic-safe: a panicking user closure propagates its
+//! original payload to the caller after all sibling workers joined.
 //! Select with [`backend::set_backend`] or scoped [`backend::with_backend`].
 
 pub mod backend;

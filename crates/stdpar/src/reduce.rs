@@ -5,10 +5,12 @@
 //! reduction operator must be associative and commutative — the parallel
 //! versions combine partials in unspecified order, as in C++.
 
-use crate::backend::{current_backend, split_range, thread_count, unseq_grain, Backend};
+use crate::backend::{
+    current_backend, par_grain, split_range, thread_count, unseq_grain, Backend,
+};
 use crate::policy::ExecutionPolicy;
-use rayon::prelude::*;
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// `transform_reduce(policy, iota(range), identity, reduce, transform)`.
 ///
@@ -33,26 +35,10 @@ where
         return acc;
     }
     match current_backend() {
-        Backend::Rayon => {
-            if P::UNSEQUENCED {
-                let grain = unseq_grain(range.len());
-                let chunks: Vec<Range<usize>> = chunk_by_grain(range, grain);
-                chunks
-                    .into_par_iter()
-                    .map(|r| {
-                        let mut acc = identity.clone();
-                        for i in r {
-                            acc = reduce_op(acc, transform(i));
-                        }
-                        acc
-                    })
-                    .reduce(|| identity.clone(), &reduce_op)
-            } else {
-                range
-                    .into_par_iter()
-                    .map(&transform)
-                    .reduce(|| identity.clone(), &reduce_op)
-            }
+        Backend::Dynamic => {
+            let n = range.len();
+            let grain = if P::UNSEQUENCED { unseq_grain(n) } else { par_grain(n).max(256) };
+            dynamic_reduce(range, grain, identity, &reduce_op, &transform)
         }
         Backend::Threads => {
             let chunks = split_range(range, thread_count());
@@ -60,20 +46,25 @@ where
                 return identity;
             }
             let mut partials: Vec<Option<R>> = vec![None; chunks.len()];
+            let panics = crate::backend::PanicCell::new();
             std::thread::scope(|s| {
                 for (slot, r) in partials.iter_mut().zip(chunks) {
                     let reduce_op = &reduce_op;
                     let transform = &transform;
+                    let panics = &panics;
                     let id = identity.clone();
                     s.spawn(move || {
-                        let mut acc = id;
-                        for i in r {
-                            acc = reduce_op(acc, transform(i));
-                        }
-                        *slot = Some(acc);
+                        panics.run(|| {
+                            let mut acc = id;
+                            for i in r {
+                                acc = reduce_op(acc, transform(i));
+                            }
+                            *slot = Some(acc);
+                        })
                     });
                 }
             });
+            panics.rethrow();
             let mut acc = identity;
             for p in partials.into_iter().flatten() {
                 acc = reduce_op(acc, p);
@@ -83,16 +74,68 @@ where
     }
 }
 
-fn chunk_by_grain(range: Range<usize>, grain: usize) -> Vec<Range<usize>> {
-    let grain = grain.max(1);
-    let mut out = Vec::with_capacity(range.len() / grain + 1);
-    let mut s = range.start;
-    while s < range.end {
-        let e = (s + grain).min(range.end);
-        out.push(s..e);
-        s = e;
+/// Self-scheduling reduction: workers claim `grain`-sized chunks from a
+/// shared cursor, fold them into a worker-local accumulator, and the
+/// per-worker partials are combined at the end. Panic-safe like
+/// [`crate::backend::dynamic_chunks`].
+fn dynamic_reduce<R>(
+    range: Range<usize>,
+    grain: usize,
+    identity: R,
+    reduce_op: &(impl Fn(R, R) -> R + Sync),
+    transform: &(impl Fn(usize) -> R + Sync),
+) -> R
+where
+    R: Send + Sync + Clone,
+{
+    let n = range.len();
+    if n == 0 {
+        return identity;
     }
-    out
+    let grain = grain.max(1);
+    let workers = thread_count().min(n.div_ceil(grain));
+    if workers <= 1 {
+        let mut acc = identity;
+        for i in range {
+            acc = reduce_op(acc, transform(i));
+        }
+        return acc;
+    }
+    let cursor = AtomicUsize::new(range.start);
+    let end = range.end;
+    let mut partials: Vec<Option<R>> = vec![None; workers];
+    let panics = crate::backend::PanicCell::new();
+    std::thread::scope(|s| {
+        for slot in partials.iter_mut() {
+            let cursor = &cursor;
+            let panics = &panics;
+            let id = identity.clone();
+            s.spawn(move || {
+                panics.run(|| {
+                    let mut acc = id;
+                    loop {
+                        if panics.poisoned() {
+                            break;
+                        }
+                        let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                        if start >= end {
+                            break;
+                        }
+                        for i in start..(start + grain).min(end) {
+                            acc = reduce_op(acc, transform(i));
+                        }
+                    }
+                    *slot = Some(acc);
+                })
+            });
+        }
+    });
+    panics.rethrow();
+    let mut acc = identity;
+    for p in partials.into_iter().flatten() {
+        acc = reduce_op(acc, p);
+    }
+    acc
 }
 
 /// Fold a slice with an associative+commutative operator.
@@ -272,6 +315,25 @@ mod tests {
                 // Vacuous truth / falsity on empty ranges.
                 assert!(all_of(Par, 3..3, |_| false));
                 assert!(!any_of(Par, 3..3, |_| true));
+            });
+        }
+    }
+
+    #[test]
+    fn panicking_transform_propagates() {
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    transform_reduce(Par, 0..100_000, 0u64, |a, b| a + b, |i| {
+                        if i == 31_337 {
+                            panic!("bad index");
+                        }
+                        i as u64
+                    });
+                }))
+                .unwrap_err();
+                let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+                assert_eq!(msg, "bad index", "backend={}", backend.name());
             });
         }
     }

@@ -6,16 +6,16 @@
 //! Hilbert and body index pairs, applying it as a permutation afterwards" —
 //! that is exactly the [`sort_by_key`] + [`apply_permutation`] pair here.
 //!
-//! Backends:
-//! * rayon — `par_sort_unstable_by` (parallel quicksort, dynamic).
-//! * threads — hand-rolled parallel merge sort: per-chunk `sort_unstable_by`
-//!   followed by log₂(chunks) parallel pairwise merge passes.
+//! Backends (hand-rolled parallel merge sort: per-chunk `sort_unstable_by`
+//! followed by log₂(chunks) parallel pairwise merge passes):
+//! * dynamic — over-decomposes into more runs than workers so the merge
+//!   passes balance (rayon/TBB-style);
+//! * threads — exactly one run per worker (static OpenMP-style schedule).
 
-use crate::backend::{current_backend, split_range, thread_count, Backend};
+use crate::backend::{current_backend, split_range, thread_count, Backend, PanicCell};
 use crate::foreach::for_each_index;
 use crate::policy::ExecutionPolicy;
 use crate::sync_slice::SyncSlice;
-use rayon::prelude::*;
 use std::cmp::Ordering;
 
 /// Sort `v` with comparator `cmp` under `policy`. Unstable.
@@ -28,10 +28,11 @@ where
         v.sort_unstable_by(cmp);
         return;
     }
-    match current_backend() {
-        Backend::Rayon => v.par_sort_unstable_by(cmp),
-        Backend::Threads => threads_merge_sort(v, &cmp),
-    }
+    let nchunks = match current_backend() {
+        Backend::Dynamic => (4 * thread_count()).next_power_of_two(),
+        Backend::Threads => thread_count().next_power_of_two(),
+    };
+    threads_merge_sort(v, &cmp, nchunks);
 }
 
 /// Sort by a key function. Unstable.
@@ -84,29 +85,43 @@ fn is_permutation(perm: &[u32]) -> bool {
     true
 }
 
-/// Parallel merge sort for the Threads backend.
-fn threads_merge_sort<T: Send + Clone>(v: &mut [T], cmp: &(impl Fn(&T, &T) -> Ordering + Sync)) {
+/// Parallel merge sort shared by both backends (they differ in run count).
+/// Panic-safe: a panicking comparator propagates its payload to the caller
+/// after all workers joined (`v` is left in an unspecified order).
+fn threads_merge_sort<T: Send + Clone>(
+    v: &mut [T],
+    cmp: &(impl Fn(&T, &T) -> Ordering + Sync),
+    nchunks: usize,
+) {
     let n = v.len();
-    let nchunks = thread_count().next_power_of_two();
     let chunks = split_range(0..n, nchunks);
     if chunks.len() <= 1 {
         v.sort_unstable_by(cmp);
         return;
     }
+    let panics = PanicCell::new();
 
     // Phase 1: sort each chunk on its own thread.
     {
         let base = v.as_mut_ptr() as usize;
         std::thread::scope(|s| {
             for r in chunks.iter().cloned() {
+                let panics = &panics;
                 s.spawn(move || {
-                    // SAFETY: chunks are disjoint subslices of `v`.
-                    let ptr = base as *mut T;
-                    let sub = unsafe { std::slice::from_raw_parts_mut(ptr.add(r.start), r.len()) };
-                    sub.sort_unstable_by(cmp);
+                    panics.run(|| {
+                        // SAFETY: chunks are disjoint subslices of `v`.
+                        let ptr = base as *mut T;
+                        let sub =
+                            unsafe { std::slice::from_raw_parts_mut(ptr.add(r.start), r.len()) };
+                        sub.sort_unstable_by(cmp);
+                    })
                 });
             }
         });
+    }
+    if panics.poisoned() {
+        panics.rethrow();
+        return;
     }
 
     // Phase 2: pairwise parallel merges, ping-ponging with a scratch buffer.
@@ -128,16 +143,23 @@ fn threads_merge_sort<T: Send + Clone>(v: &mut [T], cmp: &(impl Fn(&T, &T) -> Or
                     let left = runs[i].clone();
                     let right = if i + 1 < runs.len() { runs[i + 1].clone() } else { left.end..left.end };
                     next_runs.push(left.start..right.end);
+                    let panics = &panics;
                     s.spawn(move || {
-                        // SAFETY: each merged output span [left.start, right.end)
-                        // is disjoint across pairs; src is not mutated.
-                        let src = src_ptr as *const T;
-                        let dst = dst_ptr as *mut T;
-                        unsafe { merge_runs(src, dst, left, right, cmp) };
+                        panics.run(|| {
+                            // SAFETY: each merged output span [left.start, right.end)
+                            // is disjoint across pairs; src is not mutated.
+                            let src = src_ptr as *const T;
+                            let dst = dst_ptr as *mut T;
+                            unsafe { merge_runs(src, dst, left, right, cmp) };
+                        })
                     });
                     i += 2;
                 }
             });
+        }
+        if panics.poisoned() {
+            panics.rethrow();
+            return;
         }
         runs = next_runs;
         src_is_v = !src_is_v;

@@ -3,7 +3,7 @@
 //! The C++ parallel algorithms hand every element callable a raw view of the
 //! arrays it writes ("Applications are then responsible to ensure algorithm
 //! invocations do not introduce data-races", paper §II). Rust's `&mut [T]`
-//! cannot be shared across rayon closures, so [`SyncSlice`] provides the
+//! cannot be shared across parallel-backend closures, so [`SyncSlice`] provides the
 //! same contract explicitly: the *caller* guarantees distinct indices are
 //! written by distinct logical threads, and in exchange gets lock-free
 //! indexed writes.

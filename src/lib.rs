@@ -38,6 +38,7 @@ pub use bh_tsne as tsne;
 pub use bh_octree as octree;
 pub use bh_quadtree as quadtree;
 pub use nbody_math as math;
+pub use nbody_resilience as resilience;
 pub use nbody_sim as sim;
 pub use progress_sim as progress;
 pub use stdpar;

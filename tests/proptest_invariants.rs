@@ -1,98 +1,148 @@
-//! Property-based tests (proptest) on the core data structures:
-//! Hilbert-curve bijectivity, octree and BVH structural invariants for
-//! arbitrary point sets (duplicates, collinear points, wild scales), and
-//! the θ=0 ≡ exact-field equivalence.
+//! Randomised invariant tests on the core data structures, driven by the
+//! in-tree [`SplitMix64`] generator (the workspace is dependency-free, so
+//! no proptest): Hilbert-curve bijectivity, octree and BVH structural
+//! invariants for adversarial point sets (duplicates, collinear points,
+//! wild scales), and the θ=0 ≡ exact-field equivalence. Every case is a
+//! pure function of the loop index, so failures reproduce exactly.
 
-use proptest::prelude::*;
 use stdpar_nbody::bvh::Bvh;
 use stdpar_nbody::math::gravity::direct_accel;
 use stdpar_nbody::math::hilbert::{hilbert_coords, hilbert_index};
-use stdpar_nbody::math::{Aabb, ForceParams, Vec3};
+use stdpar_nbody::math::{Aabb, ForceParams, SplitMix64, Vec3};
 use stdpar_nbody::octree::validate::collect_bodies;
 use stdpar_nbody::octree::{Octree, TreeInvariants};
 use stdpar_nbody::prelude::{Par, ParUnseq};
 
-fn vec3_strategy(scale: f64) -> impl Strategy<Value = Vec3> {
-    (
-        prop::num::f64::NORMAL.prop_map(move |v| v % scale),
-        prop::num::f64::NORMAL.prop_map(move |v| v % scale),
-        prop::num::f64::NORMAL.prop_map(move |v| v % scale),
-    )
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
-}
-
-/// Point clouds that may contain exact duplicates (via index remapping).
-fn points_with_duplicates() -> impl Strategy<Value = Vec<Vec3>> {
-    (prop::collection::vec(vec3_strategy(100.0), 1..120), prop::collection::vec(any::<prop::sample::Index>(), 0..40))
-        .prop_map(|(mut pts, dups)| {
-            let n = pts.len();
-            for pair in dups.chunks(2) {
-                if let [a, b] = pair {
-                    let (i, j) = (a.index(n), b.index(n));
-                    pts[i] = pts[j];
-                }
+/// Point clouds that may contain exact duplicates and degenerate layouts.
+fn adversarial_points(rng: &mut SplitMix64, case: usize) -> Vec<Vec3> {
+    let n = 1 + rng.next_below(120) as usize;
+    let scale = [1e-3, 1.0, 100.0, 1e6][case % 4];
+    let mut pts: Vec<Vec3> = (0..n)
+        .map(|_| match case % 3 {
+            // General position.
+            0 => Vec3::new(
+                scale * (rng.next_f64() - 0.5),
+                scale * (rng.next_f64() - 0.5),
+                scale * (rng.next_f64() - 0.5),
+            ),
+            // Collinear (forces deep subdivision in one octant chain).
+            1 => {
+                let t = scale * rng.next_f64();
+                Vec3::new(t, 2.0 * t, -t)
             }
-            pts
+            // Planar.
+            _ => Vec3::new(scale * rng.next_f64(), scale * rng.next_f64(), 0.0),
         })
+        .collect();
+    // Inject exact duplicates by remapping random indices.
+    let dups = rng.next_below(1 + n as u64 / 3) as usize;
+    for _ in 0..dups {
+        let i = rng.next_below(n as u64) as usize;
+        let j = rng.next_below(n as u64) as usize;
+        pts[i] = pts[j];
+    }
+    pts
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn hilbert_round_trip_2d(x in 0u32..(1 << 10), y in 0u32..(1 << 10)) {
+#[test]
+fn hilbert_round_trip_2d() {
+    let mut rng = SplitMix64::new(0x2d2d);
+    for _ in 0..256 {
+        let x = rng.next_below(1 << 10) as u32;
+        let y = rng.next_below(1 << 10) as u32;
         let h = hilbert_index([x, y], 10);
-        prop_assert_eq!(hilbert_coords::<2>(h, 10), [x, y]);
+        assert_eq!(hilbert_coords::<2>(h, 10), [x, y]);
     }
+}
 
-    #[test]
-    fn hilbert_round_trip_3d(x in 0u32..(1 << 7), y in 0u32..(1 << 7), z in 0u32..(1 << 7)) {
-        let h = hilbert_index([x, y, z], 7);
-        prop_assert_eq!(hilbert_coords::<3>(h, 7), [x, y, z]);
+#[test]
+fn hilbert_round_trip_3d() {
+    let mut rng = SplitMix64::new(0x3d3d);
+    for _ in 0..256 {
+        let p = [
+            rng.next_below(1 << 7) as u32,
+            rng.next_below(1 << 7) as u32,
+            rng.next_below(1 << 7) as u32,
+        ];
+        let h = hilbert_index(p, 7);
+        assert_eq!(hilbert_coords::<3>(h, 7), p);
     }
+}
 
-    #[test]
-    fn hilbert_neighbours_differ_by_one_step(h in 0u64..(1u64 << 12) - 1) {
+#[test]
+fn hilbert_neighbours_differ_by_one_step() {
+    // Exhaustive over the full 4-bit-per-axis 3-D curve.
+    for h in 0..(1u64 << 12) - 1 {
         let a = hilbert_coords::<3>(h, 4);
         let b = hilbert_coords::<3>(h + 1, 4);
         let dist: u32 = a.iter().zip(b.iter()).map(|(&x, &y)| x.abs_diff(y)).sum();
-        prop_assert_eq!(dist, 1);
+        assert_eq!(dist, 1, "h={h}");
     }
+}
 
-    #[test]
-    fn octree_invariants_for_arbitrary_points(pts in points_with_duplicates()) {
+#[test]
+fn octree_invariants_for_arbitrary_points() {
+    let mut rng = SplitMix64::new(0x0c7);
+    for case in 0..64 {
+        let pts = adversarial_points(&mut rng, case);
         let mut tree = Octree::new();
         tree.build(Par, &pts, Aabb::from_points(&pts)).unwrap();
         let inv = TreeInvariants::check(&tree, &pts).unwrap();
-        prop_assert_eq!(inv.reachable_bodies, pts.len());
+        assert_eq!(inv.reachable_bodies, pts.len(), "case {case}");
         let mut ids = collect_bodies(&tree);
         ids.sort_unstable();
-        prop_assert_eq!(ids, (0..pts.len() as u32).collect::<Vec<_>>());
+        assert_eq!(ids, (0..pts.len() as u32).collect::<Vec<_>>(), "case {case}");
     }
+}
 
-    #[test]
-    fn octree_root_mass_matches(pts in points_with_duplicates()) {
+#[test]
+fn octree_root_mass_matches() {
+    let mut rng = SplitMix64::new(0x0c8);
+    for case in 0..32 {
+        let pts = adversarial_points(&mut rng, case);
         let masses: Vec<f64> = (0..pts.len()).map(|i| 1.0 + (i % 5) as f64).collect();
         let total: f64 = masses.iter().sum();
         let mut tree = Octree::new();
         tree.build(Par, &pts, Aabb::from_points(&pts)).unwrap();
         tree.compute_multipoles(Par, &pts, &masses);
-        prop_assert!((tree.node_mass_of(0) - total).abs() < 1e-9 * total);
+        assert!(
+            (tree.node_mass_of(0) - total).abs() < 1e-9 * total,
+            "case {case}: {} vs {}",
+            tree.node_mass_of(0),
+            total
+        );
     }
+}
 
-    #[test]
-    fn bvh_invariants_for_arbitrary_points(pts in points_with_duplicates()) {
+#[test]
+fn bvh_invariants_for_arbitrary_points() {
+    let mut rng = SplitMix64::new(0xb5);
+    for case in 0..64 {
+        let pts = adversarial_points(&mut rng, case);
         let masses = vec![1.0; pts.len()];
         let mut bvh = Bvh::new();
         bvh.hilbert_sort(ParUnseq, &pts, &masses, Aabb::from_points(&pts));
         bvh.build_and_accumulate(ParUnseq);
         let inv = stdpar_nbody::bvh::validate::BvhInvariants::check(&bvh).unwrap();
-        prop_assert_eq!(inv.bodies, pts.len());
+        assert_eq!(inv.bodies, pts.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn theta_zero_equals_direct_for_both_trees(pts in prop::collection::vec(vec3_strategy(10.0), 2..60)) {
-        let masses = vec![1.0; pts.len()];
+#[test]
+fn theta_zero_equals_direct_for_both_trees() {
+    let mut rng = SplitMix64::new(0x7e7a);
+    for case in 0..24 {
+        let n = 2 + rng.next_below(58) as usize;
+        let pts: Vec<Vec3> = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    10.0 * (rng.next_f64() - 0.5),
+                    10.0 * (rng.next_f64() - 0.5),
+                    10.0 * (rng.next_f64() - 0.5),
+                )
+            })
+            .collect();
+        let masses = vec![1.0; n];
         let bounds = Aabb::from_points(&pts);
         let params = ForceParams { theta: 0.0, softening: 1e-6, ..ForceParams::default() };
 
@@ -103,26 +153,42 @@ proptest! {
         bvh.hilbert_sort(ParUnseq, &pts, &masses, bounds);
         bvh.build_and_accumulate(ParUnseq);
 
-        for i in 0..pts.len().min(8) {
+        for i in 0..n.min(8) {
             let exact = direct_accel(pts[i], Some(i as u32), &pts, &masses, 1.0, 1e-6);
             let a = tree.accel_at(pts[i], Some(i as u32), &pts, &masses, &params);
             let b = bvh.accel_at(pts[i], Some(i as u32), &params);
-            prop_assert!((a - exact).norm() <= 1e-9 * (1.0 + exact.norm()),
-                "octree body {}: {:?} vs {:?}", i, a, exact);
-            prop_assert!((b - exact).norm() <= 1e-9 * (1.0 + exact.norm()),
-                "bvh body {}: {:?} vs {:?}", i, b, exact);
+            assert!(
+                (a - exact).norm() <= 1e-9 * (1.0 + exact.norm()),
+                "case {case} octree body {i}: {a:?} vs {exact:?}"
+            );
+            assert!(
+                (b - exact).norm() <= 1e-9 * (1.0 + exact.norm()),
+                "case {case} bvh body {i}: {b:?} vs {exact:?}"
+            );
         }
     }
+}
 
-    #[test]
-    fn bbox_reduction_matches_sequential(pts in prop::collection::vec(vec3_strategy(1000.0), 0..300)) {
-        use stdpar_nbody::sim::system::SystemState;
-        let n = pts.len();
-        let state = SystemState::from_parts(pts.clone(), vec![Vec3::ZERO; n], vec![1.0; n]);
+#[test]
+fn bbox_reduction_matches_sequential() {
+    use stdpar_nbody::sim::system::SystemState;
+    let mut rng = SplitMix64::new(0xbb0);
+    for case in 0..24 {
+        let n = rng.next_below(300) as usize;
+        let pts: Vec<Vec3> = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    1000.0 * (rng.next_f64() - 0.5),
+                    1000.0 * (rng.next_f64() - 0.5),
+                    1000.0 * (rng.next_f64() - 0.5),
+                )
+            })
+            .collect();
+        let state = SystemState::from_parts(pts, vec![Vec3::ZERO; n], vec![1.0; n]);
         let seq = state.bounding_box(stdpar_nbody::prelude::Seq);
         let par = state.bounding_box(Par);
         let unseq = state.bounding_box(ParUnseq);
-        prop_assert_eq!(seq, par);
-        prop_assert_eq!(seq, unseq);
+        assert_eq!(seq, par, "case {case}");
+        assert_eq!(seq, unseq, "case {case}");
     }
 }
