@@ -1,0 +1,169 @@
+//! Ablation: blocked force traversal vs per-body traversal, sweeping the
+//! group size G for both trees.
+//!
+//! The blocked path amortises one conservative tree walk over G spatially
+//! adjacent bodies and evaluates forces with flat SoA interaction lists
+//! (see DESIGN.md "Blocked traversal"). Small G pays one walk per few
+//! bodies; large G makes the group box big, the MAC conservative and the
+//! lists long. The sweep locates the sweet spot and reports the speedup
+//! of the best blocked configuration over the per-body baseline at equal
+//! θ, plus the mean relative force error of every configuration (the
+//! group MAC is conservative, so blocked error must not exceed per-body
+//! error).
+//!
+//! Usage: `blocked_sweep [--n=100000] [--theta=0.5] [--smoke] [--json=PATH]`
+//!
+//! `--json=PATH` additionally writes the measurements as one
+//! machine-readable JSON document (the harness points this at
+//! `BENCH_blocked.json`).
+
+use nbody_bench::{arg, flag, print_banner, print_table};
+use nbody_math::gravity::{direct_accel, ForceEval};
+use nbody_sim::prelude::*;
+use nbody_sim::solver::SolverParams;
+use std::time::Instant;
+
+struct Row {
+    tree: &'static str,
+    eval: String,
+    group: usize,
+    force_s: f64,
+    err: f64,
+    speedup: f64,
+}
+
+fn mean_rel_error(acc: &[Vec3], state: &SystemState, softening: f64) -> f64 {
+    let n = state.len();
+    let stride = (n / 500).max(1);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in (0..n).step_by(stride) {
+        let exact = direct_accel(
+            state.positions[i],
+            Some(i as u32),
+            &state.positions,
+            &state.masses,
+            1.0,
+            softening,
+        );
+        total += (acc[i] - exact).norm() / (1e-12 + exact.norm());
+        count += 1;
+    }
+    total / count as f64
+}
+
+/// Minimum force-phase time over `reps` evaluations on a warm solver.
+fn time_force(
+    kind: SolverKind,
+    state: &SystemState,
+    params: SolverParams,
+    reps: usize,
+) -> (f64, Vec<Vec3>) {
+    let policy = if kind == SolverKind::Octree { DynPolicy::Par } else { DynPolicy::ParUnseq };
+    let mut solver = nbody_sim::make_solver(kind, policy, params).unwrap();
+    let mut acc = vec![Vec3::ZERO; state.len()];
+    solver.compute(state, &mut acc, false); // warm: build + force
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let timings = solver.compute(state, &mut acc, true);
+        let force = timings.force.as_secs_f64();
+        // Fall back to wall time if a solver does not fill phase timings.
+        best = best.min(if force > 0.0 { force } else { start.elapsed().as_secs_f64() });
+    }
+    (best, acc)
+}
+
+fn main() {
+    print_banner("Ablation — blocked traversal: group-size sweep vs per-body, both trees");
+    let smoke = flag("smoke");
+    let n: usize = arg("n", if smoke { 20_000 } else { 100_000 });
+    let theta: f64 = arg("theta", 0.5);
+    let json_path: String = arg("json", String::new());
+    let softening = 1e-3;
+    let reps = if smoke { 1 } else { 3 };
+    let groups: &[usize] = if smoke { &[32] } else { &[8, 16, 32, 64, 128, 256] };
+    let state = galaxy_collision(n, 2024);
+
+    let mut rows: Vec<Row> = vec![];
+    for kind in [SolverKind::Octree, SolverKind::Bvh] {
+        let base = SolverParams { theta, softening, ..SolverParams::default() };
+        let (per_body_s, acc) = time_force(kind, &state, base, reps);
+        rows.push(Row {
+            tree: kind.name(),
+            eval: "per-body".into(),
+            group: 0,
+            force_s: per_body_s,
+            err: mean_rel_error(&acc, &state, softening),
+            speedup: 1.0,
+        });
+        for &g in groups {
+            let params = SolverParams { eval: ForceEval::Blocked { group: g }, ..base };
+            let (secs, acc) = time_force(kind, &state, params, reps);
+            rows.push(Row {
+                tree: kind.name(),
+                eval: format!("blocked[{g}]"),
+                group: g,
+                force_s: secs,
+                err: mean_rel_error(&acc, &state, softening),
+                speedup: per_body_s / secs,
+            });
+        }
+    }
+
+    print_table(
+        &["tree", "eval", "force s", "mean rel err", "speedup"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.tree.into(),
+                    r.eval.clone(),
+                    format!("{:.4}", r.force_s),
+                    format!("{:.3e}", r.err),
+                    format!("{:.2}x", r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    println!();
+    for kind in ["octree", "bvh"] {
+        if let Some(best) = rows
+            .iter()
+            .filter(|r| r.tree == kind && r.group > 0)
+            .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+        {
+            println!(
+                "{kind}: best blocked group G={} -> {:.2}x over per-body (err {:.3e})",
+                best.group, best.speedup, best.err
+            );
+        }
+    }
+
+    if !json_path.is_empty() {
+        let mut body = String::new();
+        for (i, r) in rows.iter().enumerate() {
+            if i > 0 {
+                body.push_str(",\n");
+            }
+            body.push_str(&format!(
+                "    {{\"tree\": \"{}\", \"eval\": \"{}\", \"group\": {}, \
+                 \"force_s\": {:.6}, \"mean_rel_err\": {:.6e}, \"speedup\": {:.4}}}",
+                r.tree,
+                if r.group == 0 { "per-body" } else { "blocked" },
+                r.group,
+                r.force_s,
+                r.err,
+                r.speedup
+            ));
+        }
+        let doc = format!(
+            "{{\n  \"bench\": \"blocked_sweep\",\n  \"n\": {n},\n  \"theta\": {theta},\n  \
+             \"softening\": {softening},\n  \"threads\": {},\n  \"rows\": [\n{body}\n  ]\n}}\n",
+            stdpar::backend::hardware_parallelism()
+        );
+        std::fs::write(&json_path, doc).expect("write json");
+        println!();
+        println!("wrote {json_path}");
+    }
+}

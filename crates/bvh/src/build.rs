@@ -64,6 +64,9 @@ pub struct Bvh {
     pub(crate) sorted_mass: Vec<f64>,
     /// Per-node bounding boxes (index 0 unused).
     pub(crate) boxes: Vec<Aabb>,
+    /// Per-node squared box diagonal, precomputed at build time so the
+    /// acceptance criterion does no per-visit `extent().norm2()`.
+    pub(crate) diag2: Vec<f64>,
     /// Per-node total mass.
     pub(crate) mass: Vec<f64>,
     /// Per-node centre of mass.
@@ -95,6 +98,7 @@ impl Bvh {
             sorted_pos: Vec::new(),
             sorted_mass: Vec::new(),
             boxes: Vec::new(),
+            diag2: Vec::new(),
             mass: Vec::new(),
             com: Vec::new(),
             quad: None,
@@ -160,6 +164,12 @@ impl Bvh {
         self.mass[i]
     }
 
+    /// Squared diagonal of node `i`'s box (the MAC size term, precomputed).
+    #[inline]
+    pub fn node_diag2(&self, i: usize) -> f64 {
+        self.diag2[i]
+    }
+
     #[inline]
     pub fn node_com(&self, i: usize) -> Vec3 {
         self.com[i]
@@ -217,6 +227,10 @@ impl Bvh {
         let total = 2 * leaves;
         self.boxes.clear();
         self.boxes.resize(total, Aabb::EMPTY);
+        // Point leaves have zero diagonal; empty nodes are never visited
+        // (zero mass), so zero is a safe fill for the whole array.
+        self.diag2.clear();
+        self.diag2.resize(total, 0.0);
         self.mass.clear();
         self.mass.resize(total, 0.0);
         self.com.clear();
@@ -248,6 +262,7 @@ impl Bvh {
         let mut width = leaves / 2;
         while width >= 1 {
             let boxes = SyncSlice::new(&mut self.boxes);
+            let diag2 = SyncSlice::new(&mut self.diag2);
             let mass = SyncSlice::new(&mut self.mass);
             let com = SyncSlice::new(&mut self.com);
             let quad = self.quad.as_mut().map(|q| SyncSlice::new(q));
@@ -255,7 +270,9 @@ impl Bvh {
                 let (l, r) = (2 * i, 2 * i + 1);
                 let (ml, mr) = (mass.read(l), mass.read(r));
                 let m = ml + mr;
-                boxes.write(i, boxes.read(l).union(boxes.read(r)));
+                let bx = boxes.read(l).union(boxes.read(r));
+                boxes.write(i, bx);
+                diag2.write(i, if m > 0.0 { bx.extent().norm2() } else { 0.0 });
                 mass.write(i, m);
                 let c = if m > 0.0 {
                     (com.read(l) * ml + com.read(r) * mr) / m

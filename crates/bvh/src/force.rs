@@ -13,7 +13,7 @@
 //!    for the octree.
 
 use crate::build::Bvh;
-use nbody_math::gravity::{multipole_accel, pair_accel, ForceParams};
+use nbody_math::gravity::{multipole_accel, pair_accel, ForceEval, ForceParams};
 use nbody_math::Vec3;
 use stdpar::prelude::*;
 
@@ -21,9 +21,14 @@ impl Bvh {
     /// Compute gravitational accelerations for every body (original order).
     ///
     /// `positions` must be the same array the tree was sorted from. Every
-    /// per-body computation is independent and lock-free, so all policies
-    /// — including `par_unseq` — are valid (the whole point of the BVH
+    /// per-body computation (and, on the blocked path, per-group
+    /// computation) is independent and lock-free, so all policies —
+    /// including `par_unseq` — are valid (the whole point of the BVH
     /// strategy: it only needs weakly parallel forward progress).
+    ///
+    /// `params.eval` selects the traversal: one walk per body, or one walk
+    /// per contiguous group of Hilbert-sorted bodies with shared SoA
+    /// interaction lists (see [`crate::blocked`]).
     pub fn compute_forces<P: ExecutionPolicy>(
         &self,
         policy: P,
@@ -35,6 +40,10 @@ impl Bvh {
         assert_eq!(accel.len(), positions.len(), "accel length mismatch");
         if params.use_quadrupole {
             assert!(self.quad.is_some(), "quadrupole requested but not accumulated");
+        }
+        if let ForceEval::Blocked { group } = params.eval {
+            self.compute_forces_blocked(policy, accel, params, group.max(1));
+            return;
         }
         let out = SyncSlice::new(accel);
         let this = self;
@@ -52,6 +61,8 @@ impl Bvh {
         }
         let theta2 = params.theta * params.theta;
         let eps2 = params.softening * params.softening;
+        // Resolve the quadrupole source once, outside the traversal loop.
+        let quad = if params.use_quadrupole { self.quad.as_deref() } else { None };
 
         let mut i: usize = 1; // root
         loop {
@@ -66,15 +77,14 @@ impl Bvh {
                     }
                 } else {
                     let d = self.com[i] - p;
-                    // Node size: the box diagonal (boxes may be elongated),
-                    // compared against the distance to the *box* rather than
-                    // to the COM — elongated, overlapping BVH boxes can
-                    // reach much closer to the body than their COM does.
+                    // Node size: the box diagonal (boxes may be elongated,
+                    // hence the precomputed `diag2`), compared against the
+                    // distance to the *box* rather than to the COM —
+                    // elongated, overlapping BVH boxes can reach much closer
+                    // to the body than their COM does.
                     let d2 = self.boxes[i].distance2_to_point(p);
-                    let s2 = self.boxes[i].extent().norm2();
-                    if s2 < theta2 * d2 {
-                        let q = self.quad.as_ref().filter(|_| params.use_quadrupole);
-                        acc += multipole_accel(d, m, q.map(|q| &q[i]), params.g, eps2);
+                    if self.diag2[i] < theta2 * d2 {
+                        acc += multipole_accel(d, m, quad.map(|q| &q[i]), params.g, eps2);
                     } else {
                         i *= 2; // forward step: descend into the left child
                         descend = true;

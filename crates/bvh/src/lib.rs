@@ -42,6 +42,7 @@
 //! assert!(acc[0].x > 0.0 && acc[1].x < 0.0);
 //! ```
 
+pub mod blocked;
 pub mod build;
 pub mod force;
 pub mod query;

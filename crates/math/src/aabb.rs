@@ -143,6 +143,18 @@ impl Aabb {
         Aabb { min, max }
     }
 
+    /// Squared distance between the closest points of two boxes (0 when
+    /// they touch or overlap). The blocked traversal uses this as the
+    /// conservative group-to-node distance: for every `p` in `self` and
+    /// every `q` in `o`, `|p − q|² ≥ distance2_to_box`.
+    #[inline]
+    pub fn distance2_to_box(self, o: Aabb) -> f64 {
+        let dx = (self.min.x - o.max.x).max(0.0).max(o.min.x - self.max.x);
+        let dy = (self.min.y - o.max.y).max(0.0).max(o.min.y - self.max.y);
+        let dz = (self.min.z - o.max.z).max(0.0).max(o.min.z - self.max.z);
+        dx * dx + dy * dy + dz * dz
+    }
+
     /// Squared distance from `p` to the closest point of the box (0 inside).
     #[inline]
     pub fn distance2_to_point(self, p: Vec3) -> f64 {
@@ -233,6 +245,21 @@ mod tests {
         assert_eq!(Aabb::octant_of(c, Vec3::new(-1.0, 1.0, -1.0)), 2);
         assert_eq!(Aabb::octant_of(c, Vec3::new(-1.0, -1.0, 1.0)), 4);
         assert_eq!(Aabb::octant_of(c, Vec3::new(1.0, 1.0, 1.0)), 7);
+    }
+
+    #[test]
+    fn distance2_to_box_bounds_pointwise_distances() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        let b = Aabb::new(Vec3::new(3.0, 0.0, 0.0), Vec3::new(4.0, 1.0, 1.0));
+        assert_eq!(a.distance2_to_box(b), 4.0);
+        assert_eq!(b.distance2_to_box(a), 4.0);
+        // Overlapping and touching boxes are at distance zero.
+        assert_eq!(a.distance2_to_box(Aabb::new(Vec3::splat(0.5), Vec3::splat(2.0))), 0.0);
+        assert_eq!(a.distance2_to_box(Aabb::new(Vec3::splat(1.0), Vec3::splat(2.0))), 0.0);
+        // Conservative lower bound on every pairwise point distance.
+        for (p, q) in [(a.center(), b.center()), (a.max, b.min), (a.min, b.max)] {
+            assert!((p - q).norm2() >= a.distance2_to_box(b) - 1e-12);
+        }
     }
 
     #[test]

@@ -10,6 +10,47 @@
 
 use crate::vec3::Vec3;
 
+/// How CALCULATEFORCE walks the tree.
+///
+/// `PerBody` is the paper's traversal: every body re-walks the tree from
+/// the root. `Blocked` partitions the (spatially sorted) bodies into
+/// contiguous groups of `group` bodies, runs **one** traversal per group
+/// with the group's AABB in the acceptance criterion (conservative: a node
+/// accepted for the whole group is accepted for every member), gathers the
+/// accepted multipoles and opened leaf bodies into flat SoA interaction
+/// lists, and then evaluates each member with a tight branch-free loop over
+/// those lists (Tokuue & Ishiyama's interaction-list batching).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ForceEval {
+    /// One stackless traversal per body (paper §IV-A.3 / §IV-B.3).
+    #[default]
+    PerBody,
+    /// One traversal per contiguous group of `group` sorted bodies.
+    Blocked {
+        /// Bodies per shared interaction list (clamped to ≥ 1).
+        group: usize,
+    },
+}
+
+impl ForceEval {
+    /// Default group size of the blocked path: large enough to amortise the
+    /// traversal, small enough that group AABBs stay tight.
+    pub const DEFAULT_GROUP: usize = 32;
+
+    /// The blocked path at its default group size.
+    pub const fn blocked() -> Self {
+        ForceEval::Blocked { group: Self::DEFAULT_GROUP }
+    }
+
+    /// Group size of the blocked path (`None` for the per-body path).
+    pub const fn group(self) -> Option<usize> {
+        match self {
+            ForceEval::PerBody => None,
+            ForceEval::Blocked { group } => Some(if group == 0 { 1 } else { group }),
+        }
+    }
+}
+
 /// Parameters of a Barnes-Hut force evaluation.
 #[derive(Clone, Copy, Debug)]
 pub struct ForceParams {
@@ -26,11 +67,19 @@ pub struct ForceParams {
     /// Include quadrupole terms when approximating (requires the tree to
     /// have accumulated second moments).
     pub use_quadrupole: bool,
+    /// Traversal strategy (per-body re-walks vs blocked shared lists).
+    pub eval: ForceEval,
 }
 
 impl Default for ForceParams {
     fn default() -> Self {
-        ForceParams { theta: 0.5, softening: 0.0, g: 1.0, use_quadrupole: false }
+        ForceParams {
+            theta: 0.5,
+            softening: 0.0,
+            g: 1.0,
+            use_quadrupole: false,
+            eval: ForceEval::PerBody,
+        }
     }
 }
 

@@ -1,0 +1,246 @@
+//! Flat SoA interaction lists for the blocked force traversal.
+//!
+//! The blocked CALCULATEFORCE path (see [`crate::gravity::ForceEval`])
+//! separates *tree walking* from *force evaluation*: one conservative
+//! traversal per body group collects everything the group interacts with
+//! into two flat lists — opened leaf bodies (exact pair interactions) and
+//! accepted nodes (multipole interactions) — and every group member is then
+//! evaluated against those lists with tight loops over structure-of-arrays
+//! `x/y/z/m` data. The loops carry no tree state, no tags and no pointer
+//! chasing, so the compiler can unroll and vectorize them like the inner
+//! loop of an all-pairs kernel (Tokuue & Ishiyama; Cornerstone's traversal
+//! batching makes the same locality argument).
+//!
+//! Both tree crates share this type so the octree and the BVH blocked paths
+//! evaluate bit-identical kernels over their respective lists.
+
+use crate::vec3::Vec3;
+
+/// Interaction lists of one body group: SoA sources for the flat kernels.
+///
+/// The `quad` block is allocated only when quadrupole moments are in use;
+/// when present it is index-aligned with the node list.
+#[derive(Clone, Debug, Default)]
+pub struct InteractionLists {
+    /// Opened leaf bodies: positions (SoA) and masses.
+    pub bx: Vec<f64>,
+    pub by: Vec<f64>,
+    pub bz: Vec<f64>,
+    pub bm: Vec<f64>,
+    /// Accepted nodes: centres of mass (SoA) and total masses.
+    pub nx: Vec<f64>,
+    pub ny: Vec<f64>,
+    pub nz: Vec<f64>,
+    pub nm: Vec<f64>,
+    /// Optional central second moments (xx, xy, xz, yy, yz, zz) per node.
+    pub quad: Option<Vec<[f64; 6]>>,
+}
+
+impl InteractionLists {
+    /// Empty lists; `want_quad` pre-arms the quadrupole block.
+    pub fn new(want_quad: bool) -> Self {
+        InteractionLists { quad: want_quad.then(Vec::new), ..Default::default() }
+    }
+
+    /// Drop all entries, keeping allocations for reuse across groups.
+    pub fn clear(&mut self) {
+        self.bx.clear();
+        self.by.clear();
+        self.bz.clear();
+        self.bm.clear();
+        self.nx.clear();
+        self.ny.clear();
+        self.nz.clear();
+        self.nm.clear();
+        if let Some(q) = &mut self.quad {
+            q.clear();
+        }
+    }
+
+    /// Number of exact pair sources.
+    #[inline]
+    pub fn n_bodies(&self) -> usize {
+        self.bx.len()
+    }
+
+    /// Number of multipole sources.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.nx.len()
+    }
+
+    /// Append an opened leaf body.
+    #[inline]
+    pub fn push_body(&mut self, p: Vec3, m: f64) {
+        self.bx.push(p.x);
+        self.by.push(p.y);
+        self.bz.push(p.z);
+        self.bm.push(m);
+    }
+
+    /// Append an accepted node (`quad` is ignored unless the block is armed).
+    #[inline]
+    pub fn push_node(&mut self, com: Vec3, m: f64, quad: Option<[f64; 6]>) {
+        self.nx.push(com.x);
+        self.ny.push(com.y);
+        self.nz.push(com.z);
+        self.nm.push(m);
+        if let Some(q) = &mut self.quad {
+            q.push(quad.unwrap_or([0.0; 6]));
+        }
+    }
+
+    /// Acceleration at `p` from every listed source.
+    ///
+    /// Matches the per-body kernels term by term: pair sources use the
+    /// softened monopole of [`crate::gravity::pair_accel`] (with its r² = 0
+    /// guard, so a body in its own group contributes exactly zero), node
+    /// sources the monopole+quadrupole of
+    /// [`crate::gravity::multipole_accel`]. Only the summation *order*
+    /// differs from the per-body traversal.
+    pub fn eval_at(&self, p: Vec3, g: f64, eps2: f64) -> Vec3 {
+        let (mut ax, mut ay, mut az) = (0.0f64, 0.0f64, 0.0f64);
+
+        // Exact pair interactions: branch-free except the compiled-to-select
+        // zero-distance guard.
+        for k in 0..self.bx.len() {
+            let dx = self.bx[k] - p.x;
+            let dy = self.by[k] - p.y;
+            let dz = self.bz[k] - p.z;
+            let r2 = dx * dx + dy * dy + dz * dz + eps2;
+            let w = if r2 > 0.0 { self.bm[k] / (r2 * r2.sqrt()) } else { 0.0 };
+            ax += dx * w;
+            ay += dy * w;
+            az += dz * w;
+        }
+
+        // Multipole interactions. Accepted nodes are strictly outside the
+        // group box (the acceptance criterion rejects d = 0), so r2 > 0 is
+        // kept only as a defensive select.
+        match &self.quad {
+            None => {
+                for k in 0..self.nx.len() {
+                    let dx = self.nx[k] - p.x;
+                    let dy = self.ny[k] - p.y;
+                    let dz = self.nz[k] - p.z;
+                    let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                    let w = if r2 > 0.0 { self.nm[k] / (r2 * r2.sqrt()) } else { 0.0 };
+                    ax += dx * w;
+                    ay += dy * w;
+                    az += dz * w;
+                }
+            }
+            Some(quads) => {
+                for (k, s) in quads.iter().enumerate() {
+                    let dx = self.nx[k] - p.x;
+                    let dy = self.ny[k] - p.y;
+                    let dz = self.nz[k] - p.z;
+                    let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                    if r2 <= 0.0 {
+                        continue;
+                    }
+                    let r = r2.sqrt();
+                    let inv_r3 = 1.0 / (r2 * r);
+                    let m = self.nm[k];
+                    ax += dx * (m * inv_r3);
+                    ay += dy * (m * inv_r3);
+                    az += dz * (m * inv_r3);
+                    // Quadrupole terms; u points from the node COM to p.
+                    let (ux, uy, uz) = (-dx, -dy, -dz);
+                    let sux = s[0] * ux + s[1] * uy + s[2] * uz;
+                    let suy = s[1] * ux + s[3] * uy + s[4] * uz;
+                    let suz = s[2] * ux + s[4] * uy + s[5] * uz;
+                    let usu = ux * sux + uy * suy + uz * suz;
+                    let tr = s[0] + s[3] + s[5];
+                    let inv_r5 = inv_r3 / r2;
+                    let inv_r7 = inv_r5 / r2;
+                    let c_u = 1.5 * tr * inv_r5 - 7.5 * usu * inv_r7;
+                    ax += sux * (3.0 * inv_r5) + ux * c_u;
+                    ay += suy * (3.0 * inv_r5) + uy * c_u;
+                    az += suz * (3.0 * inv_r5) + uz * c_u;
+                }
+            }
+        }
+        Vec3::new(ax * g, ay * g, az * g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gravity::{multipole_accel, pair_accel};
+    use crate::rng::SplitMix64;
+
+    fn rand_vec(r: &mut SplitMix64) -> Vec3 {
+        Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0))
+    }
+
+    #[test]
+    fn matches_pair_accel_sum() {
+        let mut r = SplitMix64::new(7);
+        let mut lists = InteractionLists::new(false);
+        let mut srcs = vec![];
+        for _ in 0..64 {
+            let p = rand_vec(&mut r);
+            let m = r.uniform(0.5, 2.0);
+            lists.push_body(p, m);
+            srcs.push((p, m));
+        }
+        let probe = Vec3::new(0.1, -0.3, 0.2);
+        let eps2 = 1e-6;
+        let got = lists.eval_at(probe, 2.0, eps2);
+        let mut want = Vec3::ZERO;
+        for (p, m) in srcs {
+            want += pair_accel(p - probe, m, 2.0, eps2);
+        }
+        assert!((got - want).norm() < 1e-13 * (1.0 + want.norm()));
+    }
+
+    #[test]
+    fn matches_multipole_accel_sum_with_quadrupole() {
+        let mut r = SplitMix64::new(8);
+        let mut lists = InteractionLists::new(true);
+        let mut srcs = vec![];
+        for _ in 0..32 {
+            let com = rand_vec(&mut r) + Vec3::splat(3.0); // well outside
+            let m = r.uniform(0.5, 2.0);
+            let q: [f64; 6] = std::array::from_fn(|_| r.uniform(-0.01, 0.01));
+            lists.push_node(com, m, Some(q));
+            srcs.push((com, m, q));
+        }
+        let probe = Vec3::new(0.1, -0.3, 0.2);
+        let got = lists.eval_at(probe, 1.0, 0.0);
+        let mut want = Vec3::ZERO;
+        for (com, m, q) in srcs {
+            want += multipole_accel(com - probe, m, Some(&q), 1.0, 0.0);
+        }
+        assert!((got - want).norm() < 1e-12 * (1.0 + want.norm()), "{got:?} vs {want:?}");
+    }
+
+    #[test]
+    fn self_source_contributes_zero() {
+        let mut lists = InteractionLists::new(false);
+        let p = Vec3::new(0.4, 0.5, 0.6);
+        lists.push_body(p, 7.0);
+        assert_eq!(lists.eval_at(p, 1.0, 0.0), Vec3::ZERO);
+        // With softening the zero displacement still yields zero force.
+        assert_eq!(lists.eval_at(p, 1.0, 0.01), Vec3::ZERO);
+    }
+
+    #[test]
+    fn clear_keeps_quad_block_armed() {
+        let mut lists = InteractionLists::new(true);
+        lists.push_node(Vec3::splat(2.0), 1.0, Some([0.1; 6]));
+        lists.push_body(Vec3::ZERO, 1.0);
+        lists.clear();
+        assert_eq!(lists.n_bodies(), 0);
+        assert_eq!(lists.n_nodes(), 0);
+        assert!(lists.quad.as_ref().is_some_and(|q| q.is_empty()));
+    }
+
+    #[test]
+    fn empty_lists_give_zero() {
+        let lists = InteractionLists::new(false);
+        assert_eq!(lists.eval_at(Vec3::splat(1.0), 1.0, 0.0), Vec3::ZERO);
+    }
+}

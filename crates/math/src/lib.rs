@@ -13,6 +13,7 @@ pub mod atomic_f64;
 pub mod gravity;
 pub mod gray;
 pub mod hilbert;
+pub mod interaction;
 pub mod kahan;
 pub mod morton;
 pub mod rng;
@@ -21,7 +22,8 @@ pub mod vec3;
 
 pub use aabb::Aabb;
 pub use atomic_f64::AtomicF64;
-pub use gravity::ForceParams;
+pub use gravity::{ForceEval, ForceParams};
+pub use interaction::InteractionLists;
 pub use kahan::KahanSum;
 pub use rng::SplitMix64;
 pub use vec2::{Rect, Vec2};

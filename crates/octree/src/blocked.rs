@@ -1,0 +1,256 @@
+//! Blocked CALCULATEFORCE for the octree: one traversal per body *group*.
+//!
+//! Mirror of the BVH blocked path (see `bh-bvh`'s `blocked` module).
+//! The octree stores bodies in insertion order, which is not spatially
+//! sorted, so groups are formed from the tree's own depth-first leaf
+//! order instead: a contiguous run of DFS bodies lives in one subtree and
+//! therefore in a small box. One stackless traversal per run tests the
+//! acceptance criterion against the run's AABB using the conservative
+//! point-to-box distance [`Aabb::distance2_to_point`] — every member's
+//! distance to a node's centre of mass is at least the box's distance, so
+//! a node accepted for the box is accepted for every member. Accepted
+//! multipoles and opened leaf bodies land in flat SoA
+//! [`InteractionLists`] and members evaluate with the shared branch-free
+//! kernels, amortising the walk over the whole group.
+//!
+//! Groups partition the DFS order deterministically (fixed chunking, no
+//! data-dependent scheduling), every group writes disjoint output slots
+//! and owns its scratch lists, so the path runs under `par_unseq` with
+//! bitwise-reproducible results across policies and backends.
+
+use crate::tags::{self, Slot};
+use crate::tree::Octree;
+use crate::validate::collect_bodies;
+use nbody_math::gravity::ForceParams;
+use nbody_math::{Aabb, InteractionLists, Vec3};
+use std::sync::atomic::Ordering;
+use stdpar::prelude::*;
+
+impl Octree {
+    /// Blocked force evaluation: one traversal per contiguous group of
+    /// `group` bodies in depth-first tree order. Called from
+    /// [`Octree::compute_forces`] when `params.eval` selects
+    /// [`nbody_math::gravity::ForceEval::Blocked`].
+    pub(crate) fn compute_forces_blocked<P: ExecutionPolicy>(
+        &self,
+        policy: P,
+        positions: &[Vec3],
+        masses: &[f64],
+        accel: &mut [Vec3],
+        params: &ForceParams,
+        group: usize,
+    ) {
+        let order = collect_bodies(self);
+        debug_assert_eq!(order.len(), self.n_bodies());
+        let out = SyncSlice::new(accel);
+        let this = self;
+        let theta2 = params.theta * params.theta;
+        let eps2 = params.softening * params.softening;
+        for_each_chunk(policy, 0..order.len(), group, |r| {
+            let mut gbox = Aabb::EMPTY;
+            for &b in &order[r.clone()] {
+                gbox.expand(positions[b as usize]);
+            }
+            let mut lists = InteractionLists::new(params.use_quadrupole);
+            this.gather_group(gbox, theta2, params.use_quadrupole, positions, masses, &mut lists);
+            for &b in &order[r] {
+                let a = lists.eval_at(positions[b as usize], params.g, eps2);
+                // Disjoint slots: the DFS order is a permutation of 0..n.
+                unsafe { out.write(b as usize, a) };
+            }
+        });
+    }
+
+    /// Stackless walk collecting the interaction lists of one group box.
+    /// Same forward/backward structure as [`Octree::accel_at`], with the
+    /// point distance `|com − p|²` replaced by the conservative distance
+    /// from the node's centre of mass to the group box.
+    fn gather_group(
+        &self,
+        gbox: Aabb,
+        theta2: f64,
+        want_quad: bool,
+        positions: &[Vec3],
+        masses: &[f64],
+        lists: &mut InteractionLists,
+    ) {
+        if self.n_bodies() == 0 {
+            return;
+        }
+        let quads = if want_quad { self.node_quad.as_ref() } else { None };
+        let mut i: u32 = 0;
+        let mut width = self.root_edge();
+        loop {
+            let mut descend = false;
+            match self.slot(i) {
+                Slot::Node(c) => {
+                    let com = self.node_com_of(i);
+                    let d2 = gbox.distance2_to_point(com);
+                    if width * width < theta2 * d2 {
+                        let quad = quads.map(|q| {
+                            std::array::from_fn(|k| q[k][i as usize].load(Ordering::Relaxed))
+                        });
+                        lists.push_node(com, self.node_mass_of(i), quad);
+                    } else {
+                        i = c;
+                        width *= 0.5;
+                        descend = true;
+                    }
+                }
+                Slot::Empty => {}
+                Slot::Body(head) => {
+                    // Group members meet themselves here; the evaluation
+                    // kernel's zero-distance guard zeroes self terms,
+                    // matching the per-body path's explicit exclusion.
+                    for bj in self.chain(head) {
+                        lists.push_body(positions[bj as usize], masses[bj as usize]);
+                    }
+                }
+                Slot::Locked => unreachable!("locked slot during force traversal"),
+            }
+            if descend {
+                continue;
+            }
+            // Backward step: next sibling, or climb until one exists.
+            loop {
+                if i == 0 {
+                    return;
+                }
+                if tags::sibling_rank(i) != tags::CHILDREN - 1 {
+                    i += 1;
+                    break;
+                }
+                i = self.parent_of(i);
+                width *= 2.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::gravity::{direct_accel, ForceEval};
+    use nbody_math::SplitMix64;
+
+    fn random_system(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut r = SplitMix64::new(seed);
+        let pos = (0..n)
+            .map(|_| Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0)))
+            .collect();
+        let mass = (0..n).map(|_| r.uniform(0.5, 2.0)).collect();
+        (pos, mass)
+    }
+
+    fn built(pos: &[Vec3], mass: &[f64], quad: bool) -> Octree {
+        let mut t = Octree::new();
+        t.set_quadrupole(quad);
+        t.build(Par, pos, Aabb::from_points(pos)).unwrap();
+        t.compute_multipoles(Par, pos, mass);
+        t
+    }
+
+    fn forces(t: &Octree, pos: &[Vec3], mass: &[f64], params: &ForceParams) -> Vec<Vec3> {
+        let mut acc = vec![Vec3::ZERO; pos.len()];
+        t.compute_forces(ParUnseq, pos, mass, &mut acc, params);
+        acc
+    }
+
+    #[test]
+    fn theta_zero_blocked_matches_direct_sum() {
+        let (pos, mass) = random_system(257, 41);
+        let t = built(&pos, &mass, false);
+        let params =
+            ForceParams { theta: 0.0, eval: ForceEval::blocked(), ..ForceParams::default() };
+        let acc = forces(&t, &pos, &mass, &params);
+        for (b, &a) in acc.iter().enumerate() {
+            let exact = direct_accel(pos[b], Some(b as u32), &pos, &mass, 1.0, 0.0);
+            assert!(
+                (a - exact).norm() <= 1e-10 * (1.0 + exact.norm()),
+                "body {b}: {a:?} vs {exact:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_error_within_per_body_budget() {
+        let (pos, mass) = random_system(1000, 42);
+        let t = built(&pos, &mass, false);
+        let per_body = ForceParams { theta: 0.5, ..ForceParams::default() };
+        let blocked = ForceParams { eval: ForceEval::blocked(), ..per_body };
+        let (ap, ab) =
+            (forces(&t, &pos, &mass, &per_body), forces(&t, &pos, &mass, &blocked));
+        let (mut mp, mut mb) = (0.0f64, 0.0f64);
+        for b in 0..pos.len() {
+            let exact = direct_accel(pos[b], Some(b as u32), &pos, &mass, 1.0, 0.0);
+            let d = 1e-12 + exact.norm();
+            mp += (ap[b] - exact).norm() / d;
+            mb += (ab[b] - exact).norm() / d;
+        }
+        mp /= pos.len() as f64;
+        mb /= pos.len() as f64;
+        // The group MAC opens at least every node the per-body MAC opens.
+        assert!(mb <= mp + 1e-12, "blocked mean rel err {mb} vs per-body {mp}");
+        assert!(mb < 0.01, "blocked mean rel err {mb}");
+    }
+
+    #[test]
+    fn blocked_quadrupole_matches_budget() {
+        let (pos, mass) = random_system(600, 43);
+        let t = built(&pos, &mass, true);
+        let params = ForceParams {
+            theta: 0.8,
+            use_quadrupole: true,
+            eval: ForceEval::blocked(),
+            ..ForceParams::default()
+        };
+        let acc = forces(&t, &pos, &mass, &params);
+        let mut mean = 0.0;
+        for (b, &a) in acc.iter().enumerate() {
+            let exact = direct_accel(pos[b], Some(b as u32), &pos, &mass, 1.0, 0.0);
+            mean += (a - exact).norm() / (1e-12 + exact.norm());
+        }
+        mean /= pos.len() as f64;
+        assert!(mean < 0.01, "mean relative error {mean}");
+    }
+
+    #[test]
+    fn blocked_policies_agree_bitwise_for_fixed_tree() {
+        let (pos, mass) = random_system(400, 44);
+        let t = built(&pos, &mass, false);
+        let params =
+            ForceParams { eval: ForceEval::Blocked { group: 48 }, ..ForceParams::default() };
+        let mut reference: Option<Vec<Vec3>> = None;
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let a = forces(&t, &pos, &mass, &params);
+                match &reference {
+                    None => reference = Some(a),
+                    Some(r) => assert_eq!(r, &a),
+                }
+            });
+        }
+        let mut seq = vec![Vec3::ZERO; pos.len()];
+        t.compute_forces(Seq, &pos, &mass, &mut seq, &params);
+        assert_eq!(reference.unwrap(), seq);
+    }
+
+    #[test]
+    fn blocked_edge_cases() {
+        let params = ForceParams { eval: ForceEval::blocked(), ..ForceParams::default() };
+        // Single body: zero self force.
+        let pos = vec![Vec3::new(0.3, 0.4, 0.5)];
+        let mass = vec![2.0];
+        let t = built(&pos, &mass, false);
+        assert_eq!(forces(&t, &pos, &mass, &params)[0], Vec3::ZERO);
+        // Duplicate positions (co-located chain) stay finite with softening.
+        let p = Vec3::new(0.2, 0.2, 0.2);
+        let pos = vec![p, p, Vec3::new(-0.7, 0.1, 0.0)];
+        let mass = vec![1.0, 1.0, 1.0];
+        let t = built(&pos, &mass, false);
+        let soft = ForceParams { softening: 0.05, ..params };
+        let acc = forces(&t, &pos, &mass, &soft);
+        assert!(acc.iter().all(|a| a.is_finite()));
+        assert!((acc[0] - acc[1]).norm() < 1e-12);
+    }
+}

@@ -9,8 +9,9 @@
 
 use crate::tags::{self, Slot};
 use crate::tree::Octree;
-use nbody_math::gravity::{multipole_accel, pair_accel};
+use nbody_math::gravity::{multipole_accel, pair_accel, ForceEval};
 use nbody_math::Vec3;
+use std::sync::atomic::Ordering;
 use stdpar::prelude::*;
 
 /// Re-export: shared force parameters (see [`nbody_math::gravity`]).
@@ -39,6 +40,10 @@ impl Octree {
         if params.use_quadrupole {
             assert!(self.quadrupole_enabled(), "quadrupole requested but not computed");
         }
+        if let ForceEval::Blocked { group } = params.eval {
+            self.compute_forces_blocked(policy, positions, masses, accel, params, group.max(1));
+            return;
+        }
         let out = SyncSlice::new(accel);
         let this = self;
         for_each_index(policy, 0..positions.len(), |b| {
@@ -64,6 +69,8 @@ impl Octree {
         }
         let theta2 = params.theta * params.theta;
         let eps2 = params.softening * params.softening;
+        // Resolve the quadrupole source once, outside the traversal loop.
+        let quads = if params.use_quadrupole { self.node_quad.as_ref() } else { None };
 
         let mut i: u32 = 0;
         let mut width = self.root_edge();
@@ -76,14 +83,11 @@ impl Octree {
                     let d2 = d.norm2();
                     if width * width < theta2 * d2 {
                         // Far node: accept the multipole approximation.
-                        let quad;
-                        let s = if params.use_quadrupole {
-                            quad = self.node_quad_of(i);
-                            Some(&quad)
-                        } else {
-                            None
-                        };
-                        acc += multipole_accel(d, self.node_mass_of(i), s, params.g, eps2);
+                        let quad = quads.map(|q| {
+                            std::array::from_fn(|k| q[k][i as usize].load(Ordering::Relaxed))
+                        });
+                        acc +=
+                            multipole_accel(d, self.node_mass_of(i), quad.as_ref(), params.g, eps2);
                     } else {
                         // Too close: forward step into the first child.
                         i = c;

@@ -43,6 +43,7 @@
 //! assert!(acc.iter().all(|a| a.is_finite()));
 //! ```
 
+pub mod blocked;
 pub mod force;
 pub mod multipole;
 pub mod query;

@@ -8,6 +8,7 @@
 use crate::solver::{make_solver, ForceSolver, SolverError, SolverKind, SolverParams};
 use crate::system::SystemState;
 use crate::timing::{timed, StepTimings};
+use nbody_math::gravity::ForceEval;
 use nbody_math::Vec3;
 use stdpar::policy::DynPolicy;
 use stdpar::prelude::*;
@@ -58,6 +59,9 @@ pub struct SimOptions {
     pub tree_rebuild_every: usize,
     /// Quadrupole extension.
     pub quadrupole: bool,
+    /// Force-evaluation strategy for the tree solvers (per-body traversal
+    /// or blocked traversal with shared interaction lists).
+    pub eval: ForceEval,
     /// Hilbert grid bits (BVH).
     pub hilbert_bits: u32,
     /// Time integration scheme (paper: Störmer-Verlet leapfrog).
@@ -74,6 +78,7 @@ impl Default for SimOptions {
             policy: DynPolicy::Par,
             tree_rebuild_every: 1,
             quadrupole: false,
+            eval: ForceEval::PerBody,
             hilbert_bits: 16,
             integrator: IntegratorKind::LeapfrogKdk,
         }
@@ -87,6 +92,7 @@ impl SimOptions {
             softening: self.softening,
             g: self.g,
             quadrupole: self.quadrupole,
+            eval: self.eval,
             hilbert_bits: self.hilbert_bits,
         }
     }

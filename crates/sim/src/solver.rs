@@ -21,7 +21,7 @@ use crate::timing::{timed, StepTimings};
 use bh_bvh::{Bvh, BvhParams};
 use bh_octree::Octree;
 use nbody_math::atomic_f64::atomic_f64_vec;
-use nbody_math::gravity::{pair_accel, ForceParams};
+use nbody_math::gravity::{pair_accel, ForceEval, ForceParams};
 use nbody_math::Vec3;
 use nbody_resilience::FaultKind;
 use std::sync::atomic::Ordering;
@@ -36,13 +36,23 @@ pub struct SolverParams {
     pub g: f64,
     /// Quadrupole extension (both trees).
     pub quadrupole: bool,
+    /// Force-evaluation strategy (both trees): one traversal per body, or
+    /// one traversal per group with shared SoA interaction lists.
+    pub eval: ForceEval,
     /// Hilbert grid resolution (BVH only).
     pub hilbert_bits: u32,
 }
 
 impl Default for SolverParams {
     fn default() -> Self {
-        SolverParams { theta: 0.5, softening: 0.0, g: 1.0, quadrupole: false, hilbert_bits: 16 }
+        SolverParams {
+            theta: 0.5,
+            softening: 0.0,
+            g: 1.0,
+            quadrupole: false,
+            eval: ForceEval::PerBody,
+            hilbert_bits: 16,
+        }
     }
 }
 
@@ -53,6 +63,7 @@ impl SolverParams {
             softening: self.softening,
             g: self.g,
             use_quadrupole: self.quadrupole,
+            eval: self.eval,
         }
     }
 }

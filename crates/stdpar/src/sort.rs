@@ -94,10 +94,18 @@ fn threads_merge_sort<T: Send + Clone>(
     nchunks: usize,
 ) {
     let n = v.len();
-    let chunks = split_range(0..n, nchunks);
+    let mut chunks = split_range(0..n, nchunks);
     if chunks.len() <= 1 {
+        // A single run needs no scratch buffer and no merge passes at all.
         v.sort_unstable_by(cmp);
         return;
+    }
+    // An odd number of merge passes would leave the result in the scratch
+    // buffer and force a copy back into `v`; splitting one level finer makes
+    // the pass count even so the ping-pong ends in `v`.
+    let passes = usize::BITS - (chunks.len() - 1).leading_zeros();
+    if passes % 2 == 1 && chunks.len() * 2 <= n {
+        chunks = split_range(0..n, (chunks.len() * 2).next_power_of_two());
     }
     let panics = PanicCell::new();
 
@@ -125,8 +133,12 @@ fn threads_merge_sort<T: Send + Clone>(
     }
 
     // Phase 2: pairwise parallel merges, ping-ponging with a scratch buffer.
+    // The first merge pass writes every scratch slot (merged spans tile the
+    // whole range), so the buffer needs *capacity* only — cloning `v` into
+    // it would be pure overhead. Its length stays 0 and all access goes
+    // through raw pointers, so no uninitialised `T` is ever dropped or read.
     let mut runs: Vec<std::ops::Range<usize>> = chunks;
-    let mut scratch: Vec<T> = v.to_vec();
+    let mut scratch: Vec<T> = Vec::with_capacity(n);
     let mut src_is_v = true;
     while runs.len() > 1 {
         let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
@@ -165,8 +177,11 @@ fn threads_merge_sort<T: Send + Clone>(
         src_is_v = !src_is_v;
     }
     if !src_is_v {
-        // Final data lives in scratch; copy back.
-        v.clone_from_slice(&scratch);
+        // Fallback when the pass count could not be made even: the final
+        // data lives in scratch; copy back. SAFETY: every slot in 0..n was
+        // written by the preceding merge pass.
+        let merged = unsafe { std::slice::from_raw_parts(scratch.as_ptr(), n) };
+        v.clone_from_slice(merged);
     }
 }
 
@@ -291,6 +306,22 @@ mod tests {
             sort_unstable_by(Par, &mut v, |a, b| a.cmp(b));
             assert_eq!(v, expect);
         });
+    }
+
+    #[test]
+    fn merge_sort_handles_both_pass_parities() {
+        // Drive `threads_merge_sort` directly across run counts whose merge
+        // pass counts have both parities, including counts too large to be
+        // doubled (n < 2·chunks exercises the scratch copy-back fallback).
+        for (n, nchunks) in
+            [(6_000usize, 2usize), (6_000, 3), (6_000, 4), (6_000, 7), (6_000, 8), (100, 512)]
+        {
+            let mut v = pseudo_random(n, nchunks as u64);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            threads_merge_sort(&mut v, &|a, b| a.cmp(b), nchunks);
+            assert_eq!(v, expect, "n={n} nchunks={nchunks}");
+        }
     }
 
     #[test]
