@@ -21,13 +21,22 @@ use nbody_bench::{arg, flag, print_banner, print_table};
 use nbody_math::gravity::{direct_accel, ForceEval};
 use nbody_sim::prelude::*;
 use nbody_sim::solver::SolverParams;
+use nbody_sim::SimWorkspace;
 use std::time::Instant;
+
+// With `--features alloc-stats` the binary installs the counting allocator,
+// so the `allocs/step` column reports real steady-state heap-allocation
+// counts (it prints zeros otherwise — the counter never ticks).
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static COUNTING_ALLOC: stdpar::alloc_stats::CountingAlloc = stdpar::alloc_stats::CountingAlloc;
 
 struct Row {
     tree: &'static str,
     eval: String,
     group: usize,
     force_s: f64,
+    allocs: u64,
     err: f64,
     speedup: f64,
 }
@@ -52,26 +61,31 @@ fn mean_rel_error(acc: &[Vec3], state: &SystemState, softening: f64) -> f64 {
     total / count as f64
 }
 
-/// Minimum force-phase time over `reps` evaluations on a warm solver.
+/// Minimum force-phase time over `reps` evaluations on a warm solver, plus
+/// the steady-state per-step allocation count (zero unless the binary was
+/// built with `--features alloc-stats`).
 fn time_force(
     kind: SolverKind,
     state: &SystemState,
     params: SolverParams,
     reps: usize,
-) -> (f64, Vec<Vec3>) {
+) -> (f64, u64, Vec<Vec3>) {
     let policy = if kind == SolverKind::Octree { DynPolicy::Par } else { DynPolicy::ParUnseq };
     let mut solver = nbody_sim::make_solver(kind, policy, params).unwrap();
+    let mut ws = SimWorkspace::new();
     let mut acc = vec![Vec3::ZERO; state.len()];
-    solver.compute(state, &mut acc, false); // warm: build + force
+    solver.compute_into(state, &mut acc, false, &mut ws); // warm: build + force
     let mut best = f64::INFINITY;
+    let mut allocs = 0;
     for _ in 0..reps {
         let start = Instant::now();
-        let timings = solver.compute(state, &mut acc, true);
+        let timings = solver.compute_into(state, &mut acc, true, &mut ws);
         let force = timings.force.as_secs_f64();
         // Fall back to wall time if a solver does not fill phase timings.
         best = best.min(if force > 0.0 { force } else { start.elapsed().as_secs_f64() });
+        allocs = timings.allocs.total();
     }
-    (best, acc)
+    (best, allocs, acc)
 }
 
 fn main() {
@@ -88,23 +102,25 @@ fn main() {
     let mut rows: Vec<Row> = vec![];
     for kind in [SolverKind::Octree, SolverKind::Bvh] {
         let base = SolverParams { theta, softening, ..SolverParams::default() };
-        let (per_body_s, acc) = time_force(kind, &state, base, reps);
+        let (per_body_s, allocs, acc) = time_force(kind, &state, base, reps);
         rows.push(Row {
             tree: kind.name(),
             eval: "per-body".into(),
             group: 0,
             force_s: per_body_s,
+            allocs,
             err: mean_rel_error(&acc, &state, softening),
             speedup: 1.0,
         });
         for &g in groups {
             let params = SolverParams { eval: ForceEval::Blocked { group: g }, ..base };
-            let (secs, acc) = time_force(kind, &state, params, reps);
+            let (secs, allocs, acc) = time_force(kind, &state, params, reps);
             rows.push(Row {
                 tree: kind.name(),
                 eval: format!("blocked[{g}]"),
                 group: g,
                 force_s: secs,
+                allocs,
                 err: mean_rel_error(&acc, &state, softening),
                 speedup: per_body_s / secs,
             });
@@ -112,7 +128,7 @@ fn main() {
     }
 
     print_table(
-        &["tree", "eval", "force s", "mean rel err", "speedup"],
+        &["tree", "eval", "force s", "allocs/step", "mean rel err", "speedup"],
         &rows
             .iter()
             .map(|r| {
@@ -120,6 +136,7 @@ fn main() {
                     r.tree.into(),
                     r.eval.clone(),
                     format!("{:.4}", r.force_s),
+                    format!("{}", r.allocs),
                     format!("{:.3e}", r.err),
                     format!("{:.2}x", r.speedup),
                 ]
@@ -148,11 +165,13 @@ fn main() {
             }
             body.push_str(&format!(
                 "    {{\"tree\": \"{}\", \"eval\": \"{}\", \"group\": {}, \
-                 \"force_s\": {:.6}, \"mean_rel_err\": {:.6e}, \"speedup\": {:.4}}}",
+                 \"force_s\": {:.6}, \"allocs_per_step\": {}, \
+                 \"mean_rel_err\": {:.6e}, \"speedup\": {:.4}}}",
                 r.tree,
                 if r.group == 0 { "per-body" } else { "blocked" },
                 r.group,
                 r.force_s,
+                r.allocs,
                 r.err,
                 r.speedup
             ));

@@ -23,7 +23,8 @@
 
 use crate::build::Bvh;
 use nbody_math::gravity::ForceParams;
-use nbody_math::{Aabb, InteractionLists, Vec3};
+use nbody_math::{Aabb, InteractionLists, ListsPool, Vec3};
+use stdpar::backend::thread_count;
 use stdpar::prelude::*;
 
 impl Bvh {
@@ -32,25 +33,37 @@ impl Bvh {
     /// [`Bvh::compute_forces`] when `params.eval` selects
     /// [`nbody_math::gravity::ForceEval::Blocked`]; output is indexed in
     /// *original* body order like the per-body path.
+    ///
+    /// `pool` supplies the per-worker interaction lists: each group clears
+    /// and refills its worker's slot, so no allocation happens once the
+    /// lists have warmed up. `UnsafeCell` slots instead of locks keep the
+    /// path valid under `par_unseq` (weakly parallel forward progress).
     pub(crate) fn compute_forces_blocked<P: ExecutionPolicy>(
         &self,
         policy: P,
         accel: &mut [Vec3],
         params: &ForceParams,
         group: usize,
+        pool: &mut ListsPool,
     ) {
         let n = self.n_bodies();
+        pool.prepare(thread_count().max(1), params.use_quadrupole);
+        let pool = &*pool;
         let out = SyncSlice::new(accel);
         let this = self;
         let theta2 = params.theta * params.theta;
         let eps2 = params.softening * params.softening;
-        for_each_chunk(policy, 0..n, group, |r| {
+        for_each_chunk_worker(policy, 0..n, group, |w, r| {
             let mut gbox = Aabb::EMPTY;
             for j in r.clone() {
                 gbox.expand(this.sorted_pos[j]);
             }
-            let mut lists = InteractionLists::new(params.use_quadrupole);
-            this.gather_group(gbox, theta2, params.use_quadrupole, &mut lists);
+            // SAFETY: `w` is the executor's worker index — never observed
+            // concurrently by two threads — and the pool was prepared for
+            // `thread_count()` workers above.
+            let lists: &mut InteractionLists = unsafe { pool.slot(w) };
+            lists.clear();
+            this.gather_group(gbox, theta2, params.use_quadrupole, lists);
             for j in r {
                 let a = lists.eval_at(this.sorted_pos[j], params.g, eps2);
                 // Disjoint slots: perm is a permutation and groups partition it.

@@ -36,13 +36,28 @@ impl Bvh {
         accel: &mut [Vec3],
         params: &ForceParams,
     ) {
+        let mut scratch = crate::scratch::BvhScratch::new();
+        self.compute_forces_with(policy, positions, accel, params, &mut scratch);
+    }
+
+    /// [`Bvh::compute_forces`] borrowing caller-owned scratch: the blocked
+    /// path draws its per-worker interaction lists from `scratch` instead
+    /// of allocating per group (the per-body path needs no scratch).
+    pub fn compute_forces_with<P: ExecutionPolicy>(
+        &self,
+        policy: P,
+        positions: &[Vec3],
+        accel: &mut [Vec3],
+        params: &ForceParams,
+        scratch: &mut crate::scratch::BvhScratch,
+    ) {
         assert_eq!(positions.len(), self.n_bodies(), "positions length changed since sort");
         assert_eq!(accel.len(), positions.len(), "accel length mismatch");
         if params.use_quadrupole {
             assert!(self.quad.is_some(), "quadrupole requested but not accumulated");
         }
         if let ForceEval::Blocked { group } = params.eval {
-            self.compute_forces_blocked(policy, accel, params, group.max(1));
+            self.compute_forces_blocked(policy, accel, params, group.max(1), &mut scratch.lists);
             return;
         }
         let out = SyncSlice::new(accel);

@@ -46,10 +46,12 @@ pub mod blocked;
 pub mod build;
 pub mod force;
 pub mod query;
+pub mod scratch;
 pub mod sort;
 pub mod traverse;
 pub mod validate;
 
 pub use build::{Bvh, BvhParams, Curve};
+pub use scratch::BvhScratch;
 pub use nbody_math::gravity::ForceParams;
 pub use nbody_resilience::BuildError;

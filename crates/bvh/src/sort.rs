@@ -51,6 +51,22 @@ impl Bvh {
         masses: &[f64],
         bounds: Aabb,
     ) -> Result<(), BuildError> {
+        let mut scratch = crate::scratch::BvhScratch::new();
+        self.try_hilbert_sort_with(policy, positions, masses, bounds, &mut scratch)
+    }
+
+    /// [`Bvh::try_hilbert_sort`] borrowing caller-owned scratch: the pair
+    /// buffer and the merge sort's ping-pong storage come from `scratch`,
+    /// and the gathered `sorted_pos`/`sorted_mass` reuse their retained
+    /// capacity, so a steady-state caller allocates nothing after warm-up.
+    pub fn try_hilbert_sort_with<P: ExecutionPolicy>(
+        &mut self,
+        policy: P,
+        positions: &[Vec3],
+        masses: &[f64],
+        bounds: Aabb,
+        scratch: &mut crate::scratch::BvhScratch,
+    ) -> Result<(), BuildError> {
         if positions.len() != masses.len() {
             return Err(BuildError::LengthMismatch {
                 positions: positions.len(),
@@ -80,9 +96,12 @@ impl Bvh {
         let bits = self.params.hilbert_bits;
 
         // Precompute the keys (one pass), then sort (key, index) pairs.
-        let mut pairs: Vec<(u64, u32)> = vec![(0, 0); n];
+        // The pair buffer and sort scratch come from the caller's arena.
+        let pairs = &mut scratch.pairs;
+        pairs.clear();
+        pairs.resize(n, (0, 0));
         {
-            let view = SyncSlice::new(&mut pairs);
+            let view = SyncSlice::new(pairs.as_mut_slice());
             for_each_index(policy, 0..n, |i| unsafe {
                 let key = match curve {
                     Curve::Hilbert => grid.key_of(positions[i]),
@@ -95,13 +114,14 @@ impl Bvh {
                 view.write(i, (key, i as u32));
             });
         }
-        sort_unstable_by(policy, &mut pairs, |a, b| a.cmp(b));
+        sort_unstable_by_with_scratch(policy, pairs, &mut scratch.sort, |a, b| a.cmp(b));
 
-        // Apply as a permutation: gather positions and masses.
+        // Apply as a permutation: gather positions and masses into the
+        // tree's retained buffers.
         self.perm.clear();
         self.perm.extend(pairs.iter().map(|&(_, i)| i));
-        self.sorted_pos = apply_permutation(policy, positions, &self.perm);
-        self.sorted_mass = apply_permutation(policy, masses, &self.perm);
+        apply_permutation_into(policy, positions, &self.perm, &mut self.sorted_pos);
+        apply_permutation_into(policy, masses, &self.perm, &mut self.sorted_mass);
         self.mark_sorted();
         Ok(())
     }
@@ -186,6 +206,23 @@ mod tests {
                     Some(r) => assert_eq!(r, &b.permutation().to_vec(), "{}", backend.name()),
                 }
             });
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_changing_n_matches_fresh() {
+        // One scratch arena across grow-then-shrink sorts must agree
+        // bitwise with throwaway-scratch sorts (no stale-buffer reads).
+        let mut scratch = crate::scratch::BvhScratch::new();
+        for (n, seed) in [(3000usize, 74u64), (5000, 71), (1000, 72)] {
+            let (pos, mass) = random_system(n, seed);
+            let bounds = Aabb::from_points(&pos);
+            let mut a = Bvh::new();
+            a.try_hilbert_sort_with(Par, &pos, &mass, bounds, &mut scratch).unwrap();
+            let mut b = Bvh::new();
+            b.try_hilbert_sort(Par, &pos, &mass, bounds).unwrap();
+            assert_eq!(a.permutation(), b.permutation(), "n={n}");
+            assert_eq!(a.sorted_positions(), b.sorted_positions(), "n={n}");
         }
     }
 

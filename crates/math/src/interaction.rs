@@ -165,6 +165,74 @@ impl InteractionLists {
     }
 }
 
+/// Per-worker pool of reusable [`InteractionLists`], keyed by worker slot.
+///
+/// The blocked traversals walk the tree once per body group and previously
+/// allocated fresh lists for every group. The pool instead holds one
+/// long-lived list per *worker* (an executor-provided dense index, see
+/// `stdpar::for_each_chunk_worker`): each group clears and refills its
+/// worker's list, so the steady state performs zero heap allocations once
+/// the lists have grown to the largest group's interaction count.
+///
+/// Slots are `UnsafeCell`s rather than mutexes on purpose: the blocked
+/// force phase runs under `ParUnseq` (weakly parallel forward progress),
+/// where blocking synchronisation is forbidden. Safety instead comes from
+/// the executor contract that a worker index is never observed concurrently
+/// by two threads.
+#[derive(Default)]
+pub struct ListsPool {
+    slots: Vec<std::cell::UnsafeCell<InteractionLists>>,
+}
+
+// SAFETY: distinct slots are disjoint, and the executor contract (one
+// worker index per thread at a time) makes each slot effectively
+// thread-local for the duration of a parallel region.
+unsafe impl Sync for ListsPool {}
+
+impl ListsPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size the pool for a parallel region: at least `workers` slots, each
+    /// with its quadrupole block armed iff `want_quad`. Takes `&mut self`
+    /// (no region may be in flight), so this is the only place slots are
+    /// created. Existing slot capacity is retained.
+    pub fn prepare(&mut self, workers: usize, want_quad: bool) {
+        if self.slots.len() < workers {
+            self.slots.resize_with(workers, || {
+                std::cell::UnsafeCell::new(InteractionLists::new(want_quad))
+            });
+        }
+        for slot in &mut self.slots {
+            let lists = slot.get_mut();
+            match (&mut lists.quad, want_quad) {
+                (q @ None, true) => *q = Some(Vec::new()),
+                (q @ Some(_), false) => *q = None,
+                _ => {}
+            }
+        }
+    }
+
+    /// Number of prepared slots.
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Borrow worker `worker`'s lists for the duration of one group.
+    ///
+    /// # Safety
+    /// `worker` must be `< self.workers()` (i.e. [`ListsPool::prepare`] was
+    /// called for this region), and no two threads may pass the same
+    /// `worker` concurrently — guaranteed when `worker` is the executor's
+    /// worker index.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slot(&self, worker: usize) -> &mut InteractionLists {
+        debug_assert!(worker < self.slots.len(), "ListsPool not prepared for worker {worker}");
+        unsafe { &mut *self.slots[worker].get() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,5 +310,38 @@ mod tests {
     fn empty_lists_give_zero() {
         let lists = InteractionLists::new(false);
         assert_eq!(lists.eval_at(Vec3::splat(1.0), 1.0, 0.0), Vec3::ZERO);
+    }
+
+    #[test]
+    fn pool_prepare_arms_and_disarms_quad() {
+        let mut pool = ListsPool::new();
+        pool.prepare(3, true);
+        assert_eq!(pool.workers(), 3);
+        for w in 0..3 {
+            let lists = unsafe { pool.slot(w) };
+            assert!(lists.quad.is_some());
+            lists.push_node(Vec3::splat(2.0), 1.0, Some([0.1; 6]));
+        }
+        // Re-preparing without quadrupoles disarms the block; slot count
+        // never shrinks.
+        pool.prepare(2, false);
+        assert_eq!(pool.workers(), 3);
+        for w in 0..3 {
+            let lists = unsafe { pool.slot(w) };
+            assert!(lists.quad.is_none());
+        }
+        pool.prepare(3, true);
+        assert!(unsafe { pool.slot(0) }.quad.is_some());
+    }
+
+    #[test]
+    fn pool_slots_are_independent() {
+        let mut pool = ListsPool::new();
+        pool.prepare(2, false);
+        unsafe {
+            pool.slot(0).push_body(Vec3::splat(1.0), 1.0);
+            assert_eq!(pool.slot(0).n_bodies(), 1);
+            assert_eq!(pool.slot(1).n_bodies(), 0);
+        }
     }
 }

@@ -23,7 +23,7 @@ pub mod vec3;
 pub use aabb::Aabb;
 pub use atomic_f64::AtomicF64;
 pub use gravity::{ForceEval, ForceParams};
-pub use interaction::InteractionLists;
+pub use interaction::{InteractionLists, ListsPool};
 pub use kahan::KahanSum;
 pub use rng::SplitMix64;
 pub use vec2::{Rect, Vec2};

@@ -18,12 +18,14 @@
 //! and owns its scratch lists, so the path runs under `par_unseq` with
 //! bitwise-reproducible results across policies and backends.
 
+use crate::scratch::TraversalScratch;
 use crate::tags::{self, Slot};
 use crate::tree::Octree;
-use crate::validate::collect_bodies;
+use crate::validate::collect_bodies_into;
 use nbody_math::gravity::ForceParams;
 use nbody_math::{Aabb, InteractionLists, Vec3};
 use std::sync::atomic::Ordering;
+use stdpar::backend::thread_count;
 use stdpar::prelude::*;
 
 impl Octree {
@@ -31,6 +33,13 @@ impl Octree {
     /// `group` bodies in depth-first tree order. Called from
     /// [`Octree::compute_forces`] when `params.eval` selects
     /// [`nbody_math::gravity::ForceEval::Blocked`].
+    ///
+    /// `scratch` supplies the DFS order buffer and the per-worker
+    /// interaction lists: each group clears and refills its worker's slot,
+    /// so no allocation happens once the buffers have warmed up.
+    /// `UnsafeCell` slots instead of locks keep the path valid under
+    /// `par_unseq` (weakly parallel forward progress).
+    #[allow(clippy::too_many_arguments)] // internal: mirrors compute_forces_with + group + scratch
     pub(crate) fn compute_forces_blocked<P: ExecutionPolicy>(
         &self,
         policy: P,
@@ -39,20 +48,28 @@ impl Octree {
         accel: &mut [Vec3],
         params: &ForceParams,
         group: usize,
+        scratch: &mut TraversalScratch,
     ) {
-        let order = collect_bodies(self);
+        collect_bodies_into(self, &mut scratch.order, &mut scratch.stack);
+        let order = &scratch.order[..];
         debug_assert_eq!(order.len(), self.n_bodies());
+        scratch.lists.prepare(thread_count().max(1), params.use_quadrupole);
+        let pool = &scratch.lists;
         let out = SyncSlice::new(accel);
         let this = self;
         let theta2 = params.theta * params.theta;
         let eps2 = params.softening * params.softening;
-        for_each_chunk(policy, 0..order.len(), group, |r| {
+        for_each_chunk_worker(policy, 0..order.len(), group, |w, r| {
             let mut gbox = Aabb::EMPTY;
             for &b in &order[r.clone()] {
                 gbox.expand(positions[b as usize]);
             }
-            let mut lists = InteractionLists::new(params.use_quadrupole);
-            this.gather_group(gbox, theta2, params.use_quadrupole, positions, masses, &mut lists);
+            // SAFETY: `w` is the executor's worker index — never observed
+            // concurrently by two threads — and the pool was prepared for
+            // `thread_count()` workers above.
+            let lists: &mut InteractionLists = unsafe { pool.slot(w) };
+            lists.clear();
+            this.gather_group(gbox, theta2, params.use_quadrupole, positions, masses, lists);
             for &b in &order[r] {
                 let a = lists.eval_at(positions[b as usize], params.g, eps2);
                 // Disjoint slots: the DFS order is a permutation of 0..n.

@@ -35,13 +35,38 @@ impl Octree {
         accel: &mut [Vec3],
         params: &ForceParams,
     ) {
+        let mut scratch = crate::scratch::TraversalScratch::new();
+        self.compute_forces_with(policy, positions, masses, accel, params, &mut scratch);
+    }
+
+    /// [`Octree::compute_forces`] borrowing caller-owned scratch: the
+    /// blocked path draws its DFS order buffer and per-worker interaction
+    /// lists from `scratch` instead of allocating per call (the per-body
+    /// path needs no scratch).
+    pub fn compute_forces_with<P: ExecutionPolicy>(
+        &self,
+        policy: P,
+        positions: &[Vec3],
+        masses: &[f64],
+        accel: &mut [Vec3],
+        params: &ForceParams,
+        scratch: &mut crate::scratch::TraversalScratch,
+    ) {
         assert_eq!(positions.len(), self.n_bodies(), "positions length changed since build");
         assert_eq!(accel.len(), positions.len(), "accel length mismatch");
         if params.use_quadrupole {
             assert!(self.quadrupole_enabled(), "quadrupole requested but not computed");
         }
         if let ForceEval::Blocked { group } = params.eval {
-            self.compute_forces_blocked(policy, positions, masses, accel, params, group.max(1));
+            self.compute_forces_blocked(
+                policy,
+                positions,
+                masses,
+                accel,
+                params,
+                group.max(1),
+                scratch,
+            );
             return;
         }
         let out = SyncSlice::new(accel);

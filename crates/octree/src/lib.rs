@@ -47,11 +47,13 @@ pub mod blocked;
 pub mod force;
 pub mod multipole;
 pub mod query;
+pub mod scratch;
 pub mod tags;
 pub mod traverse;
 pub mod tree;
 pub mod validate;
 
 pub use force::ForceParams;
+pub use scratch::TraversalScratch;
 pub use tree::{BuildError, BuildStats, Octree, DEFAULT_SPIN_BUDGET, MAX_DEPTH};
 pub use validate::TreeInvariants;

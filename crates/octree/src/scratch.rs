@@ -1,0 +1,33 @@
+//! Reusable scratch buffers for the octree force traversal.
+//!
+//! The blocked CALCULATEFORCE path needs the tree's depth-first body order
+//! (an O(N) vector plus the DFS stack that produces it) and per-worker
+//! interaction lists. [`TraversalScratch`] owns all three so a steady-state
+//! caller of [`crate::Octree::compute_forces_with`] allocates nothing after
+//! warm-up; the tree's own storage (node pool, co-location chains, moment
+//! arrays) is already grow-only.
+//!
+//! The plain [`crate::Octree::compute_forces`] entry point constructs a
+//! throwaway scratch per call — same results, per-call allocations — so
+//! existing callers are unaffected.
+
+use nbody_math::ListsPool;
+
+/// Scratch arena for octree force evaluation. Construction is
+/// allocation-free; buffers grow on first use and are retained across
+/// steps.
+#[derive(Default)]
+pub struct TraversalScratch {
+    /// Bodies in depth-first tree order (the blocked path's grouping key).
+    pub(crate) order: Vec<u32>,
+    /// DFS stack used to produce `order`.
+    pub(crate) stack: Vec<u32>,
+    /// Per-worker interaction lists for the blocked traversal.
+    pub(crate) lists: ListsPool,
+}
+
+impl TraversalScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

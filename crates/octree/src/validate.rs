@@ -129,7 +129,18 @@ fn cell_box(center: Vec3, half: f64) -> Aabb {
 /// Collect every body id reachable from the root (order unspecified).
 pub fn collect_bodies(tree: &Octree) -> Vec<u32> {
     let mut out = Vec::with_capacity(tree.n_bodies());
-    let mut stack = vec![0u32];
+    let mut stack = Vec::new();
+    collect_bodies_into(tree, &mut out, &mut stack);
+    out
+}
+
+/// [`collect_bodies`] writing into caller-owned buffers, reusing their
+/// capacity: zero heap allocations once `out` and `stack` have warmed up.
+pub fn collect_bodies_into(tree: &Octree, out: &mut Vec<u32>, stack: &mut Vec<u32>) {
+    out.clear();
+    out.reserve(tree.n_bodies());
+    stack.clear();
+    stack.push(0u32);
     while let Some(i) = stack.pop() {
         match tree.slot(i) {
             Slot::Empty | Slot::Locked => {}
@@ -137,7 +148,6 @@ pub fn collect_bodies(tree: &Octree) -> Vec<u32> {
             Slot::Node(c) => stack.extend(c..c + CHILDREN),
         }
     }
-    out
 }
 
 /// Depth of the deepest leaf (0 = root only).

@@ -7,7 +7,8 @@
 
 use crate::solver::{make_solver, ForceSolver, SolverError, SolverKind, SolverParams};
 use crate::system::SystemState;
-use crate::timing::{timed, StepTimings};
+use crate::timing::{timed_counted, StepTimings};
+use crate::workspace::SimWorkspace;
 use nbody_math::gravity::ForceEval;
 use nbody_math::Vec3;
 use stdpar::policy::DynPolicy;
@@ -108,6 +109,9 @@ pub struct Simulation {
     steps_done: usize,
     accel_fresh: bool,
     last_timings: StepTimings,
+    /// Scratch arena for [`Simulation::step`]; [`Simulation::step_into`]
+    /// borrows a caller-owned one instead.
+    ws: SimWorkspace,
 }
 
 impl Simulation {
@@ -129,6 +133,7 @@ impl Simulation {
             steps_done: 0,
             accel_fresh: false,
             last_timings: StepTimings::default(),
+            ws: SimWorkspace::new(),
         }
     }
 
@@ -173,13 +178,28 @@ impl Simulation {
         self.opts.policy
     }
 
-    /// Advance one time step with the configured integrator. Returns the
-    /// phase timings of this step (force timings + position update).
+    /// Advance one time step with the configured integrator, drawing
+    /// scratch from the simulation's own workspace. Returns the phase
+    /// timings of this step (force timings + position update).
     pub fn step(&mut self) -> StepTimings {
+        // Detach the owned workspace so `step_into` can borrow both it and
+        // `self` — `SimWorkspace::default()` allocates nothing.
+        let mut ws = std::mem::take(&mut self.ws);
+        let timings = self.step_into(&mut ws);
+        self.ws = ws;
+        timings
+    }
+
+    /// [`Simulation::step`] drawing every transient buffer from a
+    /// caller-owned [`SimWorkspace`] — the zero-steady-state-allocation
+    /// entry point. The workspace may be shared across simulations and
+    /// across changing body counts; buffers grow to the high-water mark
+    /// and are never shrunk.
+    pub fn step_into(&mut self, ws: &mut SimWorkspace) -> StepTimings {
         let timings = match self.opts.integrator {
-            IntegratorKind::LeapfrogKdk => self.step_leapfrog(),
-            IntegratorKind::SymplecticEuler => self.step_euler(true),
-            IntegratorKind::ExplicitEuler => self.step_euler(false),
+            IntegratorKind::LeapfrogKdk => self.step_leapfrog(ws),
+            IntegratorKind::SymplecticEuler => self.step_euler(true, ws),
+            IntegratorKind::ExplicitEuler => self.step_euler(false, ws),
         };
         self.time += self.opts.dt;
         self.steps_done += 1;
@@ -194,13 +214,13 @@ impl Simulation {
 
     /// Kick-drift-kick Störmer-Verlet (paper Algorithm 2's UPDATEPOSITION
     /// around the force phases).
-    fn step_leapfrog(&mut self) -> StepTimings {
+    fn step_leapfrog(&mut self, ws: &mut SimWorkspace) -> StepTimings {
         let dt = self.opts.dt;
         let half = 0.5 * dt;
 
         // Initial force evaluation (first step only).
         if !self.accel_fresh {
-            let t = self.solver.compute(&self.state, &mut self.accel, false);
+            let t = self.solver.compute_into(&self.state, &mut self.accel, false, ws);
             self.last_timings = t;
             self.accel_fresh = true;
         }
@@ -208,7 +228,7 @@ impl Simulation {
 
         // Kick + drift (UPDATEPOSITION, part 1).
         let policy = self.policy_update();
-        timed(&mut timings.update, || {
+        timed_counted(&mut timings.update, &mut timings.allocs.update, || {
             let vel = SyncSlice::new(&mut self.state.velocities);
             let pos = SyncSlice::new(&mut self.state.positions);
             let acc = &self.accel;
@@ -221,15 +241,18 @@ impl Simulation {
 
         // New forces at the drifted positions.
         let reuse = self.reuse_this_step();
-        let force_t = self.solver.compute(&self.state, &mut self.accel, reuse);
+        let force_t = self.solver.compute_into(&self.state, &mut self.accel, reuse, ws);
         timings.bbox = force_t.bbox;
         timings.sort = force_t.sort;
         timings.build = force_t.build;
         timings.multipole = force_t.multipole;
         timings.force = force_t.force;
+        let update_allocs = timings.allocs.update;
+        timings.allocs = force_t.allocs;
+        timings.allocs.update += update_allocs;
 
         // Kick (UPDATEPOSITION, part 2).
-        timed(&mut timings.update, || {
+        timed_counted(&mut timings.update, &mut timings.allocs.update, || {
             let vel = SyncSlice::new(&mut self.state.velocities);
             let acc = &self.accel;
             dispatch_update(policy, vel.len(), |i| unsafe {
@@ -241,13 +264,13 @@ impl Simulation {
 
     /// First-order Euler steps: `symplectic` updates velocities first
     /// (semi-implicit), otherwise positions first (explicit).
-    fn step_euler(&mut self, symplectic: bool) -> StepTimings {
+    fn step_euler(&mut self, symplectic: bool, ws: &mut SimWorkspace) -> StepTimings {
         let dt = self.opts.dt;
         let reuse = self.reuse_this_step();
-        let mut timings = self.solver.compute(&self.state, &mut self.accel, reuse);
+        let mut timings = self.solver.compute_into(&self.state, &mut self.accel, reuse, ws);
         self.accel_fresh = false; // accel is stale after the position move
         let policy = self.policy_update();
-        timed(&mut timings.update, || {
+        timed_counted(&mut timings.update, &mut timings.allocs.update, || {
             let vel = SyncSlice::new(&mut self.state.velocities);
             let pos = SyncSlice::new(&mut self.state.positions);
             let acc = &self.accel;

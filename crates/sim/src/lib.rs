@@ -27,13 +27,15 @@ pub mod solver;
 pub mod system;
 pub mod timing;
 pub mod workload;
+pub mod workspace;
 
 pub use integrator::{IntegratorKind, SimOptions, Simulation};
 pub use io::SnapshotError;
 pub use resilient::{ComputeError, ResilientConfig, ResilientSolver};
 pub use solver::{make_solver, ForceSolver, SolverError, SolverKind, SolverParams};
 pub use recorder::Recorder;
-pub use timing::StepTimings;
+pub use timing::{StepAllocs, StepTimings};
+pub use workspace::SimWorkspace;
 
 pub mod prelude {
     pub use crate::diagnostics::{l2_error, Diagnostics};
@@ -41,7 +43,8 @@ pub mod prelude {
     pub use crate::resilient::{ComputeError, ResilientConfig, ResilientSolver};
     pub use crate::solver::{make_solver, ForceSolver, SolverKind, SolverParams};
     pub use crate::system::SystemState;
-    pub use crate::timing::StepTimings;
+    pub use crate::timing::{StepAllocs, StepTimings};
+    pub use crate::workspace::SimWorkspace;
     pub use crate::workload::{
         galaxy_collision, plummer, solar_system, spinning_disk, uniform_cube, WorkloadSpec,
     };

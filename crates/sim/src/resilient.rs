@@ -21,6 +21,7 @@
 use crate::solver::{make_solver, ForceSolver, SolverKind, SolverParams};
 use crate::system::SystemState;
 use crate::timing::StepTimings;
+use crate::workspace::SimWorkspace;
 use nbody_math::Vec3;
 use nbody_resilience::{BuildError, FaultInjector, FaultKind, RecoveryCounters};
 use stdpar::policy::DynPolicy;
@@ -201,18 +202,12 @@ impl ForceSolver for ResilientSolver {
         "resilient"
     }
 
-    fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], reuse: bool) -> StepTimings {
-        match self.try_compute(state, accel, reuse) {
-            Ok(t) => t,
-            Err(e) => panic!("resilient solver exhausted its fallback chain: {e}"),
-        }
-    }
-
-    fn try_compute(
+    fn try_compute_into(
         &mut self,
         state: &SystemState,
         accel: &mut [Vec3],
         reuse: bool,
+        ws: &mut SimWorkspace,
     ) -> Result<StepTimings, ComputeError> {
         let step = self.step;
         self.step += 1;
@@ -256,7 +251,11 @@ impl ForceSolver for ResilientSolver {
                     last_err = Some(ComputeError::Build(BuildError::InvalidPositions));
                     continue;
                 }
-                match solver.try_compute(input, accel, reuse) {
+                // The whole chain draws from the one shared workspace:
+                // scratch shapes are solver-keyed (ws.octree / ws.bvh), so
+                // a fallback step warms the fallback's buffers once and
+                // reuses them on every later degradation.
+                match solver.try_compute_into(input, accel, reuse, ws) {
                     Ok(t) => {
                         if let Some(body) = accel.iter().position(|a| !a.is_finite()) {
                             self.counters.nonfinite_accels += 1;

@@ -17,7 +17,8 @@
 
 use crate::resilient::ComputeError;
 use crate::system::SystemState;
-use crate::timing::{timed, StepTimings};
+use crate::timing::{timed_counted, StepTimings};
+use crate::workspace::SimWorkspace;
 use bh_bvh::{Bvh, BvhParams};
 use bh_octree::Octree;
 use nbody_math::atomic_f64::atomic_f64_vec;
@@ -126,32 +127,70 @@ impl std::fmt::Display for SolverError {
 impl std::error::Error for SolverError {}
 
 /// A force solver that fills accelerations for the integrator.
+///
+/// The one required method is [`ForceSolver::try_compute_into`], which
+/// draws every transient buffer from a caller-owned [`SimWorkspace`] —
+/// the zero-steady-state-allocation contract (see `DESIGN.md` § Memory
+/// management). The convenience entry points (`compute`, `try_compute`,
+/// `compute_into`) are provided on top; the workspace-less ones build a
+/// throwaway arena per call, trading allocations for ergonomics.
 pub trait ForceSolver: Send {
     fn kind(&self) -> SolverKind;
     fn name(&self) -> &'static str {
         self.kind().name()
     }
-    /// Compute `accel[i] = a_i` for the given state.
+
+    /// Compute `accel[i] = a_i` for the given state, drawing scratch
+    /// buffers from `ws` and surfacing structural failures (tree build
+    /// errors) as [`ComputeError`] values so a wrapper (see
+    /// [`crate::resilient::ResilientSolver`]) can retry or degrade.
     ///
     /// With `reuse_tree = true`, tree solvers skip the bounding-box, sort,
     /// build and multipole phases and traverse the *previous* step's tree
     /// (the Iwasawa et al. amortisation discussed in the paper's related
     /// work — an extra approximation, useful as an ablation).
-    fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], reuse_tree: bool)
-        -> StepTimings;
+    fn try_compute_into(
+        &mut self,
+        state: &SystemState,
+        accel: &mut [Vec3],
+        reuse_tree: bool,
+        ws: &mut SimWorkspace,
+    ) -> Result<StepTimings, ComputeError>;
 
-    /// Fallible variant of [`ForceSolver::compute`]: tree solvers surface
-    /// build failures as [`ComputeError`] values instead of panicking, so a
-    /// wrapper (see [`crate::resilient::ResilientSolver`]) can retry or
-    /// degrade. The default delegates to `compute` for solvers that cannot
-    /// fail structurally (the all-pairs baselines).
+    /// Infallible [`ForceSolver::try_compute_into`]: panics on structural
+    /// failure (the all-pairs baselines never fail).
+    fn compute_into(
+        &mut self,
+        state: &SystemState,
+        accel: &mut [Vec3],
+        reuse_tree: bool,
+        ws: &mut SimWorkspace,
+    ) -> StepTimings {
+        match self.try_compute_into(state, accel, reuse_tree, ws) {
+            Ok(t) => t,
+            Err(e) => panic!("{} force computation failed: {e}", self.name()),
+        }
+    }
+
+    /// [`ForceSolver::compute_into`] with a throwaway workspace
+    /// (per-call allocations; prefer `compute_into` in steady-state loops).
+    fn compute(
+        &mut self,
+        state: &SystemState,
+        accel: &mut [Vec3],
+        reuse_tree: bool,
+    ) -> StepTimings {
+        self.compute_into(state, accel, reuse_tree, &mut SimWorkspace::new())
+    }
+
+    /// [`ForceSolver::try_compute_into`] with a throwaway workspace.
     fn try_compute(
         &mut self,
         state: &SystemState,
         accel: &mut [Vec3],
         reuse_tree: bool,
     ) -> Result<StepTimings, ComputeError> {
-        Ok(self.compute(state, accel, reuse_tree))
+        self.try_compute_into(state, accel, reuse_tree, &mut SimWorkspace::new())
     }
 
     /// Check the solver's internal acceleration structure against `state`
@@ -226,13 +265,19 @@ impl<P: ExecutionPolicy> ForceSolver for AllPairsSolver<P> {
         SolverKind::AllPairs
     }
 
-    fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], _reuse: bool) -> StepTimings {
+    fn try_compute_into(
+        &mut self,
+        state: &SystemState,
+        accel: &mut [Vec3],
+        _reuse: bool,
+        _ws: &mut SimWorkspace,
+    ) -> Result<StepTimings, ComputeError> {
         let mut t = StepTimings::default();
         let eps2 = self.params.softening * self.params.softening;
         let g = self.params.g;
         let pos = &state.positions;
         let mass = &state.masses;
-        timed(&mut t.force, || {
+        timed_counted(&mut t.force, &mut t.allocs.force, || {
             let out = SyncSlice::new(accel);
             for_each_index(self.policy, 0..pos.len(), |i| {
                 let pi = pos[i];
@@ -245,7 +290,7 @@ impl<P: ExecutionPolicy> ForceSolver for AllPairsSolver<P> {
                 unsafe { out.write(i, a) };
             });
         });
-        t
+        Ok(t)
     }
 }
 
@@ -272,14 +317,20 @@ impl<P: ExecutionPolicy> ForceSolver for AllPairsTiledSolver<P> {
         SolverKind::AllPairsTiled
     }
 
-    fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], _reuse: bool) -> StepTimings {
+    fn try_compute_into(
+        &mut self,
+        state: &SystemState,
+        accel: &mut [Vec3],
+        _reuse: bool,
+        _ws: &mut SimWorkspace,
+    ) -> Result<StepTimings, ComputeError> {
         let mut t = StepTimings::default();
         let n = state.len();
         let eps2 = self.params.softening * self.params.softening;
         let g = self.params.g;
         let pos = &state.positions;
         let mass = &state.masses;
-        timed(&mut t.force, || {
+        timed_counted(&mut t.force, &mut t.allocs.force, || {
             let out = SyncSlice::new(accel);
             for_each_chunk(self.policy, 0..n, TILE, |rows| {
                 let mut local = [Vec3::ZERO; TILE];
@@ -306,7 +357,7 @@ impl<P: ExecutionPolicy> ForceSolver for AllPairsTiledSolver<P> {
                 }
             });
         });
-        t
+        Ok(t)
     }
 }
 
@@ -354,17 +405,25 @@ impl<P: ParallelForwardProgress> ForceSolver for AllPairsColSolver<P> {
         SolverKind::AllPairsCol
     }
 
-    fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], _reuse: bool) -> StepTimings {
+    fn try_compute_into(
+        &mut self,
+        state: &SystemState,
+        accel: &mut [Vec3],
+        _reuse: bool,
+        _ws: &mut SimWorkspace,
+    ) -> Result<StepTimings, ComputeError> {
         let mut t = StepTimings::default();
         let n = state.len();
         let eps2 = self.params.softening * self.params.softening;
         let g = self.params.g;
+        // Accumulator vectors are solver-owned and grow-only: steady-state
+        // steps at constant (or shrinking) N reallocate nothing.
         for c in &mut self.acc {
             if c.len() < n {
                 *c = atomic_f64_vec(n, 0.0);
             }
         }
-        timed(&mut t.force, || {
+        timed_counted(&mut t.force, &mut t.allocs.force, || {
             let acc = &self.acc;
             for_each_index(self.policy, 0..n, |i| {
                 acc[0][i].store(0.0, Ordering::Relaxed);
@@ -400,7 +459,7 @@ impl<P: ParallelForwardProgress> ForceSolver for AllPairsColSolver<P> {
                 unsafe { out.write(i, a) };
             });
         });
-        t
+        Ok(t)
     }
 }
 
@@ -434,42 +493,51 @@ impl<P: ParallelForwardProgress> ForceSolver for OctreeSolver<P> {
         SolverKind::Octree
     }
 
-    fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], reuse: bool) -> StepTimings {
-        match self.try_compute(state, accel, reuse) {
-            Ok(t) => t,
-            Err(e) => panic!("octree build failed: {e}"),
-        }
-    }
-
-    fn try_compute(
+    fn try_compute_into(
         &mut self,
         state: &SystemState,
         accel: &mut [Vec3],
         reuse: bool,
+        ws: &mut SimWorkspace,
     ) -> Result<StepTimings, ComputeError> {
         let mut t = StepTimings::default();
         let can_reuse = reuse && self.built && self.tree.n_bodies() == state.len();
         if !can_reuse {
             self.built = false;
-            let bbox = timed(&mut t.bbox, || state.bounding_box(self.policy));
+            let bbox =
+                timed_counted(&mut t.bbox, &mut t.allocs.bbox, || state.bounding_box(self.policy));
             let mut built = Ok(Default::default());
-            timed(&mut t.build, || {
+            timed_counted(&mut t.build, &mut t.allocs.build, || {
                 built = self.tree.build(self.policy, &state.positions, bbox);
             });
             let _stats: bh_octree::BuildStats = built.map_err(ComputeError::Build)?;
-            timed(&mut t.multipole, || {
+            timed_counted(&mut t.multipole, &mut t.allocs.multipole, || {
                 self.tree.compute_multipoles(self.policy, &state.positions, &state.masses)
             });
             self.built = true;
         }
         let fp = self.params.force_params();
-        timed(&mut t.force, || {
+        timed_counted(&mut t.force, &mut t.allocs.force, || {
             // Paper: CALCULATEFORCE runs under par_unseq (independent,
             // lock-free elements); sequential solvers stay sequential.
             if P::IS_PARALLEL {
-                self.tree.compute_forces(ParUnseq, &state.positions, &state.masses, accel, &fp);
+                self.tree.compute_forces_with(
+                    ParUnseq,
+                    &state.positions,
+                    &state.masses,
+                    accel,
+                    &fp,
+                    &mut ws.octree,
+                );
             } else {
-                self.tree.compute_forces(Seq, &state.positions, &state.masses, accel, &fp);
+                self.tree.compute_forces_with(
+                    Seq,
+                    &state.positions,
+                    &state.masses,
+                    accel,
+                    &fp,
+                    &mut ws.octree,
+                );
             }
         });
         Ok(t)
@@ -528,38 +596,40 @@ impl<P: ExecutionPolicy> ForceSolver for BvhSolver<P> {
         SolverKind::Bvh
     }
 
-    fn compute(&mut self, state: &SystemState, accel: &mut [Vec3], reuse: bool) -> StepTimings {
-        match self.try_compute(state, accel, reuse) {
-            Ok(t) => t,
-            Err(e) => panic!("bvh build failed: {e}"),
-        }
-    }
-
-    fn try_compute(
+    fn try_compute_into(
         &mut self,
         state: &SystemState,
         accel: &mut [Vec3],
         reuse: bool,
+        ws: &mut SimWorkspace,
     ) -> Result<StepTimings, ComputeError> {
         let mut t = StepTimings::default();
         let can_reuse = reuse && self.built && self.bvh.n_bodies() == state.len();
         if !can_reuse {
             self.built = false;
-            let bbox = timed(&mut t.bbox, || state.bounding_box(self.policy));
+            let bbox =
+                timed_counted(&mut t.bbox, &mut t.allocs.bbox, || state.bounding_box(self.policy));
             let mut sorted = Ok(());
-            timed(&mut t.sort, || {
-                sorted =
-                    self.bvh.try_hilbert_sort(self.policy, &state.positions, &state.masses, bbox);
+            timed_counted(&mut t.sort, &mut t.allocs.sort, || {
+                sorted = self.bvh.try_hilbert_sort_with(
+                    self.policy,
+                    &state.positions,
+                    &state.masses,
+                    bbox,
+                    &mut ws.bvh,
+                );
             });
             sorted.map_err(ComputeError::Build)?;
             let mut built = Ok(());
-            timed(&mut t.build, || built = self.bvh.try_build_and_accumulate(self.policy));
+            timed_counted(&mut t.build, &mut t.allocs.build, || {
+                built = self.bvh.try_build_and_accumulate(self.policy)
+            });
             built.map_err(ComputeError::Build)?;
             self.built = true;
         }
         let fp = self.params.force_params();
-        timed(&mut t.force, || {
-            self.bvh.compute_forces(self.policy, &state.positions, accel, &fp);
+        timed_counted(&mut t.force, &mut t.allocs.force, || {
+            self.bvh.compute_forces_with(self.policy, &state.positions, accel, &fp, &mut ws.bvh);
         });
         Ok(t)
     }

@@ -88,9 +88,20 @@ pub fn set_threads(n: usize) {
     THREADS.store(n, Ordering::Relaxed);
 }
 
-/// Number of hardware threads.
+/// Number of hardware threads. Cached after the first query:
+/// `available_parallelism` re-reads cgroup limits (and allocates) on every
+/// call, which would break the zero-steady-state-allocation invariant for
+/// grain computations inside parallel regions.
 pub fn hardware_parallelism() -> usize {
-    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    static CACHED: AtomicUsize = AtomicUsize::new(0);
+    match CACHED.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+            CACHED.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
 }
 
 /// Worker count the backends will use.
@@ -101,6 +112,19 @@ pub fn thread_count() -> usize {
     }
 }
 
+/// The `p`-th of `parts` near-equal contiguous chunks of `range`, computed
+/// arithmetically so chunked loops need no chunk-list allocation. `parts`
+/// must already be clamped to `1..=range.len()`.
+#[inline]
+pub fn chunk_of(range: &Range<usize>, parts: usize, p: usize) -> Range<usize> {
+    let n = range.len();
+    debug_assert!(parts >= 1 && parts <= n.max(1) && p < parts);
+    let base = n / parts;
+    let extra = n % parts;
+    let start = range.start + p * base + p.min(extra);
+    start..start + base + usize::from(p < extra)
+}
+
 /// Split `range` into at most `parts` contiguous chunks of near-equal size.
 pub fn split_range(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
     let n = range.len();
@@ -108,17 +132,7 @@ pub fn split_range(range: Range<usize>, parts: usize) -> Vec<Range<usize>> {
         return vec![];
     }
     let parts = parts.min(n);
-    let base = n / parts;
-    let extra = n % parts;
-    let mut out = Vec::with_capacity(parts);
-    let mut start = range.start;
-    for p in 0..parts {
-        let len = base + usize::from(p < extra);
-        out.push(start..start + len);
-        start += len;
-    }
-    debug_assert_eq!(start, range.end);
-    out
+    (0..parts).map(|p| chunk_of(&range, parts, p)).collect()
 }
 
 /// Captures the first panic raised by any worker of a parallel region, so
@@ -166,16 +180,21 @@ impl PanicCell {
 /// Panic-safe: the first panicking chunk's payload propagates to the caller
 /// after every worker has joined.
 pub fn scoped_chunks(range: Range<usize>, f: impl Fn(usize, Range<usize>) + Sync) {
-    let chunks = split_range(range, thread_count());
-    if chunks.len() <= 1 {
-        if let Some(c) = chunks.into_iter().next() {
-            f(0, c);
-        }
+    let n = range.len();
+    if n == 0 {
+        return;
+    }
+    let parts = thread_count().min(n);
+    if parts <= 1 {
+        // Single worker: run inline, touching no allocator (the steady-state
+        // invariant relies on this path when the worker count is pinned to 1).
+        f(0, range);
         return;
     }
     let panics = PanicCell::new();
     std::thread::scope(|s| {
-        for (i, c) in chunks.into_iter().enumerate() {
+        for i in 0..parts {
+            let c = chunk_of(&range, parts, i);
             let f = &f;
             let panics = &panics;
             s.spawn(move || panics.run(|| f(i, c)));
@@ -192,6 +211,18 @@ pub fn scoped_chunks(range: Range<usize>, f: impl Fn(usize, Range<usize>) + Sync
 /// Panic-safe: on a worker panic the remaining workers stop claiming new
 /// chunks and the first payload is re-raised on the caller.
 pub fn dynamic_chunks(range: Range<usize>, grain: usize, f: impl Fn(Range<usize>) + Sync) {
+    dynamic_chunks_worker(range, grain, |_, r| f(r));
+}
+
+/// [`dynamic_chunks`] with the claiming worker's index (`0..workers`) passed
+/// to `f` alongside each chunk, so callers can key per-worker scratch state
+/// (e.g. reusable interaction lists) without locks. A worker index is never
+/// observed concurrently by two threads.
+pub fn dynamic_chunks_worker(
+    range: Range<usize>,
+    grain: usize,
+    f: impl Fn(usize, Range<usize>) + Sync,
+) {
     let n = range.len();
     if n == 0 {
         return;
@@ -202,7 +233,7 @@ pub fn dynamic_chunks(range: Range<usize>, grain: usize, f: impl Fn(Range<usize>
         let mut s = range.start;
         while s < range.end {
             let e = (s + grain).min(range.end);
-            f(s..e);
+            f(0, s..e);
             s = e;
         }
         return;
@@ -210,7 +241,7 @@ pub fn dynamic_chunks(range: Range<usize>, grain: usize, f: impl Fn(Range<usize>
     let cursor = AtomicUsize::new(range.start);
     let panics = PanicCell::new();
     std::thread::scope(|s| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let f = &f;
             let cursor = &cursor;
             let panics = &panics;
@@ -224,7 +255,7 @@ pub fn dynamic_chunks(range: Range<usize>, grain: usize, f: impl Fn(Range<usize>
                     return;
                 }
                 let stop = (start + grain).min(end);
-                panics.run(|| f(start..stop));
+                panics.run(|| f(w, start..stop));
             });
         }
     });

@@ -50,17 +50,12 @@ pub fn for_each_index<P: ExecutionPolicy>(
     }
 }
 
-/// Split into chunks of size `grain` (last chunk may be short).
-fn split_range_by_grain(range: Range<usize>, grain: usize) -> Vec<Range<usize>> {
-    let grain = grain.max(1);
-    let mut out = Vec::with_capacity(range.len() / grain + 1);
-    let mut s = range.start;
-    while s < range.end {
-        let e = (s + grain).min(range.end);
-        out.push(s..e);
-        s = e;
-    }
-    out
+/// The `ci`-th grain-sized chunk of `range` (last chunk may be short),
+/// computed arithmetically so chunked loops need no chunk-list allocation.
+#[inline]
+fn grain_chunk(range: &Range<usize>, grain: usize, ci: usize) -> Range<usize> {
+    let s = range.start + ci * grain;
+    s..(s + grain).min(range.end)
 }
 
 /// Invoke `f` on every element of `items` under `policy`.
@@ -96,27 +91,45 @@ pub fn for_each<P: ExecutionPolicy, T: Send>(
 /// Invoke `f(chunk_range)` over contiguous chunks of `range` (grain-level
 /// parallelism for kernels that manage their own inner loop).
 pub fn for_each_chunk<P: ExecutionPolicy>(
-    _policy: P,
+    policy: P,
     range: Range<usize>,
     grain: usize,
     f: impl Fn(Range<usize>) + Sync + Send,
 ) {
+    for_each_chunk_worker(policy, range, grain, |_, r| f(r));
+}
+
+/// [`for_each_chunk`] with the executing worker's index passed to `f`
+/// alongside each chunk. Worker indices are dense (`0..workers`, bounded by
+/// [`crate::backend::thread_count`]) and never observed concurrently by two
+/// threads, so callers can key per-worker scratch state — reusable
+/// interaction lists, local accumulators — without locks, which keeps the
+/// combination valid even under `ParUnseq` (weakly parallel forward
+/// progress forbids blocking). Under `Seq` the single worker has index 0.
+pub fn for_each_chunk_worker<P: ExecutionPolicy>(
+    _policy: P,
+    range: Range<usize>,
+    grain: usize,
+    f: impl Fn(usize, Range<usize>) + Sync + Send,
+) {
+    let grain = grain.max(1);
     if !P::IS_PARALLEL {
-        for c in split_range_by_grain(range, grain) {
-            f(c);
+        let mut s = range.start;
+        while s < range.end {
+            let e = (s + grain).min(range.end);
+            f(0, s..e);
+            s = e;
         }
         return;
     }
     match current_backend() {
-        Backend::Dynamic => dynamic_chunks(range, grain.max(1), f),
+        Backend::Dynamic => crate::backend::dynamic_chunks_worker(range, grain, f),
         Backend::Threads => {
-            // Static distribution of chunks over workers.
-            let chunks = split_range_by_grain(range, grain);
-            let n = chunks.len();
-            let chunks_ref = &chunks;
-            scoped_chunks(0..n, move |_, r| {
-                for ci in r {
-                    f(chunks_ref[ci].clone());
+            // Static distribution of grain-sized chunks over workers.
+            let nchunks = range.len().div_ceil(grain);
+            scoped_chunks(0..nchunks, |w, cis| {
+                for ci in cis {
+                    f(w, grain_chunk(&range, grain, ci));
                 }
             });
         }
@@ -236,12 +249,39 @@ mod tests {
     }
 
     #[test]
-    fn split_by_grain_partitions() {
-        let chunks = split_range_by_grain(3..103, 7);
+    fn grain_chunks_partition() {
+        let range = 3..103usize;
+        let grain = 7;
+        let nchunks = range.len().div_ceil(grain);
+        let chunks: Vec<_> = (0..nchunks).map(|ci| grain_chunk(&range, grain, ci)).collect();
         let total: usize = chunks.iter().map(|c| c.len()).sum();
         assert_eq!(total, 100);
         assert_eq!(chunks[0].start, 3);
         assert_eq!(chunks.last().unwrap().end, 103);
-        assert!(chunks.iter().all(|c| c.len() <= 7));
+        assert!(chunks.iter().all(|c| c.len() <= 7 && !c.is_empty()));
+        // Contiguous.
+        for w in chunks.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_worker_indices_are_bounded() {
+        use crate::backend::thread_count;
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let n = 5000;
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                for_each_chunk_worker(Par, 0..n, 64, |w, r| {
+                    assert!(w < thread_count());
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            });
+        }
+        // Seq runs everything on worker 0.
+        for_each_chunk_worker(Seq, 0..100, 9, |w, _| assert_eq!(w, 0));
     }
 }

@@ -50,6 +50,7 @@
 //! original payload to the caller after all sibling workers joined.
 //! Select with [`backend::set_backend`] or scoped [`backend::with_backend`].
 
+pub mod alloc_stats;
 pub mod backend;
 pub mod elementwise;
 pub mod foreach;
@@ -61,16 +62,20 @@ pub mod sort;
 pub mod sync_slice;
 
 pub mod prelude {
-    pub use crate::backend::{set_backend, with_backend, Backend};
+    pub use crate::alloc_stats::allocation_count;
+    pub use crate::backend::{set_backend, set_threads, with_backend, Backend};
     pub use crate::elementwise::{copy, fill, generate, transform};
-    pub use crate::foreach::{for_each, for_each_chunk, for_each_index};
+    pub use crate::foreach::{for_each, for_each_chunk, for_each_chunk_worker, for_each_index};
     pub use crate::policy::{ExecutionPolicy, Par, ParUnseq, ParallelForwardProgress, Seq};
     pub use crate::reduce::{
         all_of, any_of, count_if, max_element, min_element, reduce, transform_reduce,
     };
     pub use crate::scan::{exclusive_scan, inclusive_scan};
     pub use crate::selection::{adjacent_difference, copy_if, iota_vec, partition_copy};
-    pub use crate::sort::{apply_permutation, sort_by_key, sort_unstable_by};
+    pub use crate::sort::{
+        apply_permutation, apply_permutation_into, sort_by_key, sort_by_key_with_scratch,
+        sort_unstable_by, sort_unstable_by_with_scratch, SortScratch,
+    };
     pub use crate::sync_slice::SyncSlice;
 }
 

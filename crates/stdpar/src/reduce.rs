@@ -41,10 +41,19 @@ where
             dynamic_reduce(range, grain, identity, &reduce_op, &transform)
         }
         Backend::Threads => {
-            let chunks = split_range(range, thread_count());
-            if chunks.is_empty() {
+            if range.is_empty() {
                 return identity;
             }
+            if thread_count() <= 1 {
+                // Single worker: fold inline without spawning or allocating
+                // the partials vector.
+                let mut acc = identity;
+                for i in range {
+                    acc = reduce_op(acc, transform(i));
+                }
+                return acc;
+            }
+            let chunks = split_range(range, thread_count());
             let mut partials: Vec<Option<R>> = vec![None; chunks.len()];
             let panics = crate::backend::PanicCell::new();
             std::thread::scope(|s| {

@@ -11,12 +11,50 @@
 //! * dynamic — over-decomposes into more runs than workers so the merge
 //!   passes balance (rayon/TBB-style);
 //! * threads — exactly one run per worker (static OpenMP-style schedule).
+//!
+//! ## Scratch reuse
+//!
+//! The merge passes need an element-sized ping-pong buffer plus two run
+//! lists. The plain entry points allocate them per call; the
+//! [`sort_unstable_by_with_scratch`] / [`sort_by_key_with_scratch`]
+//! variants borrow a caller-owned [`SortScratch`] instead, so a steady-state
+//! caller (the Hilbert sort re-sorting every step) performs no heap
+//! allocation after warm-up. The `_with_scratch` variants require `T: Copy`
+//! and merge through `ptr::copy_nonoverlapping` for the run tails rather
+//! than per-element `clone()`.
 
-use crate::backend::{current_backend, split_range, thread_count, Backend, PanicCell};
+use crate::backend::{current_backend, thread_count, Backend, PanicCell};
 use crate::foreach::for_each_index;
 use crate::policy::ExecutionPolicy;
 use crate::sync_slice::SyncSlice;
 use std::cmp::Ordering;
+
+/// Reusable sort scratch: the merge ping-pong buffer and both run lists.
+///
+/// Construction is allocation-free; buffers grow on first use and are
+/// retained across calls, so repeated sorts of same-or-smaller inputs touch
+/// the allocator zero times.
+pub struct SortScratch<T> {
+    /// Element ping-pong buffer (capacity-only: length stays 0, all access
+    /// is by raw pointer, so no uninitialised `T` is dropped or read).
+    buf: Vec<T>,
+    /// Current sorted runs as `(start, end)` index pairs.
+    runs: Vec<(usize, usize)>,
+    /// Runs produced by the in-flight merge pass.
+    next_runs: Vec<(usize, usize)>,
+}
+
+impl<T> Default for SortScratch<T> {
+    fn default() -> Self {
+        SortScratch { buf: Vec::new(), runs: Vec::new(), next_runs: Vec::new() }
+    }
+}
+
+impl<T> SortScratch<T> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Sort `v` with comparator `cmp` under `policy`. Unstable.
 pub fn sort_unstable_by<P, T>(_policy: P, v: &mut [T], cmp: impl Fn(&T, &T) -> Ordering + Sync + Send)
@@ -24,15 +62,11 @@ where
     P: ExecutionPolicy,
     T: Send + Clone,
 {
-    if !P::IS_PARALLEL || v.len() < 2048 {
+    if !P::IS_PARALLEL || v.len() < 2048 || thread_count() <= 1 {
         v.sort_unstable_by(cmp);
         return;
     }
-    let nchunks = match current_backend() {
-        Backend::Dynamic => (4 * thread_count()).next_power_of_two(),
-        Backend::Threads => thread_count().next_power_of_two(),
-    };
-    threads_merge_sort(v, &cmp, nchunks);
+    threads_merge_sort(v, &cmp, merge_sort_runs(v.len()));
 }
 
 /// Sort by a key function. Unstable.
@@ -45,9 +79,55 @@ where
     sort_unstable_by(policy, v, |a, b| key(a).cmp(&key(b)));
 }
 
+/// [`sort_unstable_by`] borrowing caller-owned scratch instead of
+/// allocating: zero heap allocations once `scratch` has warmed up to the
+/// input size. Requires `T: Copy` (run tails move via
+/// `ptr::copy_nonoverlapping`).
+pub fn sort_unstable_by_with_scratch<P, T>(
+    _policy: P,
+    v: &mut [T],
+    scratch: &mut SortScratch<T>,
+    cmp: impl Fn(&T, &T) -> Ordering + Sync + Send,
+) where
+    P: ExecutionPolicy,
+    T: Send + Copy,
+{
+    if !P::IS_PARALLEL || v.len() < 2048 || thread_count() <= 1 {
+        // `slice::sort_unstable_by` is allocation-free.
+        v.sort_unstable_by(cmp);
+        return;
+    }
+    merge_sort_core::<T, MemcpyOps>(v, &cmp, merge_sort_runs(v.len()), scratch);
+}
+
+/// [`sort_by_key`] borrowing caller-owned scratch. See
+/// [`sort_unstable_by_with_scratch`].
+pub fn sort_by_key_with_scratch<P, T, K>(
+    policy: P,
+    v: &mut [T],
+    scratch: &mut SortScratch<T>,
+    key: impl Fn(&T) -> K + Sync + Send,
+) where
+    P: ExecutionPolicy,
+    T: Send + Copy,
+    K: Ord,
+{
+    sort_unstable_by_with_scratch(policy, v, scratch, |a, b| key(a).cmp(&key(b)));
+}
+
+/// Run count for the parallel merge sort under the current backend.
+fn merge_sort_runs(_n: usize) -> usize {
+    match current_backend() {
+        Backend::Dynamic => (4 * thread_count()).next_power_of_two(),
+        Backend::Threads => thread_count().next_power_of_two(),
+    }
+}
+
 /// Gather `src` through `perm` into a new vector: `out[i] = src[perm[i]]`.
 ///
-/// `perm` must be a permutation of `0..src.len()` (checked in debug builds).
+/// `perm` must be a permutation of `0..src.len()` (checked in debug builds
+/// only — the O(N) validation and its marker vector are compiled out of
+/// release builds).
 /// This is the "apply it as a permutation afterwards" step of the paper's
 /// AdaptiveCpp/Clang HILBERTSORT fallback.
 pub fn apply_permutation<P, T>(policy: P, src: &[T], perm: &[u32]) -> Vec<T>
@@ -55,24 +135,40 @@ where
     P: ExecutionPolicy,
     T: Send + Sync + Copy,
 {
+    let mut out = Vec::new();
+    apply_permutation_into(policy, src, perm, &mut out);
+    out
+}
+
+/// [`apply_permutation`] writing into a caller-owned vector, reusing its
+/// capacity: zero heap allocations once `out` has warmed up to `src.len()`.
+pub fn apply_permutation_into<P, T>(policy: P, src: &[T], perm: &[u32], out: &mut Vec<T>)
+where
+    P: ExecutionPolicy,
+    T: Send + Sync + Copy,
+{
     assert_eq!(src.len(), perm.len(), "permutation length mismatch");
-    debug_assert!(is_permutation(perm), "perm is not a permutation of 0..n");
+    #[cfg(debug_assertions)]
+    assert!(is_permutation(perm), "perm is not a permutation of 0..n");
     let n = src.len();
-    let mut out: Vec<T> = Vec::with_capacity(n);
+    out.clear();
+    out.reserve(n);
     // SAFETY: every index in 0..n is written exactly once below before use.
     #[allow(clippy::uninit_vec)]
     unsafe {
         out.set_len(n)
     };
     {
-        let view = SyncSlice::new(&mut out);
+        let view = SyncSlice::new(out.as_mut_slice());
         for_each_index(policy, 0..n, |i| unsafe {
             view.write(i, src[perm[i] as usize]);
         });
     }
-    out
 }
 
+/// O(N) permutation validity check — debug builds only (satellite of the
+/// zero-allocation work: release builds must not pay the marker vector).
+#[cfg(debug_assertions)]
 fn is_permutation(perm: &[u32]) -> bool {
     let mut seen = vec![false; perm.len()];
     for &p in perm {
@@ -85,17 +181,106 @@ fn is_permutation(perm: &[u32]) -> bool {
     true
 }
 
-/// Parallel merge sort shared by both backends (they differ in run count).
-/// Panic-safe: a panicking comparator propagates its payload to the caller
-/// after all workers joined (`v` is left in an unspecified order).
+/// How merged elements move from `src` to `dst`: per-element `clone()` for
+/// the `T: Clone` entry points, bitwise copies (`ptr::copy_nonoverlapping`
+/// for whole run tails) for the `T: Copy` scratch-borrowing entry points.
+/// A trait rather than specialization, which stable Rust lacks.
+trait CopyOps<T> {
+    /// Write `*val` into the (possibly uninitialised) slot at `dst`.
+    ///
+    /// # Safety
+    /// `dst` must be valid for writes; the previous contents are not dropped.
+    unsafe fn put(dst: *mut T, val: &T);
+
+    /// Move `len` elements from `src` into the (possibly uninitialised)
+    /// span at `dst`.
+    ///
+    /// # Safety
+    /// Both pointers must be valid for `len` elements and non-overlapping;
+    /// previous contents of `dst` are not dropped.
+    unsafe fn fill_span(dst: *mut T, src: *const T, len: usize);
+
+    /// Copy `src` over the *initialised* slice `dst`.
+    fn copy_back(dst: &mut [T], src: &[T]);
+}
+
+enum CloneOps {}
+
+impl<T: Clone> CopyOps<T> for CloneOps {
+    unsafe fn put(dst: *mut T, val: &T) {
+        unsafe { dst.write(val.clone()) }
+    }
+
+    unsafe fn fill_span(dst: *mut T, src: *const T, len: usize) {
+        for k in 0..len {
+            unsafe { dst.add(k).write((*src.add(k)).clone()) }
+        }
+    }
+
+    fn copy_back(dst: &mut [T], src: &[T]) {
+        dst.clone_from_slice(src);
+    }
+}
+
+enum MemcpyOps {}
+
+impl<T: Copy> CopyOps<T> for MemcpyOps {
+    unsafe fn put(dst: *mut T, val: &T) {
+        unsafe { dst.write(*val) }
+    }
+
+    unsafe fn fill_span(dst: *mut T, src: *const T, len: usize) {
+        unsafe { std::ptr::copy_nonoverlapping(src, dst, len) }
+    }
+
+    fn copy_back(dst: &mut [T], src: &[T]) {
+        dst.copy_from_slice(src);
+    }
+}
+
+/// Fill `runs` with `parts` near-equal contiguous `(start, end)` runs over
+/// `0..n`, reusing the vector's capacity.
+fn fill_runs(runs: &mut Vec<(usize, usize)>, n: usize, parts: usize) {
+    let parts = parts.min(n).max(1);
+    runs.clear();
+    let base = n / parts;
+    let extra = n % parts;
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        runs.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+}
+
+/// Parallel merge sort shared by both backends (they differ in run count);
+/// allocates a throwaway scratch. Kept for the `T: Clone` entry points and
+/// driven directly by tests.
 fn threads_merge_sort<T: Send + Clone>(
     v: &mut [T],
     cmp: &(impl Fn(&T, &T) -> Ordering + Sync),
     nchunks: usize,
 ) {
+    let mut scratch = SortScratch::default();
+    merge_sort_core::<T, CloneOps>(v, cmp, nchunks, &mut scratch);
+}
+
+/// Parallel merge sort over caller scratch: per-chunk `sort_unstable_by`
+/// followed by pairwise parallel merge passes ping-ponging between `v` and
+/// `scratch.buf`. Panic-safe: a panicking comparator propagates its payload
+/// to the caller after all workers joined (`v` is left in an unspecified
+/// order).
+fn merge_sort_core<T: Send, O: CopyOps<T>>(
+    v: &mut [T],
+    cmp: &(impl Fn(&T, &T) -> Ordering + Sync),
+    nchunks: usize,
+    scratch: &mut SortScratch<T>,
+) {
     let n = v.len();
-    let mut chunks = split_range(0..n, nchunks);
-    if chunks.len() <= 1 {
+    let SortScratch { buf, runs, next_runs } = scratch;
+    fill_runs(runs, n, nchunks);
+    if runs.len() <= 1 {
         // A single run needs no scratch buffer and no merge passes at all.
         v.sort_unstable_by(cmp);
         return;
@@ -103,9 +288,10 @@ fn threads_merge_sort<T: Send + Clone>(
     // An odd number of merge passes would leave the result in the scratch
     // buffer and force a copy back into `v`; splitting one level finer makes
     // the pass count even so the ping-pong ends in `v`.
-    let passes = usize::BITS - (chunks.len() - 1).leading_zeros();
-    if passes % 2 == 1 && chunks.len() * 2 <= n {
-        chunks = split_range(0..n, (chunks.len() * 2).next_power_of_two());
+    let passes = usize::BITS - (runs.len() - 1).leading_zeros();
+    if passes % 2 == 1 && runs.len() * 2 <= n {
+        let finer = (runs.len() * 2).next_power_of_two();
+        fill_runs(runs, n, finer);
     }
     let panics = PanicCell::new();
 
@@ -113,14 +299,14 @@ fn threads_merge_sort<T: Send + Clone>(
     {
         let base = v.as_mut_ptr() as usize;
         std::thread::scope(|s| {
-            for r in chunks.iter().cloned() {
+            for &(start, end) in runs.iter() {
                 let panics = &panics;
                 s.spawn(move || {
                     panics.run(|| {
                         // SAFETY: chunks are disjoint subslices of `v`.
                         let ptr = base as *mut T;
                         let sub =
-                            unsafe { std::slice::from_raw_parts_mut(ptr.add(r.start), r.len()) };
+                            unsafe { std::slice::from_raw_parts_mut(ptr.add(start), end - start) };
                         sub.sort_unstable_by(cmp);
                     })
                 });
@@ -132,37 +318,37 @@ fn threads_merge_sort<T: Send + Clone>(
         return;
     }
 
-    // Phase 2: pairwise parallel merges, ping-ponging with a scratch buffer.
-    // The first merge pass writes every scratch slot (merged spans tile the
-    // whole range), so the buffer needs *capacity* only — cloning `v` into
-    // it would be pure overhead. Its length stays 0 and all access goes
-    // through raw pointers, so no uninitialised `T` is ever dropped or read.
-    let mut runs: Vec<std::ops::Range<usize>> = chunks;
-    let mut scratch: Vec<T> = Vec::with_capacity(n);
+    // Phase 2: pairwise parallel merges, ping-ponging with the scratch
+    // buffer. The first merge pass writes every scratch slot (merged spans
+    // tile the whole range), so the buffer needs *capacity* only — its
+    // length stays 0 and all access goes through raw pointers, so no
+    // uninitialised `T` is ever dropped or read.
+    buf.clear();
+    buf.reserve(n);
     let mut src_is_v = true;
     while runs.len() > 1 {
-        let mut next_runs = Vec::with_capacity(runs.len().div_ceil(2));
+        next_runs.clear();
         {
             // Merge run pairs from `src` into `dst`.
             let (src_ptr, dst_ptr) = if src_is_v {
-                (v.as_ptr() as usize, scratch.as_mut_ptr() as usize)
+                (v.as_ptr() as usize, buf.as_mut_ptr() as usize)
             } else {
-                (scratch.as_ptr() as usize, v.as_mut_ptr() as usize)
+                (buf.as_ptr() as usize, v.as_mut_ptr() as usize)
             };
             std::thread::scope(|s| {
                 let mut i = 0;
                 while i < runs.len() {
-                    let left = runs[i].clone();
-                    let right = if i + 1 < runs.len() { runs[i + 1].clone() } else { left.end..left.end };
-                    next_runs.push(left.start..right.end);
+                    let left = runs[i];
+                    let right = if i + 1 < runs.len() { runs[i + 1] } else { (left.1, left.1) };
+                    next_runs.push((left.0, right.1));
                     let panics = &panics;
                     s.spawn(move || {
                         panics.run(|| {
-                            // SAFETY: each merged output span [left.start, right.end)
+                            // SAFETY: each merged output span [left.0, right.1)
                             // is disjoint across pairs; src is not mutated.
                             let src = src_ptr as *const T;
                             let dst = dst_ptr as *mut T;
-                            unsafe { merge_runs(src, dst, left, right, cmp) };
+                            unsafe { merge_runs::<T, O>(src, dst, left, right, cmp) };
                         })
                     });
                     i += 2;
@@ -173,61 +359,60 @@ fn threads_merge_sort<T: Send + Clone>(
             panics.rethrow();
             return;
         }
-        runs = next_runs;
+        std::mem::swap(runs, next_runs);
         src_is_v = !src_is_v;
     }
     if !src_is_v {
         // Fallback when the pass count could not be made even: the final
         // data lives in scratch; copy back. SAFETY: every slot in 0..n was
         // written by the preceding merge pass.
-        let merged = unsafe { std::slice::from_raw_parts(scratch.as_ptr(), n) };
-        v.clone_from_slice(merged);
+        let merged = unsafe { std::slice::from_raw_parts(buf.as_ptr(), n) };
+        O::copy_back(v, merged);
     }
 }
 
-/// Merge `src[left]` and `src[right]` (each sorted) into `dst[left.start..right.end]`.
+/// Merge `src[left]` and `src[right]` (each sorted, given as `(start, end)`
+/// pairs) into `dst[left.0..right.1]`.
 ///
 /// # Safety
 /// `src` and `dst` must both be valid for the full span, and no other thread
 /// may access that span of `dst` concurrently.
-unsafe fn merge_runs<T: Clone>(
+unsafe fn merge_runs<T, O: CopyOps<T>>(
     src: *const T,
     dst: *mut T,
-    left: std::ops::Range<usize>,
-    right: std::ops::Range<usize>,
+    left: (usize, usize),
+    right: (usize, usize),
     cmp: &impl Fn(&T, &T) -> Ordering,
 ) {
-    let mut a = left.start;
-    let mut b = right.start;
-    let mut o = left.start;
-    while a < left.end && b < right.end {
-        let va = &*src.add(a);
-        let vb = &*src.add(b);
-        if cmp(vb, va) == Ordering::Less {
-            dst.add(o).write(vb.clone());
-            b += 1;
-        } else {
-            dst.add(o).write(va.clone());
-            a += 1;
+    let mut a = left.0;
+    let mut b = right.0;
+    let mut o = left.0;
+    unsafe {
+        while a < left.1 && b < right.1 {
+            let va = &*src.add(a);
+            let vb = &*src.add(b);
+            if cmp(vb, va) == Ordering::Less {
+                O::put(dst.add(o), vb);
+                b += 1;
+            } else {
+                O::put(dst.add(o), va);
+                a += 1;
+            }
+            o += 1;
         }
-        o += 1;
-    }
-    while a < left.end {
-        dst.add(o).write((*src.add(a)).clone());
-        a += 1;
-        o += 1;
-    }
-    while b < right.end {
-        dst.add(o).write((*src.add(b)).clone());
-        b += 1;
-        o += 1;
+        // Exactly one run has a tail; move it in one span.
+        if a < left.1 {
+            O::fill_span(dst.add(o), src.add(a), left.1 - a);
+        } else if b < right.1 {
+            O::fill_span(dst.add(o), src.add(b), right.1 - b);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::backend::{with_backend, Backend};
+    use crate::backend::{set_threads, with_backend, Backend};
     use crate::policy::{Par, ParUnseq, Seq};
 
     fn pseudo_random(n: usize, seed: u64) -> Vec<u64> {
@@ -261,12 +446,49 @@ mod tests {
     }
 
     #[test]
+    fn scratch_sort_matches_std_and_reuses_buffers() {
+        let mut scratch = SortScratch::new();
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                // Multiple sizes through ONE scratch, including grow and
+                // shrink, to catch stale-buffer reads.
+                for (n, seed) in [(50_000usize, 3u64), (10_000, 7), (60_000, 11), (100, 1)] {
+                    let input = pseudo_random(n, seed);
+                    let mut expect = input.clone();
+                    expect.sort_unstable();
+                    let mut v = input.clone();
+                    sort_unstable_by_with_scratch(Par, &mut v, &mut scratch, |x, y| x.cmp(y));
+                    assert_eq!(v, expect, "n={n} backend={}", backend.name());
+                }
+            });
+        }
+    }
+
+    #[test]
     fn sort_by_key_descending() {
         let mut v = pseudo_random(10_000, 4);
         with_backend(Backend::Threads, || {
             sort_by_key(Par, &mut v, |&x| std::cmp::Reverse(x));
         });
         assert!(v.windows(2).all(|w| w[0] >= w[1]));
+
+        let mut w = pseudo_random(10_000, 4);
+        let mut scratch = SortScratch::new();
+        sort_by_key_with_scratch(Par, &mut w, &mut scratch, |&x| std::cmp::Reverse(x));
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn single_thread_override_sorts_sequentially() {
+        // With one worker the parallel entry points must fall through to the
+        // allocation-free sequential sort and still be correct.
+        set_threads(1);
+        let mut v = pseudo_random(50_000, 13);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        sort_unstable_by(Par, &mut v, |a, b| a.cmp(b));
+        assert_eq!(v, expect);
+        set_threads(0);
     }
 
     #[test]
@@ -310,7 +532,7 @@ mod tests {
 
     #[test]
     fn merge_sort_handles_both_pass_parities() {
-        // Drive `threads_merge_sort` directly across run counts whose merge
+        // Drive the merge sort directly across run counts whose merge
         // pass counts have both parities, including counts too large to be
         // doubled (n < 2·chunks exercises the scratch copy-back fallback).
         for (n, nchunks) in
@@ -320,7 +542,12 @@ mod tests {
             let mut expect = v.clone();
             expect.sort_unstable();
             threads_merge_sort(&mut v, &|a, b| a.cmp(b), nchunks);
-            assert_eq!(v, expect, "n={n} nchunks={nchunks}");
+            assert_eq!(v, expect, "n={n} nchunks={nchunks} (clone path)");
+
+            let mut w = pseudo_random(n, nchunks as u64);
+            let mut scratch = SortScratch::new();
+            merge_sort_core::<u64, MemcpyOps>(&mut w, &|a, b| a.cmp(b), nchunks, &mut scratch);
+            assert_eq!(w, expect, "n={n} nchunks={nchunks} (copy path)");
         }
     }
 
@@ -342,6 +569,14 @@ mod tests {
                 for (i, &v) in sorted_vals.iter().enumerate() {
                     assert_eq!(keys[v as usize], sorted_keys[i]);
                 }
+                // The `_into` variant agrees and reuses its output buffer.
+                let mut out: Vec<f64> = Vec::new();
+                apply_permutation_into(Par, &values, &perm, &mut out);
+                assert_eq!(out, sorted_vals);
+                let cap = out.capacity();
+                apply_permutation_into(Par, &values, &perm, &mut out);
+                assert_eq!(out, sorted_vals);
+                assert_eq!(out.capacity(), cap);
             });
         }
     }
@@ -352,6 +587,7 @@ mod tests {
         let _ = apply_permutation(Seq, &[1, 2, 3], &[0, 1]);
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     fn is_permutation_detects_bad_inputs() {
         assert!(is_permutation(&[2, 0, 1]));

@@ -27,8 +27,16 @@ fn main() {
     let opts = SimOptions { dt: 1e-3, theta: 0.5, softening: 1e-3, ..SimOptions::default() };
     let mut sim = Simulation::new(state, kind, opts).expect("solver supports the default policy");
 
+    // One scratch arena for the whole run: after the first few steps warm
+    // its buffers, stepping performs zero heap allocations (DESIGN.md
+    // § Memory management). `sim.step()` would do the same with a
+    // simulation-owned arena.
+    let mut ws = SimWorkspace::new();
     for chunk in 0..5 {
-        let timings = sim.run(20);
+        let mut timings = StepTimings::default();
+        for _ in 0..20 {
+            timings.accumulate(&sim.step_into(&mut ws));
+        }
         let d = Diagnostics::measure(sim.state(), 1.0, 1e-3);
         println!(
             "t={:.3}  E = {:+.6}  K = {:.6}  |p| = {:.2e}  (step {:?}: force {:.1?}, build {:.1?})",

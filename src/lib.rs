@@ -52,6 +52,6 @@ pub mod prelude {
     pub use crate::sim::workload::{
         galaxy_collision, plummer, solar_system, spinning_disk, uniform_cube, WorkloadSpec,
     };
-    pub use crate::sim::{SimOptions, Simulation};
+    pub use crate::sim::{SimOptions, SimWorkspace, Simulation, StepAllocs, StepTimings};
     pub use crate::stdpar::policy::{DynPolicy, Par, ParUnseq, Seq};
 }

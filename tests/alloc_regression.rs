@@ -1,0 +1,132 @@
+//! Zero-steady-state-allocation regression (DESIGN.md § Memory management).
+//!
+//! Every transient buffer of a simulation step lives in the
+//! [`SimWorkspace`] arena or in solver-owned grow-only storage, so once
+//! buffers have warmed up a step at constant N must perform **zero** heap
+//! allocations — across both trees, every execution policy, per-body and
+//! blocked traversal, both executor backends, the resilient wrapper, and
+//! both step entry points (`step_into` with caller scratch, `step` with the
+//! simulation-owned arena).
+//!
+//! Only compiled with `--features alloc-stats`, which lets this binary
+//! install the counting [`GlobalAlloc`] from `stdpar::alloc_stats`. The
+//! count is process-wide, so everything runs inside ONE `#[test]` function
+//! — concurrent test threads would cross-pollute the deltas.
+//!
+//! Threads are pinned to 1: the executors' parallel paths spawn scoped OS
+//! threads, and thread spawning allocates by design (stacks, handles).
+//! With one worker every policy takes the inline path, which is the
+//! steady-state configuration the invariant covers; multi-worker runs
+//! allocate O(threads) per parallel region, never O(N).
+#![cfg(feature = "alloc-stats")]
+
+use stdpar_nbody::prelude::*;
+use stdpar_nbody::sim::{ResilientConfig, ResilientSolver};
+use stdpar_nbody::stdpar::alloc_stats::{allocation_count, CountingAlloc};
+use stdpar_nbody::stdpar::backend::{set_threads, with_backend, Backend};
+
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+/// Warm the pipeline, then assert that further steps allocate nothing —
+/// both by the process-wide counter delta and by the per-phase counters
+/// threaded through `StepTimings`.
+fn assert_steady_state_clean(mut sim: Simulation, ws: &mut SimWorkspace, label: &str) {
+    for _ in 0..3 {
+        sim.step_into(ws);
+    }
+    for step in 0..3 {
+        let before = allocation_count();
+        let t = sim.step_into(ws);
+        let delta = allocation_count() - before;
+        assert_eq!(
+            delta,
+            0,
+            "{label}: steady-state step {step} performed {delta} allocations ({:?})",
+            t.allocs
+        );
+        assert_eq!(
+            t.allocs.total(),
+            0,
+            "{label}: per-phase counters nonzero at step {step}: {:?}",
+            t.allocs
+        );
+    }
+}
+
+#[test]
+fn steady_state_steps_allocate_nothing() {
+    set_threads(1);
+    // dt = 0 keeps positions fixed so the tree (and the octree's
+    // node-usage-dependent moment storage) is identical every rebuild;
+    // the build/sort/traversal phases still run in full each step.
+    let state = galaxy_collision(1_500, 77);
+    let evals = [ForceEval::PerBody, ForceEval::Blocked { group: 32 }];
+
+    for backend in Backend::ALL {
+        with_backend(backend, || {
+            // Both trees x every policy x per-body and blocked.
+            for kind in [SolverKind::Octree, SolverKind::Bvh] {
+                for policy in [DynPolicy::Seq, DynPolicy::Par, DynPolicy::ParUnseq] {
+                    for eval in evals {
+                        let opts = SimOptions {
+                            dt: 0.0,
+                            softening: 1e-3,
+                            policy,
+                            eval,
+                            ..SimOptions::default()
+                        };
+                        let Ok(sim) = Simulation::new(state.clone(), kind, opts) else {
+                            continue; // forward-progress rejection (octree + par_unseq)
+                        };
+                        let mut ws = SimWorkspace::new();
+                        let label = format!(
+                            "{}/{}/{:?}/{:?}",
+                            backend.name(),
+                            kind.name(),
+                            policy,
+                            eval
+                        );
+                        assert_steady_state_clean(sim, &mut ws, &label);
+                    }
+                }
+            }
+
+            // The resilient wrapper on its default chain: the no-fault path
+            // must add no allocations on top of the wrapped solver.
+            for eval in evals {
+                let params = stdpar_nbody::sim::SolverParams {
+                    softening: 1e-3,
+                    eval,
+                    ..Default::default()
+                };
+                let solver = ResilientSolver::with_config(ResilientConfig {
+                    params,
+                    ..ResilientConfig::default()
+                });
+                let opts = SimOptions { dt: 0.0, softening: 1e-3, eval, ..SimOptions::default() };
+                let sim = Simulation::with_solver(state.clone(), Box::new(solver), opts);
+                let mut ws = SimWorkspace::new();
+                assert_steady_state_clean(sim, &mut ws, &format!("resilient/{:?}", eval));
+            }
+
+            // The owned-workspace entry point: `step()` detaches and
+            // restores the simulation's own arena without allocating.
+            let opts = SimOptions {
+                dt: 0.0,
+                softening: 1e-3,
+                eval: ForceEval::Blocked { group: 32 },
+                ..SimOptions::default()
+            };
+            let mut sim = Simulation::new(state.clone(), SolverKind::Bvh, opts).unwrap();
+            for _ in 0..3 {
+                sim.step();
+            }
+            let before = allocation_count();
+            let t = sim.step();
+            let delta = allocation_count() - before;
+            assert_eq!(delta, 0, "owned-workspace step() performed {delta} allocations");
+            assert_eq!(t.allocs.total(), 0, "owned-workspace phase counters: {:?}", t.allocs);
+        });
+    }
+}
