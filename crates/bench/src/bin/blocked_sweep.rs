@@ -11,11 +11,16 @@
 //! group MAC is conservative, so blocked error must not exceed per-body
 //! error).
 //!
-//! Usage: `blocked_sweep [--n=100000] [--theta=0.5] [--smoke] [--json=PATH]`
+//! Usage: `blocked_sweep [--n=100000] [--theta=0.5] [--smoke] [--json=PATH]
+//! [--metrics=PATH]`
 //!
 //! `--json=PATH` additionally writes the measurements as one
 //! machine-readable JSON document (the harness points this at
-//! `BENCH_blocked.json`).
+//! `BENCH_blocked.json`). `--metrics=PATH` writes the step-level telemetry
+//! snapshot accumulated over the whole sweep (`BENCH_metrics.json` in the
+//! harness); with telemetry compiled out (`--no-default-features`) the
+//! snapshot is still written but reports `"enabled": false` and all-zero
+//! metrics.
 
 use nbody_bench::{arg, flag, print_banner, print_table};
 use nbody_math::gravity::{direct_accel, ForceEval};
@@ -94,6 +99,10 @@ fn main() {
     let n: usize = arg("n", if smoke { 20_000 } else { 100_000 });
     let theta: f64 = arg("theta", 0.5);
     let json_path: String = arg("json", String::new());
+    let metrics_path: String = arg("metrics", String::new());
+    // Scope the telemetry snapshot to this run: the counters are
+    // process-global and monotonic.
+    nbody_telemetry::metrics::reset();
     let softening = 1e-3;
     let reps = if smoke { 1 } else { 3 };
     let groups: &[usize] = if smoke { &[32] } else { &[8, 16, 32, 64, 128, 256] };
@@ -184,5 +193,11 @@ fn main() {
         std::fs::write(&json_path, doc).expect("write json");
         println!();
         println!("wrote {json_path}");
+    }
+
+    if !metrics_path.is_empty() {
+        let snap = nbody_telemetry::MetricsSnapshot::capture();
+        std::fs::write(&metrics_path, snap.to_json()).expect("write metrics json");
+        println!("wrote {metrics_path} (telemetry enabled: {})", nbody_telemetry::ENABLED);
     }
 }

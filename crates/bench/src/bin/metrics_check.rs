@@ -1,0 +1,61 @@
+//! Schema validator for telemetry snapshots (`MetricsSnapshot::to_json`).
+//!
+//! Reads one JSON document, runs it through
+//! [`nbody_telemetry::json::validate_snapshot`], prints a one-line summary
+//! and exits nonzero if the document is missing, malformed, or violates the
+//! snapshot schema (wrong marker, negative values, histogram bucket sums
+//! that disagree with counts, …). CI and `run_harness.sh` use this to catch
+//! telemetry emission regressions without depending on external JSON tools.
+//!
+//! Usage: `metrics_check PATH` or `metrics_check --file=PATH`
+
+use nbody_bench::arg;
+use nbody_telemetry::json::validate_snapshot;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let named: String = arg("file", String::new());
+    let path = if !named.is_empty() {
+        named
+    } else if let Some(p) = std::env::args().nth(1).filter(|a| !a.starts_with("--")) {
+        p
+    } else {
+        eprintln!("usage: metrics_check PATH | metrics_check --file=PATH");
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("metrics_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match validate_snapshot(&text) {
+        Ok(doc) => {
+            let count = |key: &str| {
+                doc.as_object()
+                    .and_then(|o| o.get(key))
+                    .and_then(|v| v.as_object())
+                    .map_or(0, |o| o.len())
+            };
+            let enabled = doc
+                .as_object()
+                .and_then(|o| o.get("enabled"))
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false);
+            println!(
+                "{path}: OK (enabled: {enabled}, {} counters, {} gauges, {} histograms)",
+                count("counters"),
+                count("gauges"),
+                count("histograms"),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("metrics_check: {path}: INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

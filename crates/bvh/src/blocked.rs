@@ -24,6 +24,7 @@
 use crate::build::Bvh;
 use nbody_math::gravity::ForceParams;
 use nbody_math::{Aabb, InteractionLists, ListsPool, Vec3};
+use nbody_telemetry::{metrics, record, MacCounts};
 use stdpar::backend::thread_count;
 use stdpar::prelude::*;
 
@@ -63,7 +64,13 @@ impl Bvh {
             // `thread_count()` workers above.
             let lists: &mut InteractionLists = unsafe { pool.slot(w) };
             lists.clear();
-            this.gather_group(gbox, theta2, params.use_quadrupole, lists);
+            let mut mac = MacCounts::default();
+            this.gather_group(gbox, theta2, params.use_quadrupole, lists, &mut mac);
+            // One flush and two histogram samples per *group*, amortised
+            // over every member body.
+            mac.flush(&metrics::BVH_MAC_ACCEPTS, &metrics::BVH_MAC_OPENS);
+            record!(hist BVH_LIST_BODIES, lists.n_bodies() as u64);
+            record!(hist BVH_LIST_NODES, lists.n_nodes() as u64);
             for j in r {
                 let a = lists.eval_at(this.sorted_pos[j], params.g, eps2);
                 // Disjoint slots: perm is a permutation and groups partition it.
@@ -75,7 +82,14 @@ impl Bvh {
     /// Stackless skip-list walk collecting the interaction lists of one
     /// group box. Same DFS as [`Bvh::accel_at`], with the point-to-box
     /// distance replaced by the conservative box-to-box distance.
-    fn gather_group(&self, gbox: Aabb, theta2: f64, want_quad: bool, lists: &mut InteractionLists) {
+    fn gather_group(
+        &self,
+        gbox: Aabb,
+        theta2: f64,
+        want_quad: bool,
+        lists: &mut InteractionLists,
+        mac: &mut MacCounts,
+    ) {
         if self.n_bodies() == 0 {
             return;
         }
@@ -94,8 +108,10 @@ impl Bvh {
                 } else {
                     let d2 = self.boxes[i].distance2_to_box(gbox);
                     if self.diag2[i] < theta2 * d2 {
+                        mac.accepts += 1;
                         lists.push_node(self.com[i], m, quad.map(|q| q[i]));
                     } else {
+                        mac.opens += 1;
                         i *= 2; // forward step: descend into the left child
                         descend = true;
                     }

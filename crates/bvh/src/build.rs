@@ -303,6 +303,8 @@ impl Bvh {
         if n == 0 {
             // Root == the single empty leaf; nothing else to do.
         }
+        nbody_telemetry::record!(counter BVH_BUILDS, 1);
+        nbody_telemetry::record!(gauge BVH_NODES_HIGH_WATER, total as u64);
     }
 }
 

@@ -15,6 +15,8 @@
 use crate::build::Bvh;
 use nbody_math::gravity::{multipole_accel, pair_accel, ForceEval, ForceParams};
 use nbody_math::Vec3;
+use nbody_telemetry::{metrics, MacCounts};
+use stdpar::backend::{par_grain, unseq_grain};
 use stdpar::prelude::*;
 
 impl Bvh {
@@ -60,16 +62,40 @@ impl Bvh {
             self.compute_forces_blocked(policy, accel, params, group.max(1), &mut scratch.lists);
             return;
         }
+        // Chunked rather than per-index so MAC telemetry tallies in a local
+        // and flushes one atomic add per *chunk*; per-body results are
+        // bitwise identical (same `accel_at` walk per body, same order).
+        let n = positions.len();
+        let grain = if P::UNSEQUENCED { unseq_grain(n) } else { par_grain(n) };
         let out = SyncSlice::new(accel);
         let this = self;
-        for_each_index(policy, 0..positions.len(), |b| {
-            let a = this.accel_at(positions[b], Some(b as u32), params);
-            unsafe { out.write(b, a) };
+        for_each_chunk(policy, 0..n, grain, |r| {
+            let mut mac = MacCounts::default();
+            for b in r {
+                let a = this.accel_at_counted(positions[b], Some(b as u32), params, &mut mac);
+                unsafe { out.write(b, a) };
+            }
+            mac.flush(&metrics::BVH_MAC_ACCEPTS, &metrics::BVH_MAC_OPENS);
         });
     }
 
     /// Acceleration at point `p`, excluding original body `exclude` if given.
     pub fn accel_at(&self, p: Vec3, exclude: Option<u32>, params: &ForceParams) -> Vec3 {
+        let mut mac = MacCounts::default();
+        let a = self.accel_at_counted(p, exclude, params, &mut mac);
+        mac.flush(&metrics::BVH_MAC_ACCEPTS, &metrics::BVH_MAC_OPENS);
+        a
+    }
+
+    /// [`Bvh::accel_at`] with MAC accept/open decisions tallied into `mac`
+    /// (plain locals — callers batch bodies and flush once per chunk).
+    pub(crate) fn accel_at_counted(
+        &self,
+        p: Vec3,
+        exclude: Option<u32>,
+        params: &ForceParams,
+        mac: &mut MacCounts,
+    ) -> Vec3 {
         let mut acc = Vec3::ZERO;
         if self.n_bodies() == 0 {
             return acc;
@@ -78,9 +104,12 @@ impl Bvh {
         let eps2 = params.softening * params.softening;
         // Resolve the quadrupole source once, outside the traversal loop.
         let quad = if params.use_quadrupole { self.quad.as_deref() } else { None };
+        // Tally MAC decisions in plain locals (registers) for the whole
+        // walk; fold into `mac` once at exit.
+        let (mut accepts, mut opens) = (0u64, 0u64);
 
         let mut i: usize = 1; // root
-        loop {
+        let acc = loop {
             let m = self.mass[i];
             let mut descend = false;
             if m > 0.0 {
@@ -99,8 +128,10 @@ impl Bvh {
                     // to the body than their COM does.
                     let d2 = self.boxes[i].distance2_to_point(p);
                     if self.diag2[i] < theta2 * d2 {
+                        accepts += 1;
                         acc += multipole_accel(d, m, quad.map(|q| &q[i]), params.g, eps2);
                     } else {
+                        opens += 1;
                         i *= 2; // forward step: descend into the left child
                         descend = true;
                     }
@@ -110,9 +141,11 @@ impl Bvh {
                 continue;
             }
             // Backward step: skip-list jump to the next DFS node.
+            let mut done = false;
             loop {
                 if i == 1 {
-                    return acc;
+                    done = true;
+                    break;
                 }
                 if i & 1 == 0 {
                     i += 1; // right sibling
@@ -120,7 +153,13 @@ impl Bvh {
                 }
                 i >>= 1; // climb (possibly several times: the multi-level jump)
             }
-        }
+            if done {
+                break acc;
+            }
+        };
+        mac.accepts += accepts;
+        mac.opens += opens;
+        acc
     }
 }
 

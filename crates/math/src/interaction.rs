@@ -221,14 +221,25 @@ impl ListsPool {
 
     /// Borrow worker `worker`'s lists for the duration of one group.
     ///
+    /// The slot index is bounds-checked unconditionally (not just in debug
+    /// builds): an unprepared pool is a caller bug that must fail loudly in
+    /// release too, not reach `UnsafeCell::get` on an out-of-range slot.
+    ///
+    /// # Panics
+    /// If `worker >= self.workers()` — call [`ListsPool::prepare`] for this
+    /// region's worker count first.
+    ///
     /// # Safety
-    /// `worker` must be `< self.workers()` (i.e. [`ListsPool::prepare`] was
-    /// called for this region), and no two threads may pass the same
-    /// `worker` concurrently — guaranteed when `worker` is the executor's
-    /// worker index.
+    /// No two threads may pass the same `worker` concurrently — guaranteed
+    /// when `worker` is the executor's worker index.
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slot(&self, worker: usize) -> &mut InteractionLists {
-        debug_assert!(worker < self.slots.len(), "ListsPool not prepared for worker {worker}");
+        assert!(
+            worker < self.slots.len(),
+            "ListsPool::slot: worker {worker} out of bounds ({} slots prepared); \
+             call prepare() before the parallel region",
+            self.slots.len()
+        );
         unsafe { &mut *self.slots[worker].get() }
     }
 }
@@ -332,6 +343,18 @@ mod tests {
         }
         pool.prepare(3, true);
         assert!(unsafe { pool.slot(0) }.quad.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "ListsPool::slot")]
+    fn pool_slot_out_of_bounds_panics_with_clear_message() {
+        // Regression: the bounds check was a `debug_assert!`, so a release
+        // build of an unprepared pool fell through to raw slot indexing and
+        // died with a bare "index out of bounds" (or worse, had the
+        // indexing ever become unchecked, UB). The check is unconditional
+        // now and names the pool and the missing prepare() call.
+        let pool = ListsPool::new();
+        let _ = unsafe { pool.slot(0) };
     }
 
     #[test]

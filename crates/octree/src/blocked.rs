@@ -24,6 +24,7 @@ use crate::tree::Octree;
 use crate::validate::collect_bodies_into;
 use nbody_math::gravity::ForceParams;
 use nbody_math::{Aabb, InteractionLists, Vec3};
+use nbody_telemetry::{metrics, record, MacCounts};
 use std::sync::atomic::Ordering;
 use stdpar::backend::thread_count;
 use stdpar::prelude::*;
@@ -69,7 +70,21 @@ impl Octree {
             // `thread_count()` workers above.
             let lists: &mut InteractionLists = unsafe { pool.slot(w) };
             lists.clear();
-            this.gather_group(gbox, theta2, params.use_quadrupole, positions, masses, lists);
+            let mut mac = MacCounts::default();
+            this.gather_group(
+                gbox,
+                theta2,
+                params.use_quadrupole,
+                positions,
+                masses,
+                lists,
+                &mut mac,
+            );
+            // One flush and two histogram samples per *group*, amortised
+            // over every member body.
+            mac.flush(&metrics::OCTREE_MAC_ACCEPTS, &metrics::OCTREE_MAC_OPENS);
+            record!(hist OCTREE_LIST_BODIES, lists.n_bodies() as u64);
+            record!(hist OCTREE_LIST_NODES, lists.n_nodes() as u64);
             for &b in &order[r] {
                 let a = lists.eval_at(positions[b as usize], params.g, eps2);
                 // Disjoint slots: the DFS order is a permutation of 0..n.
@@ -82,6 +97,7 @@ impl Octree {
     /// Same forward/backward structure as [`Octree::accel_at`], with the
     /// point distance `|com − p|²` replaced by the conservative distance
     /// from the node's centre of mass to the group box.
+    #[allow(clippy::too_many_arguments)] // internal: gather inputs + telemetry tally
     fn gather_group(
         &self,
         gbox: Aabb,
@@ -90,6 +106,7 @@ impl Octree {
         positions: &[Vec3],
         masses: &[f64],
         lists: &mut InteractionLists,
+        mac: &mut MacCounts,
     ) {
         if self.n_bodies() == 0 {
             return;
@@ -104,11 +121,13 @@ impl Octree {
                     let com = self.node_com_of(i);
                     let d2 = gbox.distance2_to_point(com);
                     if width * width < theta2 * d2 {
+                        mac.accepts += 1;
                         let quad = quads.map(|q| {
                             std::array::from_fn(|k| q[k][i as usize].load(Ordering::Relaxed))
                         });
                         lists.push_node(com, self.node_mass_of(i), quad);
                     } else {
+                        mac.opens += 1;
                         i = c;
                         width *= 0.5;
                         descend = true;

@@ -11,7 +11,9 @@ use crate::tags::{self, Slot};
 use crate::tree::Octree;
 use nbody_math::gravity::{multipole_accel, pair_accel, ForceEval};
 use nbody_math::Vec3;
+use nbody_telemetry::{metrics, MacCounts};
 use std::sync::atomic::Ordering;
+use stdpar::backend::{par_grain, unseq_grain};
 use stdpar::prelude::*;
 
 /// Re-export: shared force parameters (see [`nbody_math::gravity`]).
@@ -69,11 +71,29 @@ impl Octree {
             );
             return;
         }
+        // Chunked rather than per-index so MAC telemetry tallies in a local
+        // and flushes one atomic add per *chunk*. The per-body work is the
+        // same `accel_at` walk in the same order, so results stay bitwise
+        // identical to the per-index formulation; the grain matches what
+        // the executor would pick for this policy anyway.
+        let n = positions.len();
+        let grain = if P::UNSEQUENCED { unseq_grain(n) } else { par_grain(n) };
         let out = SyncSlice::new(accel);
         let this = self;
-        for_each_index(policy, 0..positions.len(), |b| {
-            let a = this.accel_at(positions[b], Some(b as u32), positions, masses, params);
-            unsafe { out.write(b, a) };
+        for_each_chunk(policy, 0..n, grain, |r| {
+            let mut mac = MacCounts::default();
+            for b in r {
+                let a = this.accel_at_counted(
+                    positions[b],
+                    Some(b as u32),
+                    positions,
+                    masses,
+                    params,
+                    &mut mac,
+                );
+                unsafe { out.write(b, a) };
+            }
+            mac.flush(&metrics::OCTREE_MAC_ACCEPTS, &metrics::OCTREE_MAC_OPENS);
         });
     }
 
@@ -88,6 +108,24 @@ impl Octree {
         masses: &[f64],
         params: &ForceParams,
     ) -> Vec3 {
+        let mut mac = MacCounts::default();
+        let a = self.accel_at_counted(p, exclude, positions, masses, params, &mut mac);
+        mac.flush(&metrics::OCTREE_MAC_ACCEPTS, &metrics::OCTREE_MAC_OPENS);
+        a
+    }
+
+    /// [`Octree::accel_at`] with MAC accept/open decisions tallied into
+    /// `mac` (plain locals — the caller batches chunks of bodies and
+    /// flushes once, keeping atomics off the per-node hot path).
+    pub(crate) fn accel_at_counted(
+        &self,
+        p: Vec3,
+        exclude: Option<u32>,
+        positions: &[Vec3],
+        masses: &[f64],
+        params: &ForceParams,
+        mac: &mut MacCounts,
+    ) -> Vec3 {
         let mut acc = Vec3::ZERO;
         if self.n_bodies() == 0 {
             return acc;
@@ -96,10 +134,13 @@ impl Octree {
         let eps2 = params.softening * params.softening;
         // Resolve the quadrupole source once, outside the traversal loop.
         let quads = if params.use_quadrupole { self.node_quad.as_ref() } else { None };
+        // Tally MAC decisions in plain locals (registers) for the whole
+        // walk; fold into `mac` once at exit.
+        let (mut accepts, mut opens) = (0u64, 0u64);
 
         let mut i: u32 = 0;
         let mut width = self.root_edge();
-        loop {
+        let acc = loop {
             let mut descend = false;
             match self.slot(i) {
                 Slot::Node(c) => {
@@ -108,6 +149,7 @@ impl Octree {
                     let d2 = d.norm2();
                     if width * width < theta2 * d2 {
                         // Far node: accept the multipole approximation.
+                        accepts += 1;
                         let quad = quads.map(|q| {
                             std::array::from_fn(|k| q[k][i as usize].load(Ordering::Relaxed))
                         });
@@ -115,6 +157,7 @@ impl Octree {
                             multipole_accel(d, self.node_mass_of(i), quad.as_ref(), params.g, eps2);
                     } else {
                         // Too close: forward step into the first child.
+                        opens += 1;
                         i = c;
                         width *= 0.5;
                         descend = true;
@@ -141,9 +184,11 @@ impl Octree {
                 continue;
             }
             // Backward step: next sibling, or climb until one exists.
+            let mut done = false;
             loop {
                 if i == 0 {
-                    return acc;
+                    done = true;
+                    break;
                 }
                 if tags::sibling_rank(i) != tags::CHILDREN - 1 {
                     i += 1;
@@ -152,7 +197,13 @@ impl Octree {
                 i = self.parent_of(i);
                 width *= 2.0;
             }
-        }
+            if done {
+                break acc;
+            }
+        };
+        mac.accepts += accepts;
+        mac.opens += opens;
+        acc
     }
 }
 

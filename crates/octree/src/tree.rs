@@ -4,6 +4,7 @@
 use crate::tags::{self, Slot, CHILDREN, EMPTY, FIRST_GROUP, LOCKED};
 use nbody_math::{Aabb, AtomicF64, Vec3};
 pub use nbody_resilience::BuildError;
+use nbody_telemetry::record;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use stdpar::prelude::*;
 
@@ -297,11 +298,13 @@ impl Octree {
                 });
             }
             if !ctl.overflow.load(Ordering::Relaxed) {
-                return Ok(BuildStats {
-                    allocated_nodes: self.allocated_nodes(),
-                    bodies: n,
-                    retries,
-                });
+                let allocated_nodes = self.allocated_nodes();
+                record!(counter OCTREE_BUILDS, 1);
+                if retries > 0 {
+                    record!(counter OCTREE_BUILD_RETRIES, retries as u64);
+                }
+                record!(gauge OCTREE_POOL_HIGH_WATER, allocated_nodes as u64);
+                return Ok(BuildStats { allocated_nodes, bodies: n, retries });
             }
             if self.alloc_limit != u32::MAX {
                 // Injected exhaustion: report rather than grow, and disarm so
@@ -316,8 +319,31 @@ impl Octree {
         }
     }
 
-    /// Insert one body (the per-element lambda of Algorithm 4).
+    /// Insert one body (the per-element lambda of Algorithm 4). Contention
+    /// telemetry (lock-bit spins, lost CASes) tallies in locals inside
+    /// [`Octree::insert_inner`] and flushes here, once per body and only
+    /// when contention actually happened — an uncontended insert performs
+    /// zero extra atomic operations.
     fn insert(&self, b: u32, positions: &[Vec3], ctl: &InsertCtl) {
+        let mut spins_total = 0u64;
+        let mut cas_retries = 0u64;
+        self.insert_inner(b, positions, ctl, &mut spins_total, &mut cas_retries);
+        if spins_total > 0 {
+            record!(counter OCTREE_SPIN_ITERS, spins_total);
+        }
+        if cas_retries > 0 {
+            record!(counter OCTREE_LOCK_CAS_RETRIES, cas_retries);
+        }
+    }
+
+    fn insert_inner(
+        &self,
+        b: u32,
+        positions: &[Vec3],
+        ctl: &InsertCtl,
+        spins_total: &mut u64,
+        cas_retries: &mut u64,
+    ) {
         let p = positions[b as usize];
         let mut i = 0u32;
         let mut center = self.root_center;
@@ -353,6 +379,7 @@ impl Octree {
                         return;
                     }
                     // Lost the race; re-examine the slot.
+                    *cas_retries += 1;
                 }
                 Slot::Locked => {
                     // Another thread is sub-dividing: wait (starvation-free —
@@ -360,6 +387,7 @@ impl Octree {
                     // bound). The wait is budgeted: a holder that never
                     // publishes would otherwise livelock the whole build.
                     spins += 1;
+                    *spins_total += 1;
                     if spins > self.spin_budget {
                         ctl.max_spins.fetch_max(spins, Ordering::Relaxed);
                         ctl.spin_exhausted.store(true, Ordering::Relaxed);
@@ -379,6 +407,7 @@ impl Octree {
                         .compare_exchange_weak(tag, LOCKED, Ordering::Acquire, Ordering::Relaxed)
                         .is_err()
                     {
+                        *cas_retries += 1;
                         continue;
                     }
                     // --- critical section ---

@@ -11,8 +11,22 @@ use crate::timing::{timed_counted, StepTimings};
 use crate::workspace::SimWorkspace;
 use nbody_math::gravity::ForceEval;
 use nbody_math::Vec3;
+use nbody_telemetry::record;
 use stdpar::policy::DynPolicy;
 use stdpar::prelude::*;
+
+/// Mirror one step's phase timings into the global telemetry counters
+/// (seven relaxed adds per step; recording never allocates, so the
+/// zero-steady-state-allocation invariant is unaffected).
+pub(crate) fn record_step_telemetry(timings: &StepTimings) {
+    record!(counter SIM_STEPS, 1);
+    record!(counter SIM_BBOX_NANOS, timings.bbox.as_nanos() as u64);
+    record!(counter SIM_SORT_NANOS, timings.sort.as_nanos() as u64);
+    record!(counter SIM_BUILD_NANOS, timings.build.as_nanos() as u64);
+    record!(counter SIM_MULTIPOLE_NANOS, timings.multipole.as_nanos() as u64);
+    record!(counter SIM_FORCE_NANOS, timings.force.as_nanos() as u64);
+    record!(counter SIM_UPDATE_NANOS, timings.update.as_nanos() as u64);
+}
 
 /// Time integration scheme.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -204,6 +218,7 @@ impl Simulation {
         self.time += self.opts.dt;
         self.steps_done += 1;
         self.last_timings = timings;
+        record_step_telemetry(&timings);
         timings
     }
 

@@ -24,7 +24,31 @@ use crate::timing::StepTimings;
 use crate::workspace::SimWorkspace;
 use nbody_math::Vec3;
 use nbody_resilience::{BuildError, FaultInjector, FaultKind, RecoveryCounters};
+use nbody_telemetry::record;
 use stdpar::policy::DynPolicy;
+
+/// Mirror a [`RecoveryCounters`] delta into the global telemetry counters,
+/// so snapshots re-export the recovery story without `nbody-resilience`
+/// depending on the telemetry crate. Computing the delta from the solver's
+/// own counters (rather than double-recording at each site) keeps the two
+/// tallies in lock-step by construction.
+fn record_recovery_delta(before: &RecoveryCounters, after: &RecoveryCounters) {
+    use nbody_telemetry::metrics as m;
+    let pairs = [
+        (&m::RESILIENT_BUILD_RETRIES, after.build_retries - before.build_retries),
+        (&m::RESILIENT_FALLBACKS, after.fallbacks - before.fallbacks),
+        (&m::RESILIENT_INVALID_STATES, after.invalid_states - before.invalid_states),
+        (&m::RESILIENT_NONFINITE_ACCELS, after.nonfinite_accels - before.nonfinite_accels),
+        (&m::RESILIENT_SPIN_EXHAUSTIONS, after.spin_exhaustions - before.spin_exhaustions),
+        (&m::RESILIENT_POOL_EXHAUSTIONS, after.pool_exhaustions - before.pool_exhaustions),
+        (&m::RESILIENT_SLOW_WORKERS, after.slow_workers - before.slow_workers),
+    ];
+    for (counter, delta) in pairs {
+        if delta > 0 {
+            counter.add(delta);
+        }
+    }
+}
 
 /// A step-level failure: either the acceleration structure could not be
 /// built, or the physics it produced is unusable.
@@ -211,6 +235,7 @@ impl ForceSolver for ResilientSolver {
     ) -> Result<StepTimings, ComputeError> {
         let step = self.step;
         self.step += 1;
+        let counters_at_entry = self.counters;
         let faults =
             self.injector.as_ref().map(|i| i.faults_at(step)).unwrap_or_default();
         if faults.contains(&FaultKind::SlowWorker) {
@@ -272,6 +297,9 @@ impl ForceSolver for ResilientSolver {
                             self.counters.build_retries += u64::from(attempt > 0);
                         }
                         self.last_level = level;
+                        record!(counter RESILIENT_STEPS, 1);
+                        record!(hist RESILIENT_FALLBACK_LEVEL, level as u64);
+                        record_recovery_delta(&counters_at_entry, &self.counters);
                         return Ok(t);
                     }
                     Err(e) => {
@@ -286,6 +314,7 @@ impl ForceSolver for ResilientSolver {
                 self.counters.fallbacks += 1;
             }
         }
+        record_recovery_delta(&counters_at_entry, &self.counters);
         Err(last_err.unwrap_or_else(|| {
             ComputeError::InvariantViolation("no usable solver in the fallback chain".into())
         }))

@@ -123,12 +123,15 @@ pub fn timed<R>(slot: &mut Duration, f: impl FnOnce() -> R) -> R {
 /// installed). The count is process-wide, so concurrent allocations on
 /// other application threads would be attributed here too — the phases of
 /// a step run on the calling thread (workers it spawns are part of the
-/// phase), so in practice the delta is the phase's own.
+/// phase), so in practice the delta is the phase's own. The delta
+/// saturates at zero: if `stdpar::alloc_stats::reset_allocation_count`
+/// runs during the closure the second read is smaller than the first, and
+/// a plain subtraction would wrap to a near-`u64::MAX` phantom count.
 #[inline]
 pub fn timed_counted<R>(slot: &mut Duration, allocs: &mut u64, f: impl FnOnce() -> R) -> R {
     let before = allocation_count();
     let r = timed(slot, f);
-    *allocs += allocation_count() - before;
+    *allocs += allocation_count().saturating_sub(before);
     r
 }
 
@@ -200,5 +203,26 @@ mod tests {
         let before = allocs;
         timed_counted(&mut slot, &mut allocs, || ());
         assert_eq!(allocs, before, "empty closure must add zero allocations");
+
+        // Regression: a counter reset *inside* the timed window used to
+        // wrap the delta to near u64::MAX (allocation_count() went
+        // backwards and the subtraction underflowed). One test fn owns all
+        // counter mutation — the counter is process-wide and the harness
+        // runs tests concurrently. `CountingAlloc` counts even when not
+        // installed as the global allocator, which lets us move the
+        // counter off zero without depending on the test binary's
+        // allocator configuration.
+        use std::alloc::GlobalAlloc;
+        use stdpar::alloc_stats::{reset_allocation_count, CountingAlloc};
+        let layout = std::alloc::Layout::from_size_align(64, 8).unwrap();
+        unsafe {
+            let p = CountingAlloc.alloc(layout);
+            assert!(!p.is_null());
+            CountingAlloc.dealloc(p, layout);
+        }
+        assert!(allocation_count() > 0);
+        let mut allocs = 0u64;
+        timed_counted(&mut slot, &mut allocs, reset_allocation_count);
+        assert_eq!(allocs, 0, "reset during the window must saturate, not wrap");
     }
 }

@@ -32,10 +32,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Number of allocation events observed so far (0 unless [`CountingAlloc`]
-/// is installed as the global allocator).
+/// is installed as the global allocator). Monotonic between calls to
+/// [`reset_allocation_count`].
 #[inline]
 pub fn allocation_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Zero the allocation-event counter, e.g. to scope a measurement window in
+/// a test harness. Code computing deltas of [`allocation_count`] must use
+/// `saturating_sub`: a reset between two reads makes the second read
+/// smaller than the first.
+pub fn reset_allocation_count() {
+    ALLOCATIONS.store(0, Ordering::Relaxed);
 }
 
 /// A `System`-backed global allocator that counts allocation events.

@@ -27,12 +27,14 @@
 //! double panic and replace the payload with a generic "a scoped thread
 //! panicked" message.
 
+use nbody_telemetry::{self as telemetry, record};
 use std::any::Any;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Which parallel substrate executes `Par`/`ParUnseq` algorithms.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,22 +72,44 @@ pub fn current_backend() -> Backend {
     }
 }
 
-/// Run `f` under backend `b`, restoring the previous backend afterwards.
+/// Run `f` under backend `b`, restoring the previous backend afterwards —
+/// including when `f` panics (the restore runs from a drop guard during
+/// unwinding, so a panicking benchmark iteration cannot leak its backend
+/// override into every subsequent test or run in the process).
 ///
 /// Not re-entrant across concurrently running harnesses (the setting is
 /// process-global); benchmark drivers call it from a single thread.
 pub fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
-    let prev = current_backend();
+    struct Restore(Backend);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_backend(self.0);
+        }
+    }
+    let _restore = Restore(current_backend());
     set_backend(b);
-    let r = f();
-    set_backend(prev);
-    r
+    f()
 }
 
 /// Override the worker count used by both backends
 /// (`0` = use [`hardware_parallelism`]).
 pub fn set_threads(n: usize) {
     THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Run `f` with the worker-count override set to `n`, restoring the
+/// previous override afterwards — including when `f` panics, via the same
+/// drop-guard pattern as [`with_backend`].
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_threads(self.0);
+        }
+    }
+    let _restore = Restore(THREADS.load(Ordering::Relaxed));
+    set_threads(n);
+    f()
 }
 
 /// Number of hardware threads. Cached after the first query:
@@ -151,6 +175,7 @@ impl PanicCell {
     /// boundary. Only the first captured payload is kept.
     pub(crate) fn run(&self, f: impl FnOnce()) {
         if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+            record!(counter STDPAR_PANICS_RECOVERED, 1);
             let mut slot = self.payload.lock().unwrap_or_else(|e| e.into_inner());
             if slot.is_none() {
                 *slot = Some(p);
@@ -185,6 +210,12 @@ pub fn scoped_chunks(range: Range<usize>, f: impl Fn(usize, Range<usize>) + Sync
         return;
     }
     let parts = thread_count().min(n);
+    // Telemetry is a handful of relaxed RMWs per *region* (never per
+    // element) plus one clock read per worker, flushed after the chunk.
+    record!(counter STDPAR_PAR_REGIONS, 1);
+    record!(counter STDPAR_CHUNKS_CLAIMED, parts as u64);
+    record!(gauge STDPAR_WORKERS_HIGH_WATER, parts as u64);
+    record!(hist STDPAR_GRAIN_SIZES, (n / parts) as u64);
     if parts <= 1 {
         // Single worker: run inline, touching no allocator (the steady-state
         // invariant relies on this path when the worker count is pinned to 1).
@@ -197,7 +228,13 @@ pub fn scoped_chunks(range: Range<usize>, f: impl Fn(usize, Range<usize>) + Sync
             let c = chunk_of(&range, parts, i);
             let f = &f;
             let panics = &panics;
-            s.spawn(move || panics.run(|| f(i, c)));
+            s.spawn(move || {
+                let t0 = telemetry::ENABLED.then(Instant::now);
+                panics.run(|| f(i, c));
+                if let Some(t0) = t0 {
+                    record!(worker WORKER_BUSY_NANOS, i, t0.elapsed().as_nanos() as u64);
+                }
+            });
         }
     });
     panics.rethrow();
@@ -229,13 +266,19 @@ pub fn dynamic_chunks_worker(
     }
     let grain = grain.max(1);
     let workers = thread_count().min(n.div_ceil(grain));
+    record!(counter STDPAR_PAR_REGIONS, 1);
+    record!(gauge STDPAR_WORKERS_HIGH_WATER, workers.max(1) as u64);
+    record!(hist STDPAR_GRAIN_SIZES, grain.min(n) as u64);
     if workers <= 1 {
+        let mut claimed: u64 = 0;
         let mut s = range.start;
         while s < range.end {
             let e = (s + grain).min(range.end);
+            claimed += 1;
             f(0, s..e);
             s = e;
         }
+        record!(counter STDPAR_CHUNKS_CLAIMED, claimed);
         return;
     }
     let cursor = AtomicUsize::new(range.start);
@@ -246,16 +289,29 @@ pub fn dynamic_chunks_worker(
             let cursor = &cursor;
             let panics = &panics;
             let end = range.end;
-            s.spawn(move || loop {
-                if panics.poisoned() {
-                    return;
+            s.spawn(move || {
+                // Claims tally locally and flush once at worker exit so the
+                // shared counter sees one RMW per worker, not per chunk.
+                let t0 = telemetry::ENABLED.then(Instant::now);
+                let mut claimed: u64 = 0;
+                loop {
+                    if panics.poisoned() {
+                        break;
+                    }
+                    let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if start >= end {
+                        break;
+                    }
+                    claimed += 1;
+                    let stop = (start + grain).min(end);
+                    panics.run(|| f(w, start..stop));
                 }
-                let start = cursor.fetch_add(grain, Ordering::Relaxed);
-                if start >= end {
-                    return;
+                if claimed > 0 {
+                    record!(counter STDPAR_CHUNKS_CLAIMED, claimed);
                 }
-                let stop = (start + grain).min(end);
-                panics.run(|| f(w, start..stop));
+                if let Some(t0) = t0 {
+                    record!(worker WORKER_BUSY_NANOS, w, t0.elapsed().as_nanos() as u64);
+                }
             });
         }
     });
@@ -299,6 +355,24 @@ mod tests {
         });
         assert_eq!(current_backend(), prev);
     }
+
+    #[test]
+    fn with_backend_restores_after_panicking_closure() {
+        // Regression: the pre-guard implementation set the backend back
+        // only on the normal return path, so a panicking closure leaked
+        // its override into every later parallel region in the process.
+        let prev = current_backend();
+        let other = match prev {
+            Backend::Dynamic => Backend::Threads,
+            Backend::Threads => Backend::Dynamic,
+        };
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            with_backend(other, || -> () { panic!("scoped closure failed") })
+        }));
+        assert!(err.is_err());
+        assert_eq!(current_backend(), prev, "panic leaked the backend override");
+    }
+
 
     #[test]
     fn split_range_covers_exactly() {
@@ -419,10 +493,24 @@ mod tests {
 
     #[test]
     fn thread_count_override() {
+        // One test owns every THREADS mutation: the override is process
+        // global and the test harness runs tests concurrently.
         set_threads(3);
         assert_eq!(thread_count(), 3);
         set_threads(0);
         assert_eq!(thread_count(), hardware_parallelism());
+
+        with_threads(5, || assert_eq!(thread_count(), 5));
+        assert_eq!(THREADS.load(Ordering::Relaxed), 0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(7, || -> () { panic!("scoped closure failed") })
+        }));
+        assert!(err.is_err());
+        assert_eq!(
+            THREADS.load(Ordering::Relaxed),
+            0,
+            "panic leaked the thread-count override"
+        );
     }
 
     #[test]

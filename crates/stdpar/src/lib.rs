@@ -63,7 +63,9 @@ pub mod sync_slice;
 
 pub mod prelude {
     pub use crate::alloc_stats::allocation_count;
-    pub use crate::backend::{set_backend, set_threads, with_backend, Backend};
+    pub use crate::backend::{
+        set_backend, set_threads, with_backend, with_threads, Backend,
+    };
     pub use crate::elementwise::{copy, fill, generate, transform};
     pub use crate::foreach::{for_each, for_each_chunk, for_each_chunk_worker, for_each_index};
     pub use crate::policy::{ExecutionPolicy, Par, ParUnseq, ParallelForwardProgress, Seq};

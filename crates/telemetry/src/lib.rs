@@ -1,0 +1,417 @@
+//! # nbody-telemetry — step-level observability for the stdpar-nbody stack
+//!
+//! The paper's evaluation is a *phase-level breakdown* (Figs. 8–9): which
+//! phase costs what, under which toolchain, and why. Wall-clock slots
+//! ([`StepTimings`](../nbody_sim/timing) in `nbody-sim`) answer the first
+//! question only. This crate answers the rest with a fixed inventory of
+//! process-global metrics — scheduler load balance, lock-bit spin retries,
+//! MAC accept/reject ratios, interaction-list shapes, fallback events —
+//! recorded from the hot paths at a cost of a handful of relaxed atomic
+//! RMWs per *parallel region or body group* (never per element).
+//!
+//! ## Zero-steady-state-allocation by construction
+//!
+//! Every metric is a `static` of fixed capacity: counters and gauges are
+//! one padded `AtomicU64`, histograms are 64 log2 buckets, the per-worker
+//! busy-time table has [`MAX_WORKERS`] slots (indices beyond it clamp to
+//! the last slot). Recording therefore never touches the heap, so the
+//! `alloc-stats` regression gate passes with telemetry enabled. Only
+//! [`MetricsSnapshot::capture`] and [`MetricsSnapshot::to_json`] allocate,
+//! and they run outside the steady-state step path.
+//!
+//! ## Feature gating
+//!
+//! The `capture` feature compiles the recording paths; [`ENABLED`] reflects
+//! it. With the feature off every recording method is an empty inline
+//! function and instrumented code must use `if telemetry::ENABLED { ... }`
+//! around any *measurement* work (e.g. `Instant::now()` for busy time) so
+//! the telemetry-off build pays literally nothing. The gate lives here, in
+//! this crate's methods, **not** in the [`record!`] macro expansion —
+//! a `#[cfg(feature = "capture")]` inside a `macro_rules!` body would be
+//! resolved against the consuming crate's feature set, which is the wrong
+//! crate.
+//!
+//! ## Usage
+//!
+//! ```
+//! use nbody_telemetry as telemetry;
+//! use telemetry::record;
+//!
+//! record!(counter OCTREE_BUILDS, 1);
+//! record!(hist STDPAR_GRAIN_SIZES, 4096);
+//! let snap = telemetry::MetricsSnapshot::capture();
+//! if telemetry::ENABLED {
+//!     assert!(snap.counter("octree_builds").unwrap() >= 1);
+//! }
+//! telemetry::json::validate_snapshot(&snap.to_json()).unwrap();
+//! ```
+
+pub mod json;
+pub mod metrics;
+mod snapshot;
+
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// True when the `capture` feature is compiled in. Instrumented code
+/// branches on this const (the compiler removes the dead arm) before doing
+/// measurement work such as reading a clock.
+pub const ENABLED: bool = cfg!(feature = "capture");
+
+/// Fixed capacity of the per-worker table; worker indices at or beyond it
+/// share the last slot (hardware with more threads loses per-worker
+/// attribution, never memory safety or data).
+pub const MAX_WORKERS: usize = 64;
+
+/// Number of log2 buckets per histogram (values ≥ 2^62 clamp to the top).
+pub const HIST_BUCKETS: usize = 64;
+
+#[allow(clippy::declare_interior_mutable_const)] // array-init seed, never borrowed
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+/// A monotonically increasing event counter.
+///
+/// Padded to its own cache line so two hot counters never false-share.
+#[repr(align(64))]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter { v: ZERO }
+    }
+
+    /// Add `n` events (relaxed; no-op without the `capture` feature).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if ENABLED {
+            self.v.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A monotonic high-water-mark gauge: [`Gauge::record`] keeps the maximum
+/// of everything observed since the last reset.
+#[repr(align(64))]
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge { v: ZERO }
+    }
+
+    /// Raise the high-water mark to at least `v`.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if ENABLED {
+            self.v.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.v.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A log2-bucketed histogram of non-negative integer samples.
+///
+/// Bucket `0` holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`; values too large for the table clamp into the last
+/// bucket. The sum of samples is tracked alongside so snapshots can report
+/// a mean without per-sample storage.
+#[repr(align(64))]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// Bucket index of sample `v`: 0 for 0, else `floor(log2 v) + 1`, clamped.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the clamp bucket).
+pub fn bucket_limit(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Histogram { buckets: [ZERO; HIST_BUCKETS], sum: ZERO }
+    }
+
+    /// Record one sample (relaxed; no-op without the `capture` feature).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if ENABLED {
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Bucket contents, lowest bucket first.
+    pub fn buckets(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fixed-capacity per-worker accumulator (busy nanoseconds, etc.). Worker
+/// indices ≥ [`MAX_WORKERS`] clamp to the last slot.
+pub struct WorkerTable {
+    slots: [AtomicU64; MAX_WORKERS],
+}
+
+impl WorkerTable {
+    pub const fn new() -> Self {
+        WorkerTable { slots: [ZERO; MAX_WORKERS] }
+    }
+
+    /// Add `v` into worker `w`'s slot (relaxed; no-op without `capture`).
+    #[inline]
+    pub fn add(&self, w: usize, v: u64) {
+        if ENABLED {
+            self.slots[w.min(MAX_WORKERS - 1)].fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self, w: usize) -> u64 {
+        self.slots[w.min(MAX_WORKERS - 1)].load(Ordering::Relaxed)
+    }
+
+    /// All slot values, in worker order.
+    pub fn snapshot(&self) -> [u64; MAX_WORKERS] {
+        std::array::from_fn(|i| self.slots[i].load(Ordering::Relaxed))
+    }
+
+    pub fn reset(&self) {
+        for s in &self.slots {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for WorkerTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Local MAC accept/open tally for one traversal chunk or group: the hot
+/// loops bump plain `u64`s (free next to the float work) and flush to the
+/// shared counters **once** per chunk, keeping atomic traffic off the
+/// per-node path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MacCounts {
+    pub accepts: u64,
+    pub opens: u64,
+}
+
+impl MacCounts {
+    /// Flush the tallies into shared counters, skipping zero adds.
+    #[inline]
+    pub fn flush(&self, accepts: &Counter, opens: &Counter) {
+        if self.accepts > 0 {
+            accepts.add(self.accepts);
+        }
+        if self.opens > 0 {
+            opens.add(self.opens);
+        }
+    }
+}
+
+/// Record into a metric from the central inventory ([`metrics`]) by name:
+///
+/// ```
+/// use nbody_telemetry::record;
+/// record!(counter SIM_STEPS, 1);
+/// record!(gauge STDPAR_WORKERS_HIGH_WATER, 8);
+/// record!(hist STDPAR_GRAIN_SIZES, 1024);
+/// record!(worker WORKER_BUSY_NANOS, 0, 12_345);
+/// ```
+///
+/// Expands to a plain inline method call; the feature gate lives inside
+/// the method (see the crate docs for why it must not live here).
+#[macro_export]
+macro_rules! record {
+    (counter $name:ident, $v:expr) => {
+        $crate::metrics::$name.add($v)
+    };
+    (gauge $name:ident, $v:expr) => {
+        $crate::metrics::$name.record($v)
+    };
+    (hist $name:ident, $v:expr) => {
+        $crate::metrics::$name.record($v)
+    };
+    (worker $name:ident, $w:expr, $v:expr) => {
+        $crate::metrics::$name.add($w, $v)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_shaped() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        // Buckets partition: index is monotone non-decreasing in v.
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 7, 8, 1 << 20, 1 << 40, u64::MAX] {
+            let b = bucket_index(v);
+            assert!(b >= prev, "v={v}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "capture")]
+    fn counter_gauge_histogram_roundtrip() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.record(5);
+        g.record(3);
+        assert_eq!(g.get(), 5, "gauge keeps the high-water mark");
+        g.record(9);
+        assert_eq!(g.get(), 9);
+        g.reset();
+        assert_eq!(g.get(), 0);
+
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1007);
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // the 0 sample
+        assert_eq!(b[1], 2); // the two 1 samples
+        assert_eq!(b[bucket_index(5)], 1);
+        assert_eq!(b[bucket_index(1000)], 1);
+        h.reset();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    #[cfg(feature = "capture")]
+    fn worker_table_clamps_out_of_range_indices() {
+        let t = WorkerTable::new();
+        t.add(0, 10);
+        t.add(MAX_WORKERS + 100, 32); // must not panic: clamps to last slot
+        assert_eq!(t.get(0), 10);
+        assert_eq!(t.get(MAX_WORKERS - 1), 32);
+        assert_eq!(t.get(MAX_WORKERS + 5), 32, "reads clamp like writes");
+        t.reset();
+        assert_eq!(t.get(0), 0);
+    }
+
+    #[test]
+    #[cfg(feature = "capture")]
+    fn mac_counts_flush_skips_zeros() {
+        let a = Counter::new();
+        let o = Counter::new();
+        MacCounts::default().flush(&a, &o);
+        assert_eq!((a.get(), o.get()), (0, 0));
+        MacCounts { accepts: 2, opens: 0 }.flush(&a, &o);
+        assert_eq!((a.get(), o.get()), (2, 0));
+    }
+
+    #[test]
+    fn enabled_reflects_feature() {
+        assert_eq!(ENABLED, cfg!(feature = "capture"));
+    }
+
+    #[test]
+    fn concurrent_recording_is_race_free() {
+        let c = Counter::new();
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for v in 0..1000u64 {
+                        c.add(1);
+                        h.record(v % 17);
+                    }
+                });
+            }
+        });
+        if ENABLED {
+            assert_eq!(c.get(), 4000);
+            assert_eq!(h.count(), 4000);
+        } else {
+            assert_eq!(c.get(), 0);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Central metric inventory: every metric in the system is a `static`
+//! declared here, so snapshots enumerate a closed, deterministic set and
+//! recording sites refer to them by name through [`record!`](crate::record).
+//!
+//! Naming: statics are SCREAMING_SNAKE; the parallel string used in JSON
+//! snapshots is the same name in lower snake_case. The registry accessors
+//! ([`counters`], [`gauges`], [`histograms`]) return the metrics in a fixed
+//! order (executor → octree → bvh → sim → resilient) so emitted JSON is
+//! byte-stable across runs.
+
+use crate::{Counter, Gauge, Histogram, WorkerTable};
+
+// ---- stdpar executor -------------------------------------------------------
+
+/// Parallel regions entered (one per `scoped_chunks`/dynamic dispatch).
+pub static STDPAR_PAR_REGIONS: Counter = Counter::new();
+/// Chunks claimed across all workers (static chunking counts one per part).
+pub static STDPAR_CHUNKS_CLAIMED: Counter = Counter::new();
+/// Worker panics caught by [`PanicCell`](../stdpar/backend) and re-thrown
+/// on the caller thread after the region joined.
+pub static STDPAR_PANICS_RECOVERED: Counter = Counter::new();
+/// Most workers ever active in one region.
+pub static STDPAR_WORKERS_HIGH_WATER: Gauge = Gauge::new();
+/// Grain (chunk length) distribution across parallel regions.
+pub static STDPAR_GRAIN_SIZES: Histogram = Histogram::new();
+/// Per-worker busy nanoseconds inside parallel regions.
+pub static WORKER_BUSY_NANOS: WorkerTable = WorkerTable::new();
+
+// ---- octree ----------------------------------------------------------------
+
+/// Successful octree builds.
+pub static OCTREE_BUILDS: Counter = Counter::new();
+/// Whole-tree rebuild retries after pool exhaustion.
+pub static OCTREE_BUILD_RETRIES: Counter = Counter::new();
+/// Failed slot CAS attempts during concurrent insertion (Empty/Body arms).
+pub static OCTREE_LOCK_CAS_RETRIES: Counter = Counter::new();
+/// Bounded-spin iterations spent waiting on locked slots.
+pub static OCTREE_SPIN_ITERS: Counter = Counter::new();
+/// MAC tests that accepted a node as a multipole.
+pub static OCTREE_MAC_ACCEPTS: Counter = Counter::new();
+/// MAC tests that opened (descended into) a node.
+pub static OCTREE_MAC_OPENS: Counter = Counter::new();
+/// Node-pool high-water mark (allocated nodes after a successful build).
+pub static OCTREE_POOL_HIGH_WATER: Gauge = Gauge::new();
+/// Bodies per blocked-traversal interaction list.
+pub static OCTREE_LIST_BODIES: Histogram = Histogram::new();
+/// Multipole nodes per blocked-traversal interaction list.
+pub static OCTREE_LIST_NODES: Histogram = Histogram::new();
+
+// ---- bvh -------------------------------------------------------------------
+
+/// Successful BVH builds.
+pub static BVH_BUILDS: Counter = Counter::new();
+/// MAC tests that accepted a node as a multipole.
+pub static BVH_MAC_ACCEPTS: Counter = Counter::new();
+/// MAC tests that opened (descended into) a node.
+pub static BVH_MAC_OPENS: Counter = Counter::new();
+/// Node-count high-water mark across builds.
+pub static BVH_NODES_HIGH_WATER: Gauge = Gauge::new();
+/// Bodies per blocked-traversal interaction list.
+pub static BVH_LIST_BODIES: Histogram = Histogram::new();
+/// Multipole nodes per blocked-traversal interaction list.
+pub static BVH_LIST_NODES: Histogram = Histogram::new();
+
+// ---- simulation step -------------------------------------------------------
+
+/// Completed simulation steps.
+pub static SIM_STEPS: Counter = Counter::new();
+/// Cumulative nanoseconds per phase, mirroring `StepTimings`.
+pub static SIM_BBOX_NANOS: Counter = Counter::new();
+pub static SIM_SORT_NANOS: Counter = Counter::new();
+pub static SIM_BUILD_NANOS: Counter = Counter::new();
+pub static SIM_MULTIPOLE_NANOS: Counter = Counter::new();
+pub static SIM_FORCE_NANOS: Counter = Counter::new();
+pub static SIM_UPDATE_NANOS: Counter = Counter::new();
+
+// ---- resilient chain -------------------------------------------------------
+
+/// Steps completed through the resilient driver.
+pub static RESILIENT_STEPS: Counter = Counter::new();
+/// Mirrors of `RecoveryCounters` (kept in lock-step at the recording sites
+/// in `nbody-sim` so the snapshot re-exports them without a dependency
+/// from `nbody-resilience` on this crate).
+pub static RESILIENT_BUILD_RETRIES: Counter = Counter::new();
+pub static RESILIENT_FALLBACKS: Counter = Counter::new();
+pub static RESILIENT_INVALID_STATES: Counter = Counter::new();
+pub static RESILIENT_NONFINITE_ACCELS: Counter = Counter::new();
+pub static RESILIENT_SPIN_EXHAUSTIONS: Counter = Counter::new();
+pub static RESILIENT_POOL_EXHAUSTIONS: Counter = Counter::new();
+pub static RESILIENT_SLOW_WORKERS: Counter = Counter::new();
+/// Fallback-chain level that produced each step (0 = primary config).
+pub static RESILIENT_FALLBACK_LEVEL: Histogram = Histogram::new();
+
+/// Number of registered counters.
+pub const N_COUNTERS: usize = 27;
+/// Number of registered gauges.
+pub const N_GAUGES: usize = 3;
+/// Number of registered histograms.
+pub const N_HISTOGRAMS: usize = 6;
+
+/// All counters, in stable snapshot order.
+pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
+    [
+        ("stdpar_par_regions", &STDPAR_PAR_REGIONS),
+        ("stdpar_chunks_claimed", &STDPAR_CHUNKS_CLAIMED),
+        ("stdpar_panics_recovered", &STDPAR_PANICS_RECOVERED),
+        ("octree_builds", &OCTREE_BUILDS),
+        ("octree_build_retries", &OCTREE_BUILD_RETRIES),
+        ("octree_lock_cas_retries", &OCTREE_LOCK_CAS_RETRIES),
+        ("octree_spin_iters", &OCTREE_SPIN_ITERS),
+        ("octree_mac_accepts", &OCTREE_MAC_ACCEPTS),
+        ("octree_mac_opens", &OCTREE_MAC_OPENS),
+        ("bvh_builds", &BVH_BUILDS),
+        ("bvh_mac_accepts", &BVH_MAC_ACCEPTS),
+        ("bvh_mac_opens", &BVH_MAC_OPENS),
+        ("sim_steps", &SIM_STEPS),
+        ("sim_bbox_nanos", &SIM_BBOX_NANOS),
+        ("sim_sort_nanos", &SIM_SORT_NANOS),
+        ("sim_build_nanos", &SIM_BUILD_NANOS),
+        ("sim_multipole_nanos", &SIM_MULTIPOLE_NANOS),
+        ("sim_force_nanos", &SIM_FORCE_NANOS),
+        ("sim_update_nanos", &SIM_UPDATE_NANOS),
+        ("resilient_steps", &RESILIENT_STEPS),
+        ("resilient_build_retries", &RESILIENT_BUILD_RETRIES),
+        ("resilient_fallbacks", &RESILIENT_FALLBACKS),
+        ("resilient_invalid_states", &RESILIENT_INVALID_STATES),
+        ("resilient_nonfinite_accels", &RESILIENT_NONFINITE_ACCELS),
+        ("resilient_spin_exhaustions", &RESILIENT_SPIN_EXHAUSTIONS),
+        ("resilient_pool_exhaustions", &RESILIENT_POOL_EXHAUSTIONS),
+        ("resilient_slow_workers", &RESILIENT_SLOW_WORKERS),
+    ]
+}
+
+/// All gauges, in stable snapshot order.
+pub fn gauges() -> [(&'static str, &'static Gauge); N_GAUGES] {
+    [
+        ("stdpar_workers_high_water", &STDPAR_WORKERS_HIGH_WATER),
+        ("octree_pool_high_water", &OCTREE_POOL_HIGH_WATER),
+        ("bvh_nodes_high_water", &BVH_NODES_HIGH_WATER),
+    ]
+}
+
+/// All histograms, in stable snapshot order.
+pub fn histograms() -> [(&'static str, &'static Histogram); N_HISTOGRAMS] {
+    [
+        ("stdpar_grain_sizes", &STDPAR_GRAIN_SIZES),
+        ("octree_list_bodies", &OCTREE_LIST_BODIES),
+        ("octree_list_nodes", &OCTREE_LIST_NODES),
+        ("bvh_list_bodies", &BVH_LIST_BODIES),
+        ("bvh_list_nodes", &BVH_LIST_NODES),
+        ("resilient_fallback_level", &RESILIENT_FALLBACK_LEVEL),
+    ]
+}
+
+/// Zero every metric in the inventory. Call before a measurement window
+/// (e.g. at the start of a benchmark) so snapshots describe only that
+/// window. Not atomic as a whole: concurrent recorders may land either
+/// side of the sweep.
+pub fn reset() {
+    for (_, c) in counters() {
+        c.reset();
+    }
+    for (_, g) in gauges() {
+        g.reset();
+    }
+    for (_, h) in histograms() {
+        h.reset();
+    }
+    WORKER_BUSY_NANOS.reset();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_names_are_unique_snake_case() {
+        let mut seen = HashSet::new();
+        for name in counters()
+            .iter()
+            .map(|(n, _)| *n)
+            .chain(gauges().iter().map(|(n, _)| *n))
+            .chain(histograms().iter().map(|(n, _)| *n))
+        {
+            assert!(seen.insert(name), "duplicate metric name {name}");
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "non-snake-case metric name {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        OCTREE_BUILDS.add(3);
+        STDPAR_WORKERS_HIGH_WATER.record(7);
+        STDPAR_GRAIN_SIZES.record(128);
+        WORKER_BUSY_NANOS.add(1, 99);
+        reset();
+        assert_eq!(OCTREE_BUILDS.get(), 0);
+        assert_eq!(STDPAR_WORKERS_HIGH_WATER.get(), 0);
+        assert_eq!(STDPAR_GRAIN_SIZES.count(), 0);
+        assert_eq!(WORKER_BUSY_NANOS.get(1), 0);
+    }
+}

@@ -12,7 +12,8 @@ $B/validation --n=50000 --steps=24              > results/validation.txt 2>&1
 $B/fig6_small --n=30000 --steps=2               > results/fig6.txt 2>&1
 $B/fig7_mid --n=1000000 --steps=1               > results/fig7.txt 2>&1
 $B/theta_sweep --n=20000                        > results/theta_sweep.txt 2>&1
-$B/blocked_sweep --n=100000 --json=BENCH_blocked.json > results/blocked_sweep.txt 2>&1
+$B/blocked_sweep --n=100000 --json=BENCH_blocked.json --metrics=BENCH_metrics.json > results/blocked_sweep.txt 2>&1
+$B/metrics_check BENCH_metrics.json                  > results/metrics_check.txt 2>&1
 $B/tree_reuse --n=50000 --steps=16              > results/tree_reuse.txt 2>&1
 $B/curve_compare --n=100000                     > results/curve_compare.txt 2>&1
 echo ALL_DONE

@@ -14,7 +14,10 @@
 //! * [`octree`] — the Concurrent Octree strategy (paper §IV-A);
 //! * [`bvh`] — the Hilbert-sorted BVH strategy (paper §IV-B);
 //! * [`sim`] — workloads, integration loop, all-pairs baselines,
-//!   diagnostics (paper §III, §V).
+//!   diagnostics (paper §III, §V);
+//! * [`telemetry`] — zero-steady-state-allocation step-level metrics
+//!   (DESIGN.md § Observability), enabled by the default `telemetry`
+//!   feature.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@ pub use bh_quadtree as quadtree;
 pub use nbody_math as math;
 pub use nbody_resilience as resilience;
 pub use nbody_sim as sim;
+pub use nbody_telemetry as telemetry;
 pub use progress_sim as progress;
 pub use stdpar;
 

@@ -18,9 +18,14 @@
 //! With one worker every policy takes the inline path, which is the
 //! steady-state configuration the invariant covers; multi-worker runs
 //! allocate O(threads) per parallel region, never O(N).
+//!
+//! Telemetry stays ON here (default `telemetry` feature): metric recording
+//! is pure atomics, so the zero-allocation invariant must hold with the
+//! full instrumentation live — this test is the proof.
 #![cfg(feature = "alloc-stats")]
 
 use stdpar_nbody::prelude::*;
+use stdpar_nbody::telemetry::{self, metrics};
 use stdpar_nbody::sim::{ResilientConfig, ResilientSolver};
 use stdpar_nbody::stdpar::alloc_stats::{allocation_count, CountingAlloc};
 use stdpar_nbody::stdpar::backend::{set_threads, with_backend, Backend};
@@ -57,6 +62,14 @@ fn assert_steady_state_clean(mut sim: Simulation, ws: &mut SimWorkspace, label: 
 #[test]
 fn steady_state_steps_allocate_nothing() {
     set_threads(1);
+    // The zero-allocation gate must cover the instrumented pipeline, not a
+    // stripped one: telemetry is compiled in and actively recording below.
+    #[allow(clippy::assertions_on_constants)]
+    {
+        assert!(telemetry::ENABLED, "alloc gate must run with telemetry compiled in");
+    }
+    metrics::reset();
+    let sim_steps_before = metrics::SIM_STEPS.get();
     // dt = 0 keeps positions fixed so the tree (and the octree's
     // node-usage-dependent moment storage) is identical every rebuild;
     // the build/sort/traversal phases still run in full each step.
@@ -129,4 +142,14 @@ fn steady_state_steps_allocate_nothing() {
             assert_eq!(t.allocs.total(), 0, "owned-workspace phase counters: {:?}", t.allocs);
         });
     }
+
+    // Telemetry recorded throughout the zero-allocation sweep above, so
+    // every recording site exercised here is proven allocation-free.
+    assert!(
+        metrics::SIM_STEPS.get() > sim_steps_before,
+        "telemetry must have counted the steps of the sweep"
+    );
+    assert!(metrics::OCTREE_MAC_ACCEPTS.get() > 0, "octree MAC telemetry live during sweep");
+    assert!(metrics::BVH_MAC_ACCEPTS.get() > 0, "bvh MAC telemetry live during sweep");
+    assert!(metrics::OCTREE_LIST_BODIES.count() > 0, "blocked-list telemetry live during sweep");
 }

@@ -1,0 +1,106 @@
+//! Telemetry smoke test (DESIGN.md § Observability).
+//!
+//! Drives short simulations through `Simulation::step_into` with the
+//! default `telemetry` feature on and asserts that (a) the subsystem is
+//! compiled in, (b) the expected counters, gauges and histograms actually
+//! advance for both trees and both traversal modes, and (c) the emitted
+//! JSON snapshot round-trips through the schema validator.
+//!
+//! The metric registry is process-global, so everything runs inside ONE
+//! `#[test]` function — concurrent test threads would cross-pollute the
+//! deltas after a `reset()`.
+
+use stdpar_nbody::prelude::*;
+use stdpar_nbody::telemetry::{self, json::validate_snapshot, metrics, MetricsSnapshot};
+
+fn run_steps(kind: SolverKind, eval: ForceEval, steps: usize) {
+    let state = galaxy_collision(1_200, 99);
+    let opts = SimOptions { dt: 1e-3, softening: 1e-3, eval, ..SimOptions::default() };
+    let mut sim = Simulation::new(state, kind, opts).expect("default policy supported");
+    let mut ws = SimWorkspace::new();
+    for _ in 0..steps {
+        sim.step_into(&mut ws);
+    }
+}
+
+#[test]
+fn telemetry_records_and_snapshot_validates() {
+    // `ENABLED` is const, but the assert is the point: fail the suite (not
+    // the build) if the feature wiring ever stops forwarding `capture`.
+    #[allow(clippy::assertions_on_constants)]
+    {
+        assert!(
+            telemetry::ENABLED,
+            "root test builds must compile telemetry in (default `telemetry` feature)"
+        );
+    }
+    metrics::reset();
+
+    for kind in [SolverKind::Octree, SolverKind::Bvh] {
+        for eval in [ForceEval::PerBody, ForceEval::Blocked { group: 32 }] {
+            run_steps(kind, eval, 2);
+        }
+    }
+
+    // Step pipeline: 2 trees x 2 traversal modes x 2 steps.
+    assert_eq!(metrics::SIM_STEPS.get(), 8, "every step_into must count");
+    assert!(metrics::SIM_FORCE_NANOS.get() > 0, "force phase time must accumulate");
+    assert!(metrics::SIM_BUILD_NANOS.get() > 0, "build phase time must accumulate");
+
+    // Tree builds and their high-water gauges.
+    assert!(metrics::OCTREE_BUILDS.get() >= 4, "octree rebuilt each octree step");
+    assert!(metrics::BVH_BUILDS.get() >= 4, "bvh rebuilt each bvh step");
+    assert!(metrics::OCTREE_POOL_HIGH_WATER.get() > 0);
+    assert!(metrics::BVH_NODES_HIGH_WATER.get() > 0);
+
+    // MAC decisions fire in per-body AND blocked paths of both trees.
+    assert!(metrics::OCTREE_MAC_ACCEPTS.get() > 0);
+    assert!(metrics::OCTREE_MAC_OPENS.get() > 0);
+    assert!(metrics::BVH_MAC_ACCEPTS.get() > 0);
+    assert!(metrics::BVH_MAC_OPENS.get() > 0);
+
+    // Blocked traversal interaction-list histograms.
+    assert!(metrics::OCTREE_LIST_BODIES.count() > 0, "octree blocked groups recorded");
+    assert!(metrics::BVH_LIST_BODIES.count() > 0, "bvh blocked groups recorded");
+
+    // Executor counters: the default policy parallelises the force loop.
+    assert!(metrics::STDPAR_PAR_REGIONS.get() > 0);
+    assert!(metrics::STDPAR_CHUNKS_CLAIMED.get() > 0);
+    assert!(metrics::STDPAR_GRAIN_SIZES.count() > 0);
+    assert_eq!(metrics::STDPAR_PANICS_RECOVERED.get(), 0, "no panics in a clean run");
+
+    // Snapshot: named lookups agree with the live registry, and the JSON
+    // form passes the schema validator.
+    let snap = MetricsSnapshot::capture();
+    assert!(snap.enabled);
+    assert_eq!(snap.counter("sim_steps"), Some(metrics::SIM_STEPS.get()));
+    assert_eq!(
+        snap.gauge("octree_pool_high_water"),
+        Some(metrics::OCTREE_POOL_HIGH_WATER.get())
+    );
+    let json = snap.to_json();
+    let doc = validate_snapshot(&json).expect("snapshot JSON must satisfy its own schema");
+    let counters = doc.as_object().unwrap()["counters"].as_object().unwrap();
+    assert_eq!(counters.len(), metrics::N_COUNTERS);
+    assert_eq!(counters["sim_steps"].as_u64(), Some(8));
+
+    // Panic path: a worker panic inside a parallel region is caught,
+    // rethrown to the caller after the join, AND tallied. Force multiple
+    // workers so the spawned (PanicCell) path runs even on 1-CPU hosts —
+    // the inline single-worker path propagates panics directly by design.
+    let recovered_before = metrics::STDPAR_PANICS_RECOVERED.get();
+    let caught = std::panic::catch_unwind(|| {
+        stdpar_nbody::stdpar::backend::with_threads(4, || {
+            stdpar_nbody::stdpar::foreach::for_each_index(Par, 0..1_000, |i| {
+                if i == 617 {
+                    panic!("telemetry panic-path probe");
+                }
+            });
+        });
+    });
+    assert!(caught.is_err(), "worker panic must propagate to the caller");
+    assert!(
+        metrics::STDPAR_PANICS_RECOVERED.get() > recovered_before,
+        "recovered worker panic must be tallied"
+    );
+}
