@@ -25,7 +25,7 @@ use crate::build::Bvh;
 use nbody_math::gravity::ForceParams;
 use nbody_math::{Aabb, InteractionLists, ListsPool, Vec3};
 use nbody_telemetry::{metrics, record, MacCounts};
-use stdpar::backend::thread_count;
+use stdpar::backend::max_workers;
 use stdpar::prelude::*;
 
 impl Bvh {
@@ -48,7 +48,7 @@ impl Bvh {
         pool: &mut ListsPool,
     ) {
         let n = self.n_bodies();
-        pool.prepare(thread_count().max(1), params.use_quadrupole);
+        pool.prepare(max_workers(), params.use_quadrupole);
         let pool = &*pool;
         let out = SyncSlice::new(accel);
         let this = self;
@@ -61,7 +61,7 @@ impl Bvh {
             }
             // SAFETY: `w` is the executor's worker index — never observed
             // concurrently by two threads — and the pool was prepared for
-            // `thread_count()` workers above.
+            // `max_workers()` workers above.
             let lists: &mut InteractionLists = unsafe { pool.slot(w) };
             lists.clear();
             let mut mac = MacCounts::default();

@@ -26,7 +26,7 @@ use nbody_math::gravity::ForceParams;
 use nbody_math::{Aabb, InteractionLists, Vec3};
 use nbody_telemetry::{metrics, record, MacCounts};
 use std::sync::atomic::Ordering;
-use stdpar::backend::thread_count;
+use stdpar::backend::max_workers;
 use stdpar::prelude::*;
 
 impl Octree {
@@ -54,7 +54,7 @@ impl Octree {
         collect_bodies_into(self, &mut scratch.order, &mut scratch.stack);
         let order = &scratch.order[..];
         debug_assert_eq!(order.len(), self.n_bodies());
-        scratch.lists.prepare(thread_count().max(1), params.use_quadrupole);
+        scratch.lists.prepare(max_workers(), params.use_quadrupole);
         let pool = &scratch.lists;
         let out = SyncSlice::new(accel);
         let this = self;
@@ -67,7 +67,7 @@ impl Octree {
             }
             // SAFETY: `w` is the executor's worker index — never observed
             // concurrently by two threads — and the pool was prepared for
-            // `thread_count()` workers above.
+            // `max_workers()` workers above.
             let lists: &mut InteractionLists = unsafe { pool.slot(w) };
             lists.clear();
             let mut mac = MacCounts::default();

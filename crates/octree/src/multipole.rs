@@ -77,8 +77,12 @@ impl Octree {
                 if p == 0 {
                     return; // root complete
                 }
-                // This thread owns the completed parent: read its totals
-                // (the release sequence on the counter orders the reads).
+                // This thread owns the completed parent: read its totals.
+                // relaxed-ok (with load_com_raw/load_quad_raw below): every
+                // sibling's AcqRel increment joins the counter's release
+                // sequence, and this thread's own AcqRel increment read the
+                // final value — so all eight contributions happen-before
+                // these reads; the counter carries the ordering, not they.
                 m_cur = this.node_mass[p as usize].load(Ordering::Relaxed);
                 mx_cur = this.load_com_raw(p);
                 quad_cur = this.load_quad_raw(p);
@@ -93,12 +97,16 @@ impl Octree {
     /// [`Octree::compute_multipoles`]).
     #[inline]
     pub fn node_mass_of(&self, i: u32) -> f64 {
+        // relaxed-ok (also node_com_of/node_quad_of): read-only accessors
+        // called after `compute_multipoles` returned — the reduction
+        // region's join already ordered every moment write before them.
         self.node_mass[i as usize].load(Ordering::Relaxed)
     }
 
     /// Centre of mass of the subtree rooted at node `i`.
     #[inline]
     pub fn node_com_of(&self, i: u32) -> Vec3 {
+        // relaxed-ok: see node_mass_of — same post-join read-only accessor.
         Vec3::new(
             self.node_com[0][i as usize].load(Ordering::Relaxed),
             self.node_com[1][i as usize].load(Ordering::Relaxed),
@@ -110,6 +118,7 @@ impl Octree {
     /// zeros unless quadrupoles are enabled.
     #[inline]
     pub fn node_quad_of(&self, i: u32) -> [f64; 6] {
+        // relaxed-ok: see node_mass_of — same post-join read-only accessor.
         match &self.node_quad {
             Some(q) => std::array::from_fn(|k| q[k][i as usize].load(Ordering::Relaxed)),
             None => [0.0; 6],
@@ -139,6 +148,9 @@ impl Octree {
         (m, mx, quad)
     }
 
+    // relaxed-ok (whole method): node `i`'s slots are written only by its
+    // own leaf thread, and the subsequent AcqRel arrival increment on the
+    // parent publishes them to whichever sibling climbs.
     fn store_moment(&self, i: u32, m: f64, mx: Vec3, quad: [f64; 6]) {
         let i = i as usize;
         self.node_mass[i].store(m, Ordering::Relaxed);
@@ -152,6 +164,10 @@ impl Octree {
         }
     }
 
+    // relaxed-ok (whole method): the paper's "relaxed atomic add" — the
+    // fetch_adds are commutative and only their atomicity matters; the
+    // AcqRel arrival counter is what publishes the completed sums to the
+    // winning sibling.
     fn accumulate_moment(&self, p: u32, m: f64, mx: Vec3, quad: [f64; 6]) {
         let p = p as usize;
         self.node_mass[p].fetch_add(m, Ordering::Relaxed);
@@ -165,6 +181,8 @@ impl Octree {
         }
     }
 
+    // relaxed-ok (this and load_quad_raw): only called by the thread whose
+    // AcqRel arrival increment completed node `i` — see the climb loop.
     fn load_com_raw(&self, i: u32) -> Vec3 {
         let i = i as usize;
         Vec3::new(
@@ -175,6 +193,7 @@ impl Octree {
     }
 
     fn load_quad_raw(&self, i: u32) -> [f64; 6] {
+        // relaxed-ok: see load_com_raw — same completed-node read.
         match &self.node_quad {
             Some(q) => std::array::from_fn(|k| q[k][i as usize].load(Ordering::Relaxed)),
             None => [0.0; 6],
@@ -183,6 +202,9 @@ impl Octree {
 
     /// Convert raw sums (Σm·x, Σm·x·xᵀ) into centre of mass and *central*
     /// second moments. Pure element-wise pass.
+    // relaxed-ok (whole method): runs after the reduction region joined;
+    // each index is touched by exactly one closure invocation, so the
+    // atomics only paper over the shared `&self` — no cross-thread edges.
     fn finalize<P: ExecutionPolicy>(&self, policy: P, alloc: usize) {
         let this = self;
         for_each_index(policy, 0..alloc, |i| {
@@ -229,6 +251,9 @@ impl Octree {
             self.arrivals = a;
         }
         // Zero the active prefix in parallel.
+        // relaxed-ok (whole pass): initialization strictly before the
+        // reduction region; the region boundary (thread scope join / DetPar
+        // sequencing) orders these stores before any accumulate.
         let this = &*self;
         let has_quad = this.node_quad.is_some();
         for_each_index(policy, 0..alloc, |i| {

@@ -41,6 +41,14 @@ pub const DEFAULT_SPIN_BUDGET: u64 = 1 << 24;
 /// Shared control block threaded through the per-body insert lambdas of one
 /// build attempt: the first worker to observe a fatal condition flags it and
 /// every other worker bails out promptly.
+///
+/// Ordering protocol: both flags are **published with `Release` and read
+/// with `Acquire`**. Each flag is raised after writes the observer relies
+/// on — `spin_exhausted` after the `max_spins` diagnostic it reports,
+/// `overflow` after the leaf-restore store that un-wedges the tree — so an
+/// observed flag carries those writes with it. (Flag reads used to be
+/// `Relaxed`; that let an observer see `spin_exhausted` without the
+/// `max_spins` value behind it.)
 struct InsertCtl {
     /// A group allocation failed: grow the pool and restart the build.
     overflow: AtomicBool,
@@ -60,8 +68,10 @@ impl InsertCtl {
     }
 
     /// True once any worker flagged a condition that dooms this attempt.
+    /// `Acquire`: pairs with the `Release` flag stores, so a worker bailing
+    /// out also sees every write the flagger published before flagging.
     fn aborted(&self) -> bool {
-        self.overflow.load(Ordering::Relaxed) || self.spin_exhausted.load(Ordering::Relaxed)
+        self.overflow.load(Ordering::Acquire) || self.spin_exhausted.load(Ordering::Acquire)
     }
 }
 
@@ -98,6 +108,10 @@ pub struct Octree {
     inject_pool_exhaustion: bool,
     /// Allocator cap in effect for the current build (`u32::MAX` = none).
     alloc_limit: u32,
+    /// Install [`Octree::probe_build_invariants`] as a DetPar between-step
+    /// probe for the insert region of every build (see
+    /// [`Octree::set_step_probes`]).
+    step_probes: bool,
 }
 
 impl Default for Octree {
@@ -133,6 +147,7 @@ impl Octree {
             inject_stuck_lock: false,
             inject_pool_exhaustion: false,
             alloc_limit: u32::MAX,
+            step_probes: false,
         }
     }
 
@@ -165,6 +180,73 @@ impl Octree {
         self.inject_pool_exhaustion = true;
     }
 
+    /// Run [`Octree::probe_build_invariants`] between every scheduler step
+    /// of the insert region when building under
+    /// [`Backend::DetPar`](stdpar::backend::Backend): the probe panics the
+    /// moment a torn tag, an out-of-bump child group, or a backwards bump
+    /// pointer becomes observable, pinning a schedule-fuzz failure to the
+    /// exact step that exposed it. A no-op under the real backends (probes
+    /// only fire in the DetPar executor).
+    pub fn set_step_probes(&mut self, enable: bool) {
+        self.step_probes = enable;
+    }
+
+    /// Mid-build well-formedness check, designed to run between DetPar
+    /// scheduler steps (no insert is in flight at a step boundary, but the
+    /// tree may be arbitrarily partial). What must hold at *every* step
+    /// boundary:
+    ///
+    /// * every child tag below the bump pointer decodes to a value some
+    ///   insert actually stored — `Empty`, `Locked` (only under fault
+    ///   injection or mid-critical-section), `Body(b)` with `b` in range,
+    ///   or a group-aligned `Node` offset strictly after its parent. Any
+    ///   other pattern is a torn or corrupt child-pointer read;
+    /// * every *published* child group lies wholly below the bump pointer
+    ///   and its parent back-pointer names the publishing node;
+    /// * the bump pointer is group-aligned and never moves backwards:
+    ///   callers thread the previous return value in as `min_bump`
+    ///   (starting from 0) to assert monotonicity across probe calls.
+    ///
+    /// Returns the observed bump value. Panics on violation — DetPar probes
+    /// signal failure by panicking.
+    pub fn probe_build_invariants(&self, min_bump: u32) -> u32 {
+        let cap = self.child.len() as u32;
+        let bump = self.bump.load(Ordering::Acquire);
+        assert!(bump >= min_bump, "bump pointer moved backwards: {bump} < {min_bump}");
+        assert!(
+            bump >= FIRST_GROUP && (bump - FIRST_GROUP).is_multiple_of(CHILDREN),
+            "bump pointer {bump} not group-aligned"
+        );
+        let n = self.n_bodies as u32;
+        let limit = bump.min(cap);
+        for i in 0..limit {
+            let tag = self.child[i as usize].load(Ordering::Acquire);
+            match tags::decode(tag) {
+                Slot::Empty | Slot::Locked => {}
+                Slot::Body(b) => {
+                    assert!(b < n, "node {i}: body tag {b} out of range (n={n})");
+                }
+                Slot::Node(c) => {
+                    assert!(
+                        c >= FIRST_GROUP && (c - FIRST_GROUP).is_multiple_of(CHILDREN),
+                        "node {i}: torn child tag {tag:#x} (offset {c} not group-aligned)"
+                    );
+                    assert!(c > i, "node {i}: child group {c} not after its parent");
+                    assert!(
+                        c + CHILDREN <= limit,
+                        "node {i}: published child group {c} beyond bump {limit}"
+                    );
+                    // relaxed-ok: the back-pointer was written before the
+                    // Release publish of the child slot this probe just
+                    // Acquire-loaded the group through.
+                    let back = self.parent[tags::group_of(c) as usize].load(Ordering::Relaxed);
+                    assert!(back == i, "group {c}: parent back-pointer {back}, expected {i}");
+                }
+            }
+        }
+        bump
+    }
+
     /// Enable or disable quadrupole moments for subsequent
     /// `compute_multipoles` calls (the paper's "extends to multipoles"
     /// extension; monopole-only is the paper's evaluated configuration).
@@ -186,6 +268,9 @@ impl Octree {
     /// Number of node slots handed out by the bump allocator.
     #[inline]
     pub fn allocated_nodes(&self) -> u32 {
+        // relaxed-ok: a monotonic counter read for introspection; callers
+        // consume node data only after the build region joined (or through
+        // Acquire slot loads), never ordered by this load.
         self.bump.load(Ordering::Relaxed).min(self.child.len() as u32)
     }
 
@@ -216,6 +301,11 @@ impl Octree {
     /// Parent node index of node `i > 0`.
     #[inline]
     pub fn parent_of(&self, i: u32) -> u32 {
+        // relaxed-ok: the parent entry is written inside the critical
+        // section that precedes the group's Release publish, and readers
+        // only reach group `i` through an Acquire load of that published
+        // slot (or after the build joined) — the edge is on the child slot,
+        // not here.
         self.parent[tags::group_of(i) as usize].load(Ordering::Relaxed)
     }
 
@@ -284,20 +374,37 @@ impl Octree {
             let ctl = InsertCtl::new();
             let this = &*self;
             let c = &ctl;
-            for_each_index(policy, 0..n, |b| {
-                if !c.aborted() {
-                    this.insert(b as u32, positions, c);
-                }
-            });
+            let insert_region = || {
+                for_each_index(policy, 0..n, |b| {
+                    if !c.aborted() {
+                        this.insert(b as u32, positions, c);
+                    }
+                })
+            };
+            if self.step_probes {
+                // Between-step invariant probe (fires only under DetPar):
+                // the Cell threads bump monotonicity across probe calls.
+                let last_bump = std::cell::Cell::new(0u32);
+                stdpar::detpar::with_probe(
+                    || last_bump.set(this.probe_build_invariants(last_bump.get())),
+                    insert_region,
+                );
+            } else {
+                insert_region();
+            }
 
-            if ctl.spin_exhausted.load(Ordering::Relaxed) {
+            // Acquire pairs with the Release flag store: observing the flag
+            // guarantees the `max_spins` diagnostic behind it is visible.
+            if ctl.spin_exhausted.load(Ordering::Acquire) {
                 // Livelock: a bigger pool cannot help, so no retry here. The
                 // pool is left dirty (reset at the next build).
                 return Err(BuildError::SpinBudgetExhausted {
+                    // relaxed-ok: ordered after the flag by the Acquire load
+                    // above (and the parallel region has joined besides).
                     spins: ctl.max_spins.load(Ordering::Relaxed),
                 });
             }
-            if !ctl.overflow.load(Ordering::Relaxed) {
+            if !ctl.overflow.load(Ordering::Acquire) {
                 let allocated_nodes = self.allocated_nodes();
                 record!(counter OCTREE_BUILDS, 1);
                 if retries > 0 {
@@ -372,6 +479,8 @@ impl Octree {
                             tag,
                             tags::body_tag(b),
                             Ordering::AcqRel,
+                            // relaxed-ok: the failure value is discarded;
+                            // the retry re-reads the slot with Acquire.
                             Ordering::Relaxed,
                         )
                         .is_ok()
@@ -389,11 +498,15 @@ impl Octree {
                     spins += 1;
                     *spins_total += 1;
                     if spins > self.spin_budget {
+                        // relaxed-ok: the diagnostic payload; publication is
+                        // the Release store of the flag just below.
                         ctl.max_spins.fetch_max(spins, Ordering::Relaxed);
-                        ctl.spin_exhausted.store(true, Ordering::Relaxed);
+                        // Release: publishes `max_spins` to whoever observes
+                        // the flag (Acquire in `aborted` / the build loop).
+                        ctl.spin_exhausted.store(true, Ordering::Release);
                         return;
                     }
-                    if spins.is_multiple_of(64) && ctl.spin_exhausted.load(Ordering::Relaxed) {
+                    if spins.is_multiple_of(64) && ctl.spin_exhausted.load(Ordering::Acquire) {
                         // A peer already diagnosed the livelock; don't burn
                         // a full budget rediscovering it.
                         return;
@@ -403,6 +516,8 @@ impl Octree {
                 Slot::Body(b2) => {
                     spins = 0;
                     // Try to lock the leaf for sub-division (Algorithm 5).
+                    // relaxed-ok (failure ordering): the failure value is
+                    // discarded; the retry re-reads the slot with Acquire.
                     if self.child[i as usize]
                         .compare_exchange_weak(tag, LOCKED, Ordering::Acquire, Ordering::Relaxed)
                         .is_err()
@@ -415,6 +530,11 @@ impl Octree {
                     if depth >= MAX_DEPTH || p == p2 {
                         // Co-located (or resolution exhausted): chain `b`
                         // behind the resident body instead of sub-dividing.
+                        // relaxed-ok (all three chain ops): the chain is only
+                        // mutated under this leaf's lock, and the Release
+                        // store unlocking the leaf below publishes it;
+                        // readers reach the chain head via an Acquire load of
+                        // the leaf slot.
                         let next = self.next_colocated[b2 as usize].load(Ordering::Relaxed);
                         self.next_colocated[b as usize].store(next, Ordering::Relaxed);
                         self.next_colocated[b2 as usize].store(b, Ordering::Relaxed);
@@ -425,6 +545,11 @@ impl Octree {
                         Some(c) => {
                             // Move the resident body into its child, then
                             // publish the new children with a release store.
+                            // relaxed-ok (parent + child-slot init): both
+                            // writes are sequenced before the Release publish
+                            // of the parent slot, and no other thread can
+                            // name the fresh group until it observes that
+                            // publish with Acquire.
                             self.parent[tags::group_of(c) as usize].store(i, Ordering::Relaxed);
                             let oct2 = Aabb::octant_of(center, p2);
                             self.child[(c + oct2 as u32) as usize]
@@ -434,8 +559,11 @@ impl Octree {
                         }
                         None => {
                             // Pool exhausted: restore the leaf, flag, abort.
+                            // Release on the flag orders it after the leaf
+                            // restore — an observer of `overflow` never sees
+                            // the tree still wedged in the Locked state.
                             self.child[i as usize].store(tags::body_tag(b2), Ordering::Release);
-                            ctl.overflow.store(true, Ordering::Relaxed);
+                            ctl.overflow.store(true, Ordering::Release);
                             return;
                         }
                     }
@@ -448,6 +576,9 @@ impl Octree {
     /// Concurrent bump allocation of one sibling group (paper: "relaxed
     /// atomic add operations" on a pre-reserved pool).
     fn allocate_group(&self) -> Option<u32> {
+        // relaxed-ok: the RMW's atomicity alone makes claims disjoint; the
+        // group's contents are published by the parent slot's Release store,
+        // not by this counter (the paper's "relaxed atomic add").
         let c = self.bump.fetch_add(CHILDREN, Ordering::Relaxed);
         let cap = (self.child.len() as u32).min(self.alloc_limit);
         if c.saturating_add(CHILDREN) <= cap {
@@ -459,6 +590,8 @@ impl Octree {
 
     /// Zero the previously used region of the pool and reset the allocator.
     fn reset_slots(&mut self) {
+        // relaxed-ok (both bump ops): `&mut self` — no other thread exists
+        // for these to race with.
         let used = (self.bump.load(Ordering::Relaxed).min(self.child.len() as u32))
             .max(self.initialized);
         let used = used.min(self.child.len() as u32) as usize;
@@ -477,6 +610,7 @@ impl Octree {
         self.child = make_atomic_u32(nodes as usize, EMPTY);
         self.parent =
             make_atomic_u32((nodes as usize - FIRST_GROUP as usize) / CHILDREN as usize, 0);
+        // relaxed-ok: `&mut self`, single-threaded.
         self.bump.store(FIRST_GROUP, Ordering::Relaxed);
         self.initialized = 0;
         Ok(())
@@ -496,6 +630,9 @@ impl Iterator for ChainIter<'_> {
             return None;
         }
         let b = self.cur;
+        // relaxed-ok: chains were published by the Release store that
+        // unlocked their leaf; the iterator's caller reached the head via an
+        // Acquire slot load (`Octree::slot`) or after the build joined.
         self.cur = self.tree.next_colocated[b as usize].load(Ordering::Relaxed);
         Some(b)
     }
@@ -750,6 +887,68 @@ mod tests {
         t.set_spin_budget(DEFAULT_SPIN_BUDGET);
         let stats = t.build(Par, &pos, Aabb::from_points(&pos)).unwrap();
         assert_eq!(stats.bodies, 3000);
+    }
+
+    #[test]
+    fn step_probes_hold_under_detpar_schedules() {
+        // The mid-build probe must pass at every step boundary of every
+        // schedule mode — and the resulting trees must be byte-identical
+        // across modes (the build is deterministic given the insert order
+        // DetPar serializes).
+        let pos = random_points(700, 30);
+        let bounds = Aabb::from_points(&pos);
+        with_backend(Backend::DetPar, || {
+            for mode in ScheduleMode::ALL {
+                for seed in [0u64, 7] {
+                    with_schedule(seed, mode, || {
+                        let mut t = Octree::new();
+                        t.set_step_probes(true);
+                        t.build(Par, &pos, bounds).unwrap();
+                        crate::validate::TreeInvariants::check(&t, &pos).unwrap();
+                    });
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn ctl_flags_deterministic_under_adversarial_detpar() {
+        // Regression for the control-flag ordering fix: both abort flags
+        // must produce the same diagnosis on every adversarial schedule,
+        // with the publish edge (max_spins behind spin_exhausted, restored
+        // leaf behind overflow) intact at the deterministic failure point.
+        let pos = random_points(300, 31);
+        let bounds = Aabb::from_points(&pos);
+        with_backend(Backend::DetPar, || {
+            for seed in 0u64..4 {
+                with_schedule(seed, ScheduleMode::Adversarial, || {
+                    let mut t = Octree::new();
+                    t.set_step_probes(true);
+                    t.set_spin_budget(2000);
+                    t.inject_stuck_lock();
+                    match t.build(Par, &pos, bounds).unwrap_err() {
+                        BuildError::SpinBudgetExhausted { spins } => {
+                            assert_eq!(spins, 2001, "seed {seed}: max_spins not published");
+                        }
+                        other => panic!("seed {seed}: expected SpinBudgetExhausted, got {other:?}"),
+                    }
+
+                    let mut t = Octree::new();
+                    t.set_step_probes(true);
+                    t.inject_pool_exhaustion();
+                    let err = t.build(Par, &pos, bounds).unwrap_err();
+                    assert!(matches!(err, BuildError::PoolExhausted { .. }), "seed {seed}: {err:?}");
+                    // Overflow published after the leaf restore: no slot may
+                    // still be wedged Locked once the flag was observed.
+                    for i in 0..t.allocated_nodes() {
+                        assert_ne!(t.slot(i), Slot::Locked, "seed {seed}: node {i} wedged");
+                    }
+                    // And the recovery build must succeed cleanly.
+                    t.build(Par, &pos, bounds).unwrap();
+                    crate::validate::TreeInvariants::check(&t, &pos).unwrap();
+                });
+            }
+        });
     }
 
     #[test]

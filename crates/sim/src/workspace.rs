@@ -23,6 +23,7 @@
 
 use bh_bvh::BvhScratch;
 use bh_octree::TraversalScratch;
+use stdpar::scan::ScanScratch;
 
 /// Scratch arena threaded through sort, build, traversal and integration.
 /// `Default` construction allocates nothing.
@@ -32,11 +33,22 @@ pub struct SimWorkspace {
     pub(crate) bvh: BvhScratch,
     /// DFS order/stack buffers + blocked-traversal lists.
     pub(crate) octree: TraversalScratch,
+    /// Prefix-scan intermediates for offset computations (`usize` counts:
+    /// bucket offsets, compaction indices) run through
+    /// [`stdpar::scan::exclusive_scan_into`] by analysis passes that share
+    /// the simulation's arena.
+    scan: ScanScratch<usize>,
 }
 
 impl SimWorkspace {
     /// An empty workspace (no allocations until first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The shared prefix-scan scratch, for callers running offset scans
+    /// (`exclusive_scan_into` / `inclusive_scan_into`) against this arena.
+    pub fn scan_scratch(&mut self) -> &mut ScanScratch<usize> {
+        &mut self.scan
     }
 }

@@ -4,7 +4,7 @@
 //! (NVC++, AdaptiveCpp, GCC/TBB, Clang — Figs. 8 & 9) and finds small
 //! differences "attributed mainly in the sorting algorithm". To reproduce
 //! that axis on one machine, every parallel algorithm in this crate can run
-//! on either of two substrates:
+//! on any of three substrates:
 //!
 //! * [`Backend::Dynamic`] — a self-scheduling executor: workers claim
 //!   grain-sized chunks from a shared atomic cursor (dynamic load
@@ -12,7 +12,11 @@
 //!   scoped OS threads so the crate has no external dependencies;
 //! * [`Backend::Threads`] — plain scoped OS threads with static contiguous
 //!   chunking (like a static-schedule OpenMP runtime), including a
-//!   hand-rolled parallel merge sort.
+//!   hand-rolled parallel merge sort;
+//! * [`Backend::DetPar`] — a deterministic single-threaded schedule-replay
+//!   executor for correctness fuzzing ([`crate::detpar`]): every region
+//!   runs as an explicit seeded interleaving of chunk steps, so failures
+//!   reproduce byte-identically from a seed.
 //!
 //! The backend is a process-global setting (benchmarks sweep it between
 //! runs, not concurrently).
@@ -43,15 +47,23 @@ pub enum Backend {
     Dynamic,
     /// scoped OS threads with static chunking.
     Threads,
+    /// Deterministic single-threaded schedule replay (correctness tooling,
+    /// not a performance substrate — see [`crate::detpar`]).
+    DetPar,
 }
 
 impl Backend {
+    /// The *real* parallel substrates: what benchmarks sweep and what the
+    /// zero-allocation gate iterates. [`Backend::DetPar`] is deliberately
+    /// excluded — it is a single-threaded fuzzing harness that allocates
+    /// scheduler state per region; tests select it explicitly.
     pub const ALL: [Backend; 2] = [Backend::Dynamic, Backend::Threads];
 
     pub fn name(self) -> &'static str {
         match self {
             Backend::Dynamic => "dynamic",
             Backend::Threads => "threads",
+            Backend::DetPar => "detpar",
         }
     }
 }
@@ -61,13 +73,18 @@ static THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Select the global backend.
 pub fn set_backend(b: Backend) {
+    // relaxed-ok: a lone configuration flag — nothing is published through
+    // it; every executor produces correct results whichever value a racing
+    // region observes.
     BACKEND.store(b as u8, Ordering::Relaxed);
 }
 
 /// The currently selected backend.
 pub fn current_backend() -> Backend {
+    // relaxed-ok: see `set_backend` — pure mode selection, no publish edge.
     match BACKEND.load(Ordering::Relaxed) {
         0 => Backend::Dynamic,
+        2 => Backend::DetPar,
         _ => Backend::Threads,
     }
 }
@@ -94,6 +111,8 @@ pub fn with_backend<R>(b: Backend, f: impl FnOnce() -> R) -> R {
 /// Override the worker count used by both backends
 /// (`0` = use [`hardware_parallelism`]).
 pub fn set_threads(n: usize) {
+    // relaxed-ok: worker-count hint only; any observed value yields a
+    // correct (if differently-chunked) execution.
     THREADS.store(n, Ordering::Relaxed);
 }
 
@@ -107,6 +126,7 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
             set_threads(self.0);
         }
     }
+    // relaxed-ok: reads the same hint `set_threads` writes.
     let _restore = Restore(THREADS.load(Ordering::Relaxed));
     set_threads(n);
     f()
@@ -118,6 +138,8 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
 /// grain computations inside parallel regions.
 pub fn hardware_parallelism() -> usize {
     static CACHED: AtomicUsize = AtomicUsize::new(0);
+    // relaxed-ok: idempotent memoisation — racing initialisers compute the
+    // same value, and a stale 0 merely recomputes it.
     match CACHED.load(Ordering::Relaxed) {
         0 => {
             let n = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
@@ -128,8 +150,22 @@ pub fn hardware_parallelism() -> usize {
     }
 }
 
+/// Upper bound (exclusive) on the worker indices the *current* backend
+/// passes to worker-keyed callbacks ([`crate::foreach::for_each_chunk_worker`]).
+/// Size per-worker scratch (interaction-list pools, partial accumulators)
+/// with this, not with [`thread_count`]: the DetPar executor schedules
+/// *virtual* workers whose count is configured independently of the host
+/// CPUs.
+pub fn max_workers() -> usize {
+    match current_backend() {
+        Backend::Dynamic | Backend::Threads => thread_count().max(1),
+        Backend::DetPar => crate::detpar::virtual_workers(),
+    }
+}
+
 /// Worker count the backends will use.
 pub fn thread_count() -> usize {
+    // relaxed-ok: worker-count hint, see `set_threads`.
     match THREADS.load(Ordering::Relaxed) {
         0 => hardware_parallelism(),
         n => n,
@@ -298,6 +334,9 @@ pub fn dynamic_chunks_worker(
                     if panics.poisoned() {
                         break;
                     }
+                    // relaxed-ok: the RMW's atomicity alone makes claims
+                    // disjoint; chunk *data* is published by the thread
+                    // scope join, not by this counter.
                     let start = cursor.fetch_add(grain, Ordering::Relaxed);
                     if start >= end {
                         break;
@@ -364,7 +403,7 @@ mod tests {
         let prev = current_backend();
         let other = match prev {
             Backend::Dynamic => Backend::Threads,
-            Backend::Threads => Backend::Dynamic,
+            Backend::Threads | Backend::DetPar => Backend::Dynamic,
         };
         let err = catch_unwind(AssertUnwindSafe(|| {
             with_backend(other, || -> () { panic!("scoped closure failed") })

@@ -47,6 +47,14 @@ pub fn for_each_index<P: ExecutionPolicy>(
                 }
             });
         }
+        Backend::DetPar => {
+            let grain = if P::UNSEQUENCED { unseq_grain(range.len()) } else { par_grain(range.len()) };
+            crate::detpar::det_chunks_worker(range, grain, |_, r| {
+                for i in r {
+                    f(i);
+                }
+            });
+        }
     }
 }
 
@@ -85,6 +93,10 @@ pub fn for_each<P: ExecutionPolicy, T: Send>(
             dynamic_chunks(0..len, grain, touch);
         }
         Backend::Threads => scoped_chunks(0..len, move |_, r| touch(r)),
+        Backend::DetPar => {
+            let grain = if P::UNSEQUENCED { unseq_grain(len) } else { par_grain(len) };
+            crate::detpar::det_chunks_worker(0..len, grain, move |_, r| touch(r));
+        }
     }
 }
 
@@ -133,6 +145,7 @@ pub fn for_each_chunk_worker<P: ExecutionPolicy>(
                 }
             });
         }
+        Backend::DetPar => crate::detpar::det_chunks_worker(range, grain, f),
     }
 }
 

@@ -52,6 +52,7 @@
 
 pub mod alloc_stats;
 pub mod backend;
+pub mod detpar;
 pub mod elementwise;
 pub mod foreach;
 pub mod policy;
@@ -66,13 +67,18 @@ pub mod prelude {
     pub use crate::backend::{
         set_backend, set_threads, with_backend, with_threads, Backend,
     };
+    pub use crate::detpar::{
+        record_trace, replay_trace, set_schedule, with_probe, with_schedule, ScheduleMode,
+    };
     pub use crate::elementwise::{copy, fill, generate, transform};
     pub use crate::foreach::{for_each, for_each_chunk, for_each_chunk_worker, for_each_index};
     pub use crate::policy::{ExecutionPolicy, Par, ParUnseq, ParallelForwardProgress, Seq};
     pub use crate::reduce::{
         all_of, any_of, count_if, max_element, min_element, reduce, transform_reduce,
     };
-    pub use crate::scan::{exclusive_scan, inclusive_scan};
+    pub use crate::scan::{
+        exclusive_scan, exclusive_scan_into, inclusive_scan, inclusive_scan_into, ScanScratch,
+    };
     pub use crate::selection::{adjacent_difference, copy_if, iota_vec, partition_copy};
     pub use crate::sort::{
         apply_permutation, apply_permutation_into, sort_by_key, sort_by_key_with_scratch,

@@ -80,6 +80,11 @@ where
             }
             acc
         }
+        Backend::DetPar => {
+            let n = range.len();
+            let grain = if P::UNSEQUENCED { unseq_grain(n) } else { par_grain(n).max(256) };
+            crate::detpar::det_reduce(range, grain, identity, reduce_op, transform)
+        }
     }
 }
 

@@ -5,11 +5,39 @@
 //! (1) per-chunk partial reductions in parallel, (2) a short sequential
 //! scan over the chunk totals, (3) a parallel per-chunk re-scan seeded with
 //! the chunk offset. The operator must be associative.
+//!
+//! Two API layers:
+//!
+//! * [`exclusive_scan`] / [`inclusive_scan`] — convenience forms returning a
+//!   fresh `Vec` per call;
+//! * [`exclusive_scan_into`] / [`inclusive_scan_into`] — allocation-free on
+//!   warm buffers: the caller owns the output vector and a [`ScanScratch`]
+//!   (chunk totals + seeds), so steady-state callers (e.g. a simulation
+//!   loop drawing from `SimWorkspace`) never touch the heap. The `Vec`
+//!   forms delegate to the `_into` forms with throwaway scratch.
 
-use crate::backend::thread_count;
+use crate::backend::max_workers;
 use crate::foreach::for_each_index;
 use crate::policy::ExecutionPolicy;
 use crate::sync_slice::SyncSlice;
+
+/// Reusable intermediate buffers for the blocked parallel scan: per-chunk
+/// totals (phase 1) and per-chunk seed offsets (phase 2). Construction is
+/// allocation-free; buffers grow to the high-water chunk count on first use
+/// and are fully overwritten by every scan, so one scratch can serve scans
+/// of any size in any order.
+#[derive(Default)]
+pub struct ScanScratch<T> {
+    totals: Vec<Option<T>>,
+    seeds: Vec<T>,
+}
+
+impl<T> ScanScratch<T> {
+    /// An empty scratch (no allocations until first parallel scan).
+    pub fn new() -> Self {
+        Self { totals: Vec::new(), seeds: Vec::new() }
+    }
+}
 
 /// Exclusive prefix scan: `out[i] = init ⊕ in[0] ⊕ … ⊕ in[i-1]`.
 pub fn exclusive_scan<P, T>(
@@ -22,7 +50,9 @@ where
     P: ExecutionPolicy,
     T: Send + Sync + Copy,
 {
-    scan_impl(policy, input, init, op, false)
+    let mut out = Vec::new();
+    exclusive_scan_into(policy, input, init, op, &mut ScanScratch::new(), &mut out);
+    out
 }
 
 /// Inclusive prefix scan: `out[i] = init ⊕ in[0] ⊕ … ⊕ in[i]`.
@@ -36,26 +66,62 @@ where
     P: ExecutionPolicy,
     T: Send + Sync + Copy,
 {
-    scan_impl(policy, input, init, op, true)
+    let mut out = Vec::new();
+    inclusive_scan_into(policy, input, init, op, &mut ScanScratch::new(), &mut out);
+    out
 }
 
-fn scan_impl<P, T>(
+/// [`exclusive_scan`] into caller-owned storage: allocation-free once `out`
+/// and `scratch` have warmed up to the input size.
+pub fn exclusive_scan_into<P, T>(
+    policy: P,
+    input: &[T],
+    init: T,
+    op: impl Fn(T, T) -> T + Sync + Send,
+    scratch: &mut ScanScratch<T>,
+    out: &mut Vec<T>,
+) where
+    P: ExecutionPolicy,
+    T: Send + Sync + Copy,
+{
+    scan_into_impl(policy, input, init, op, false, scratch, out);
+}
+
+/// [`inclusive_scan`] into caller-owned storage: allocation-free once `out`
+/// and `scratch` have warmed up to the input size.
+pub fn inclusive_scan_into<P, T>(
+    policy: P,
+    input: &[T],
+    init: T,
+    op: impl Fn(T, T) -> T + Sync + Send,
+    scratch: &mut ScanScratch<T>,
+    out: &mut Vec<T>,
+) where
+    P: ExecutionPolicy,
+    T: Send + Sync + Copy,
+{
+    scan_into_impl(policy, input, init, op, true, scratch, out);
+}
+
+fn scan_into_impl<P, T>(
     policy: P,
     input: &[T],
     init: T,
     op: impl Fn(T, T) -> T + Sync + Send,
     inclusive: bool,
-) -> Vec<T>
-where
+    scratch: &mut ScanScratch<T>,
+    out: &mut Vec<T>,
+) where
     P: ExecutionPolicy,
     T: Send + Sync + Copy,
 {
     let n = input.len();
+    out.clear();
     if n == 0 {
-        return vec![];
+        return;
     }
     if !P::IS_PARALLEL || n < 4096 {
-        let mut out = Vec::with_capacity(n);
+        out.reserve(n);
         let mut acc = init;
         for &v in input {
             if inclusive {
@@ -66,20 +132,24 @@ where
                 acc = op(acc, v);
             }
         }
-        return out;
+        return;
     }
 
-    let chunks = crate::backend::split_range(0..n, 4 * thread_count());
-    let nchunks = chunks.len();
+    // Chunk geometry is pure arithmetic (no per-call range vector): chunk c
+    // covers `c*len .. min((c+1)*len, n)`. Aim for 4 chunks per worker so
+    // dynamic backends can load-balance.
+    let len = n.div_ceil(4 * max_workers()).max(1);
+    let nchunks = n.div_ceil(len);
+    let chunk_of = move |c: usize| c * len..((c + 1) * len).min(n);
 
     // Phase 1: per-chunk totals.
-    let mut totals: Vec<Option<T>> = vec![None; nchunks];
+    scratch.totals.clear();
+    scratch.totals.resize(nchunks, None);
     {
-        let totals_view = SyncSlice::new(&mut totals);
-        let chunks_ref = &chunks;
+        let totals_view = SyncSlice::new(&mut scratch.totals);
         let op_ref = &op;
         for_each_index(policy, 0..nchunks, |c| {
-            let r = chunks_ref[c].clone();
+            let r = chunk_of(c);
             let mut acc = input[r.start];
             for &v in &input[r.start + 1..r.end] {
                 acc = op_ref(acc, v);
@@ -89,24 +159,23 @@ where
     }
 
     // Phase 2: sequential scan of chunk totals → chunk seeds.
-    let mut seeds = Vec::with_capacity(nchunks);
+    scratch.seeds.clear();
+    scratch.seeds.reserve(nchunks);
     let mut acc = init;
-    for t in totals.into_iter().flatten() {
-        seeds.push(acc);
-        acc = op(acc, t);
+    for t in scratch.totals.iter().flatten() {
+        scratch.seeds.push(acc);
+        acc = op(acc, *t);
     }
 
     // Phase 3: per-chunk scans seeded by offsets.
-    let mut out: Vec<T> = vec![init; n];
+    out.resize(n, init);
     {
-        let out_view = SyncSlice::new(&mut out);
-        let chunks_ref = &chunks;
-        let seeds_ref = &seeds;
+        let out_view = SyncSlice::new(out);
+        let seeds_ref = &scratch.seeds;
         let op_ref = &op;
         for_each_index(policy, 0..nchunks, |c| {
-            let r = chunks_ref[c].clone();
             let mut acc = seeds_ref[c];
-            for i in r {
+            for i in chunk_of(c) {
                 if inclusive {
                     acc = op_ref(acc, input[i]);
                     unsafe { out_view.write(i, acc) };
@@ -117,7 +186,6 @@ where
             }
         });
     }
-    out
 }
 
 #[cfg(test)]
@@ -156,6 +224,17 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_under_detpar() {
+        let input: Vec<u64> =
+            (0..50_000u64).map(|i| i.wrapping_mul(11400714819323198485) % 97).collect();
+        let expect = exclusive_scan(Seq, &input, 0, |a, b| a + b);
+        with_backend(Backend::DetPar, || {
+            assert_eq!(exclusive_scan(Par, &input, 0, |a, b| a + b), expect);
+            assert_eq!(exclusive_scan(ParUnseq, &input, 0, |a, b| a + b), expect);
+        });
+    }
+
+    #[test]
     fn empty_and_singleton() {
         let empty: Vec<u32> = vec![];
         assert!(exclusive_scan(Par, &empty, 0, |a, b| a + b).is_empty());
@@ -169,5 +248,20 @@ mod tests {
         let input = vec![3i64, 1, 4, 1, 5, 9, 2, 6];
         let out = inclusive_scan(Seq, &input, i64::MIN, |a, b| a.max(b));
         assert_eq!(out, vec![3, 3, 4, 4, 5, 9, 9, 9]);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_across_sizes() {
+        let mut scratch = ScanScratch::new();
+        let mut out = Vec::new();
+        for &n in &[10usize, 100_000, 5_000, 100_000] {
+            let input: Vec<u64> = (0..n as u64).map(|i| i % 13).collect();
+            let expect = exclusive_scan(Seq, &input, 3, |a, b| a + b);
+            exclusive_scan_into(Par, &input, 3, |a, b| a + b, &mut scratch, &mut out);
+            assert_eq!(out, expect, "exclusive, n={n}");
+            let expect = inclusive_scan(Seq, &input, 3, |a, b| a + b);
+            inclusive_scan_into(Par, &input, 3, |a, b| a + b, &mut scratch, &mut out);
+            assert_eq!(out, expect, "inclusive, n={n}");
+        }
     }
 }

@@ -120,6 +120,10 @@ fn merge_sort_runs(_n: usize) -> usize {
     match current_backend() {
         Backend::Dynamic => (4 * thread_count()).next_power_of_two(),
         Backend::Threads => thread_count().next_power_of_two(),
+        // One run = a plain sequential `sort_unstable_by`: sorting has no
+        // schedule-dependent intermediate states worth fuzzing, and the
+        // deterministic executor must not spawn real merge threads.
+        Backend::DetPar => 1,
     }
 }
 

@@ -14,7 +14,11 @@ use std::marker::PhantomData;
 ///
 /// All accessor methods are `unsafe`: the caller promises that no index is
 /// accessed concurrently from two threads (the usual stdpar data-race
-/// contract). Debug builds bounds-check every access.
+/// contract). Every access is bounds-checked unconditionally — release
+/// builds included — so a bad index is a deterministic panic, never a
+/// silent out-of-bounds write (the same hardening as `ListsPool::slot`).
+/// The check is one compare against an already-loaded length, noise next
+/// to the force kernels these views feed.
 #[derive(Clone, Copy)]
 pub struct SyncSlice<'a, T> {
     ptr: *mut T,
@@ -52,7 +56,7 @@ impl<'a, T> SyncSlice<'a, T> {
     #[inline]
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
-        debug_assert!(i < self.len, "SyncSlice index {i} out of bounds {}", self.len);
+        assert!(i < self.len, "SyncSlice::get_mut: index {i} out of bounds (len {})", self.len);
         &mut *self.ptr.add(i)
     }
 
@@ -65,7 +69,7 @@ impl<'a, T> SyncSlice<'a, T> {
     where
         T: Copy,
     {
-        debug_assert!(i < self.len);
+        assert!(i < self.len, "SyncSlice::read: index {i} out of bounds (len {})", self.len);
         *self.ptr.add(i)
     }
 
@@ -75,7 +79,7 @@ impl<'a, T> SyncSlice<'a, T> {
     /// `i < len()`, and no other thread accesses index `i` concurrently.
     #[inline]
     pub unsafe fn write(&self, i: usize, v: T) {
-        debug_assert!(i < self.len);
+        assert!(i < self.len, "SyncSlice::write: index {i} out of bounds (len {})", self.len);
         *self.ptr.add(i) = v;
     }
 }
@@ -119,5 +123,37 @@ mod tests {
         let s = SyncSlice::new(&mut v);
         assert_eq!(s.len(), 0);
         assert!(s.is_empty());
+    }
+
+    // Regression (pre-fix: `debug_assert!` only, so release builds walked
+    // straight past the end of the slice): the bounds check must fire in
+    // every build profile, for every accessor.
+
+    #[test]
+    #[should_panic(expected = "SyncSlice::write: index 3 out of bounds (len 3)")]
+    fn write_out_of_bounds_panics() {
+        let mut v = vec![0u32; 3];
+        let s = SyncSlice::new(&mut v);
+        unsafe { s.write(3, 1) };
+    }
+
+    #[test]
+    #[should_panic(expected = "SyncSlice::read: index 7 out of bounds (len 2)")]
+    fn read_out_of_bounds_panics() {
+        let mut v = vec![0u32; 2];
+        let s = SyncSlice::new(&mut v);
+        unsafe {
+            let _ = s.read(7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "SyncSlice::get_mut: index 0 out of bounds (len 0)")]
+    fn get_mut_on_empty_panics() {
+        let mut v: Vec<u64> = vec![];
+        let s = SyncSlice::new(&mut v);
+        unsafe {
+            let _ = s.get_mut(0);
+        }
     }
 }

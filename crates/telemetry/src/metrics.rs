@@ -19,6 +19,12 @@ pub static STDPAR_CHUNKS_CLAIMED: Counter = Counter::new();
 /// Worker panics caught by [`PanicCell`](../stdpar/backend) and re-thrown
 /// on the caller thread after the region joined.
 pub static STDPAR_PANICS_RECOVERED: Counter = Counter::new();
+/// Parallel regions executed by the deterministic DetPar scheduler.
+pub static STDPAR_DET_REGIONS: Counter = Counter::new();
+/// Chunk-granular schedule steps executed by DetPar.
+pub static STDPAR_DET_STEPS: Counter = Counter::new();
+/// Between-step invariant-probe invocations under DetPar.
+pub static STDPAR_DET_PROBE_CALLS: Counter = Counter::new();
 /// Most workers ever active in one region.
 pub static STDPAR_WORKERS_HIGH_WATER: Gauge = Gauge::new();
 /// Grain (chunk length) distribution across parallel regions.
@@ -92,7 +98,7 @@ pub static RESILIENT_SLOW_WORKERS: Counter = Counter::new();
 pub static RESILIENT_FALLBACK_LEVEL: Histogram = Histogram::new();
 
 /// Number of registered counters.
-pub const N_COUNTERS: usize = 27;
+pub const N_COUNTERS: usize = 30;
 /// Number of registered gauges.
 pub const N_GAUGES: usize = 3;
 /// Number of registered histograms.
@@ -104,6 +110,9 @@ pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
         ("stdpar_par_regions", &STDPAR_PAR_REGIONS),
         ("stdpar_chunks_claimed", &STDPAR_CHUNKS_CLAIMED),
         ("stdpar_panics_recovered", &STDPAR_PANICS_RECOVERED),
+        ("stdpar_det_regions", &STDPAR_DET_REGIONS),
+        ("stdpar_det_steps", &STDPAR_DET_STEPS),
+        ("stdpar_det_probe_calls", &STDPAR_DET_PROBE_CALLS),
         ("octree_builds", &OCTREE_BUILDS),
         ("octree_build_retries", &OCTREE_BUILD_RETRIES),
         ("octree_lock_cas_retries", &OCTREE_LOCK_CAS_RETRIES),

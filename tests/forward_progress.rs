@@ -1,11 +1,22 @@
 //! Integration tests of the forward-progress result matrix (paper §V-B):
 //! which algorithm completes under which scheduling semantics.
 
+use stdpar_nbody::math::{Aabb, Vec3};
+use stdpar_nbody::octree::Octree;
 use stdpar_nbody::progress::reduce::reduction;
 use stdpar_nbody::progress::scheduler::{run_its, run_lockstep, Outcome};
 use stdpar_nbody::progress::tree_insert::{contended_insertion, insertion_threads, SharedTree};
+use stdpar_nbody::stdpar::backend::{with_backend, Backend};
+use stdpar_nbody::stdpar::detpar::{with_schedule, ScheduleMode};
+use stdpar_nbody::stdpar::prelude::{for_each_index, Par, ParUnseq, SyncSlice};
+use std::sync::Mutex;
 
 const BUDGET: u64 = 10_000_000;
+
+/// The backend selection is process-global; the DetPar tests below must not
+/// interleave their `with_backend` scopes (poisoning is irrelevant — take
+/// the lock either way).
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
 
 #[test]
 fn result_matrix_matches_the_paper() {
@@ -58,4 +69,95 @@ fn schedulers_are_deterministic() {
     let c = run_its(contended_insertion(16, 0.5), BUDGET);
     let d = run_its(contended_insertion(16, 0.5), BUDGET);
     assert_eq!(c, d);
+}
+
+// --- DetPar: the schedule-replay executor against the same matrix ---------
+
+#[test]
+fn detpar_cannot_deadlock_a_lock_free_par_unseq_region() {
+    // A `par_unseq` region is lock-free by contract: no chunk ever waits on
+    // another chunk's progress. DetPar serializes chunks in an arbitrary
+    // (seeded) order, so the region must complete — and produce identical
+    // output — under *every* schedule, including the adversarial one that
+    // maximally delays each worker's next step.
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut reference: Option<Vec<u64>> = None;
+    with_backend(Backend::DetPar, || {
+        for mode in ScheduleMode::ALL {
+            for seed in [0u64, 3, 11] {
+                with_schedule(seed, mode, || {
+                    let mut out = vec![0u64; 10_000];
+                    let view = SyncSlice::new(&mut out);
+                    for_each_index(ParUnseq, 0..10_000, |i| unsafe {
+                        *view.get_mut(i) = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 7;
+                    });
+                    match &reference {
+                        None => reference = Some(out),
+                        Some(r) => {
+                            assert_eq!(&out, r, "mode={} seed={seed}", mode.name())
+                        }
+                    }
+                });
+            }
+        }
+    });
+}
+
+#[test]
+fn detpar_par_region_tolerates_intra_chunk_blocking() {
+    // `Par` regions may block (locks allowed, paper §II) as long as no
+    // chunk holds a lock across its own completion — the octree's critical
+    // sections are exactly that shape. DetPar runs each chunk to completion
+    // before the next step, so a lock taken and released inside a chunk can
+    // never be observed held by another chunk: the region must complete
+    // under every schedule.
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let total = Mutex::new(0u64);
+    with_backend(Backend::DetPar, || {
+        for mode in ScheduleMode::ALL {
+            with_schedule(5, mode, || {
+                *total.lock().unwrap() = 0;
+                for_each_index(Par, 0..2_000, |i| {
+                    *total.lock().unwrap() += i as u64;
+                });
+                assert_eq!(*total.lock().unwrap(), 1_999 * 2_000 / 2, "mode={}", mode.name());
+            });
+        }
+    });
+}
+
+#[test]
+fn detpar_blocked_chunk_surfaces_as_budget_exhaustion_not_a_hang() {
+    // The genuinely dangerous shape: a chunk spinning on a lock whose
+    // holder will never run again (simulated via the stuck-lock fault).
+    // Under DetPar the spinner would monopolize the single thread forever;
+    // the bounded spin budget converts that hang into a deterministic
+    // `SpinBudgetExhausted` diagnosis on every schedule — the DetPar row of
+    // the paper's result matrix.
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let pos: Vec<Vec3> = (0..64)
+        .map(|i| {
+            let t = i as f64 * 0.37;
+            Vec3::new(t.sin(), (1.7 * t).cos(), (0.3 * t).sin())
+        })
+        .collect();
+    let bounds = Aabb::from_points(&pos);
+    with_backend(Backend::DetPar, || {
+        for mode in ScheduleMode::ALL {
+            with_schedule(1, mode, || {
+                let mut t = Octree::new();
+                t.set_spin_budget(5_000);
+                t.inject_stuck_lock();
+                let err = t.build(Par, &pos, bounds).unwrap_err();
+                assert!(
+                    matches!(err, stdpar_nbody::octree::BuildError::SpinBudgetExhausted { .. }),
+                    "mode={}: {err:?}",
+                    mode.name()
+                );
+                // And the follow-up build completes: the abort left no
+                // persistent damage.
+                t.build(Par, &pos, bounds).unwrap();
+            });
+        }
+    });
 }

@@ -9,6 +9,13 @@
 //! The metric registry is process-global, so everything runs inside ONE
 //! `#[test]` function — concurrent test threads would cross-pollute the
 //! deltas after a `reset()`.
+//!
+//! Gated on the `telemetry` feature: a `--no-default-features` run has
+//! nothing to smoke-test (recording is compiled out), and before this gate
+//! it failed the counter-advance assertions instead of being skipped. The
+//! wiring assert below still catches the real regression — `telemetry`
+//! requested but `capture` no longer forwarded.
+#![cfg(feature = "telemetry")]
 
 use stdpar_nbody::prelude::*;
 use stdpar_nbody::telemetry::{self, json::validate_snapshot, metrics, MetricsSnapshot};
