@@ -1,0 +1,164 @@
+//! Self-healing guard: healthy-path overhead budget + seeded corruption
+//! soak (DESIGN.md § Self-healing & checkpointing).
+//!
+//! Two measurements:
+//!
+//! 1. **Overhead** — the same workload stepped by a plain [`Simulation`]
+//!    and by a [`GuardedSimulation`] (watchdog every step, ring checkpoint
+//!    on the default cadence, no faults). The guard's per-step cost is one
+//!    fused O(N) reduction plus an O(N) checkpoint copy every K steps —
+//!    the budget is ≤ 5% at N = 1e4 (acceptance criterion; recorded in
+//!    `BENCH_guard.json` as `overhead_pct`).
+//! 2. **Soak** — rate-driven NaN injection and position bit-flips over a
+//!    long guarded run. Every incident must be detected and recovered
+//!    (verdict counts equal rollback closure, the run never errors), and
+//!    the final state must stay finite and land within the harness's
+//!    established relative-error band of the uninjected trajectory.
+//!
+//! Usage: `guard_soak [--n=10000] [--steps=50] [--smoke] [--json=PATH]`
+
+use nbody_bench::{arg, flag, print_banner, print_table};
+use nbody_resilience::{FaultInjector, FaultKind};
+use nbody_sim::guard::{GuardConfig, GuardedSimulation};
+use nbody_sim::prelude::*;
+use std::time::Instant;
+
+#[cfg(feature = "alloc-stats")]
+#[global_allocator]
+static COUNTING_ALLOC: stdpar::alloc_stats::CountingAlloc = stdpar::alloc_stats::CountingAlloc;
+
+fn opts() -> SimOptions {
+    SimOptions { dt: 1e-3, softening: 5e-3, ..SimOptions::default() }
+}
+
+/// Wall-clock seconds for `steps` warm steps of a plain simulation.
+fn time_plain(state: &SystemState, steps: usize) -> f64 {
+    let mut sim = Simulation::new(state.clone(), SolverKind::Bvh, opts()).unwrap();
+    let mut ws = SimWorkspace::new();
+    for _ in 0..2 {
+        sim.step_into(&mut ws);
+    }
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        sim.step_into(&mut ws);
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Wall-clock seconds for `steps` warm guarded steps (healthy path).
+fn time_guarded(state: &SystemState, steps: usize) -> (f64, u64) {
+    let mut guard =
+        GuardedSimulation::new(state.clone(), SolverKind::Bvh, opts(), GuardConfig::default())
+            .unwrap();
+    let mut ws = SimWorkspace::new();
+    for _ in 0..2 {
+        guard.step_into(&mut ws).unwrap();
+    }
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        guard.step_into(&mut ws).unwrap();
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    (secs, guard.stats().checkpoint_records)
+}
+
+fn main() {
+    print_banner("Self-healing guard — healthy-path overhead + corruption soak");
+    let smoke = flag("smoke");
+    let n: usize = arg("n", if smoke { 2_000 } else { 10_000 });
+    let steps: usize = arg("steps", if smoke { 10 } else { 50 });
+    let soak_steps: usize = arg("soak-steps", if smoke { 30 } else { 120 });
+    let json_path: String = arg("json", String::new());
+
+    let state = galaxy_collision(n, 2024);
+
+    // ---- 1. healthy-path overhead -------------------------------------
+    // Interleave the arms and keep the best-of to damp scheduler noise.
+    let reps = if smoke { 1 } else { 3 };
+    let mut plain_s = f64::INFINITY;
+    let mut guarded_s = f64::INFINITY;
+    let mut checkpoints = 0;
+    for _ in 0..reps {
+        plain_s = plain_s.min(time_plain(&state, steps));
+        let (g, c) = time_guarded(&state, steps);
+        guarded_s = guarded_s.min(g);
+        checkpoints = c;
+    }
+    let overhead_pct = (guarded_s / plain_s - 1.0) * 100.0;
+
+    // ---- 2. seeded corruption soak ------------------------------------
+    let soak_seed = 0xD15EA5Eu64;
+    let mut clean =
+        GuardedSimulation::new(state.clone(), SolverKind::Bvh, opts(), GuardConfig::default())
+            .unwrap();
+    clean.run(soak_steps).expect("uninjected soak arm must not error");
+
+    let mut soaked =
+        GuardedSimulation::new(state.clone(), SolverKind::Bvh, opts(), GuardConfig::default())
+            .unwrap()
+            .with_injector(
+                FaultInjector::new(soak_seed)
+                    .with_rate(FaultKind::NanInject, 0.03)
+                    .with_rate(FaultKind::PositionBitFlip, 0.02),
+            );
+    soaked.run(soak_steps).expect("soak must recover every injected fault");
+    let s = soaked.stats();
+    let incidents = s.suspects + s.corrupts;
+    let soak_err = nbody_sim::diagnostics::l2_error_relative(
+        &clean.state().positions,
+        &soaked.state().positions,
+    );
+    let recovered = soaked.state().is_valid();
+
+    print_table(
+        &["measure", "value"],
+        &[
+            vec!["n".into(), format!("{n}")],
+            vec!["steps (overhead arm)".into(), format!("{steps}")],
+            vec!["plain s".into(), format!("{plain_s:.4}")],
+            vec!["guarded s".into(), format!("{guarded_s:.4}")],
+            vec!["overhead".into(), format!("{overhead_pct:.2}%")],
+            vec!["checkpoints (guarded arm)".into(), format!("{checkpoints}")],
+            vec!["soak steps".into(), format!("{soak_steps}")],
+            vec!["soak incidents detected".into(), format!("{incidents}")],
+            vec!["soak rollbacks".into(), format!("{}", s.rollbacks)],
+            vec!["soak dt halvings".into(), format!("{}", s.dt_halvings)],
+            vec!["soak recoveries used".into(), format!("{}", soaked.recoveries_used())],
+            vec!["soak final state valid".into(), format!("{recovered}")],
+            vec!["soak rel err vs clean".into(), format!("{soak_err:.3e}")],
+        ],
+    );
+    println!();
+    let budget_ok = overhead_pct <= 5.0;
+    println!(
+        "healthy-path overhead {overhead_pct:.2}% ({})",
+        if budget_ok { "within the 5% budget" } else { "OVER the 5% budget" }
+    );
+    if !recovered {
+        eprintln!("guard_soak: FAIL: soak left a non-finite state");
+        std::process::exit(1);
+    }
+
+    if !json_path.is_empty() {
+        let doc = format!(
+            "{{\n  \"bench\": \"guard_soak\",\n  \"n\": {n},\n  \"steps\": {steps},\n  \
+             \"threads\": {},\n  \"plain_s\": {plain_s:.6},\n  \"guarded_s\": {guarded_s:.6},\n  \
+             \"overhead_pct\": {overhead_pct:.3},\n  \"overhead_budget_pct\": 5.0,\n  \
+             \"soak\": {{\n    \"seed\": {soak_seed},\n    \"steps\": {soak_steps},\n    \
+             \"incidents\": {incidents},\n    \"suspects\": {},\n    \"corrupts\": {},\n    \
+             \"rollbacks\": {},\n    \"retries\": {},\n    \"dt_halvings\": {},\n    \
+             \"suspects_accepted\": {},\n    \"checkpoint_records\": {},\n    \
+             \"final_state_valid\": {recovered},\n    \"rel_err_vs_clean\": {soak_err:.6e}\n  }}\n}}\n",
+            stdpar::backend::hardware_parallelism(),
+            s.suspects,
+            s.corrupts,
+            s.rollbacks,
+            s.retries,
+            s.dt_halvings,
+            s.suspects_accepted,
+            s.checkpoint_records,
+        );
+        std::fs::write(&json_path, doc).expect("write json");
+        println!("wrote {json_path}");
+    }
+}

@@ -1,0 +1,117 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) — the payload checksum of the
+//! versioned snapshot format (`nbody_sim::io`, DESIGN.md § Self-healing &
+//! checkpointing).
+//!
+//! Implemented in-tree (the workspace is dependency-free) as the classic
+//! byte-at-a-time table walk; the 1 KiB table is built in a `const fn` so
+//! there is no runtime initialisation, no locking, and no allocation. A
+//! truncated or bit-flipped checkpoint disagrees with its stored digest
+//! with probability `1 − 2⁻³²` — plenty for *detecting* torn writes, which
+//! is all the recovery ladder needs (it falls back to an older checkpoint;
+//! it never tries to repair).
+
+/// The reflected IEEE polynomial (0x04C11DB7 bit-reversed).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC-32 accumulator, for checksumming streams without
+/// buffering them (the snapshot reader folds bytes in as it parses).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh digest.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `bytes` into the digest.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final digest value. The accumulator may keep receiving updates; this
+    /// just reads the current value.
+    #[inline]
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot convenience over [`Crc32`].
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0u16..2048).map(|i| (i % 251) as u8).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 7, 1024, 2047, 2048] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let data = vec![0xA5u8; 512];
+        let base = crc32(&data);
+        for byte in [0usize, 100, 511] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_changes_digest() {
+        let data: Vec<u8> = (0..300u16).map(|i| i as u8).collect();
+        let base = crc32(&data);
+        assert_ne!(crc32(&data[..299]), base);
+        assert_ne!(crc32(&data[..1]), base);
+    }
+}

@@ -10,6 +10,7 @@
 
 pub mod aabb;
 pub mod atomic_f64;
+pub mod crc32;
 pub mod gravity;
 pub mod gray;
 pub mod hilbert;
@@ -22,6 +23,7 @@ pub mod vec3;
 
 pub use aabb::Aabb;
 pub use atomic_f64::AtomicF64;
+pub use crc32::{crc32, Crc32};
 pub use gravity::{ForceEval, ForceParams};
 pub use interaction::{InteractionLists, ListsPool};
 pub use kahan::KahanSum;

@@ -11,6 +11,15 @@
 use nbody_math::SplitMix64;
 
 /// The classes of fault the harness can inject.
+///
+/// The first four are *solver-level* faults, consumed by
+/// `ResilientSolver`'s retry/fallback chain. The remaining four are
+/// *state-level* numeric-corruption faults, consumed by the self-healing
+/// `GuardedSimulation` layer: they damage the persistent simulation state
+/// (or its durable checkpoints) *after* a step completes, modelling torn
+/// updates, radiation bit-flips and partial writes — exactly the class of
+/// damage the solver chain cannot see because its inputs are rebuilt from
+/// the (already corrupted) state every step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// A worker acquires a tree-node lock and never releases it, livelocking
@@ -23,15 +32,52 @@ pub enum FaultKind {
     /// A worker makes progress far slower than its peers (tests fairness /
     /// bounded-wait assumptions, not correctness).
     SlowWorker,
+    /// A component of one persistent body position is seeded with NaN
+    /// *after* the step's update phase (a torn/omitted write).
+    NanInject,
+    /// A high exponent bit of one persistent position component is flipped
+    /// (a radiation-style single-event upset): the value teleports to an
+    /// astronomically large or vanishingly small magnitude.
+    PositionBitFlip,
+    /// The most recent durable checkpoint file is truncated after the
+    /// write (a crash mid-flush / torn rename).
+    CheckpointTruncation,
+    /// One byte of the most recent durable checkpoint file is bit-flipped
+    /// in place (storage corruption).
+    CheckpointBitFlip,
 }
 
 impl FaultKind {
-    /// All fault kinds, in a fixed order (used for rate iteration).
-    pub const ALL: [FaultKind; 4] = [
+    /// All fault kinds, in a fixed order (used for rate iteration). The
+    /// original solver-level kinds come first so rate schedules draw their
+    /// per-step random numbers in the same order as before the state-level
+    /// kinds existed — seeded histories are stable across that extension.
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::StuckLock,
         FaultKind::AllocExhaustion,
         FaultKind::NanPositions,
         FaultKind::SlowWorker,
+        FaultKind::NanInject,
+        FaultKind::PositionBitFlip,
+        FaultKind::CheckpointTruncation,
+        FaultKind::CheckpointBitFlip,
+    ];
+
+    /// The faults `ResilientSolver` detects and recovers from on its own.
+    pub const SOLVER_LEVEL: [FaultKind; 4] = [
+        FaultKind::StuckLock,
+        FaultKind::AllocExhaustion,
+        FaultKind::NanPositions,
+        FaultKind::SlowWorker,
+    ];
+
+    /// The numeric-corruption faults handled by the guarded stepping layer
+    /// (health watchdog + checkpoint rollback).
+    pub const STATE_LEVEL: [FaultKind; 4] = [
+        FaultKind::NanInject,
+        FaultKind::PositionBitFlip,
+        FaultKind::CheckpointTruncation,
+        FaultKind::CheckpointBitFlip,
     ];
 
     /// Stable lowercase name for logs and diagnostics tables.
@@ -41,6 +87,10 @@ impl FaultKind {
             FaultKind::AllocExhaustion => "alloc-exhaustion",
             FaultKind::NanPositions => "nan-positions",
             FaultKind::SlowWorker => "slow-worker",
+            FaultKind::NanInject => "nan-inject",
+            FaultKind::PositionBitFlip => "position-bit-flip",
+            FaultKind::CheckpointTruncation => "checkpoint-truncation",
+            FaultKind::CheckpointBitFlip => "checkpoint-bit-flip",
         }
     }
 }
@@ -117,6 +167,14 @@ impl FaultInjector {
     pub fn fires(&self, step: u64, kind: FaultKind) -> bool {
         self.faults_at(step).contains(&kind)
     }
+
+    /// A deterministic RNG stream for the *parameters* of the faults fired
+    /// at `step` (which body, which component, which bit). Decorrelated
+    /// from the fire/no-fire decision stream of [`FaultInjector::faults_at`]
+    /// by an extra salt, so drawing parameters never perturbs the schedule.
+    pub fn param_stream(&self, step: u64) -> SplitMix64 {
+        SplitMix64::new(self.seed ^ mix(step) ^ 0x9E37_79B9_7F4A_7C15)
+    }
 }
 
 /// Stafford variant 13 of the MurmurHash3 finalizer.
@@ -184,6 +242,41 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn level_groups_partition_all() {
+        let mut joined: Vec<FaultKind> = FaultKind::SOLVER_LEVEL.to_vec();
+        joined.extend(FaultKind::STATE_LEVEL);
+        assert_eq!(joined, FaultKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn state_level_rates_do_not_perturb_solver_level_schedule() {
+        // Adding rates for the new state-level kinds must leave the draw
+        // order (and therefore the schedule) of the original kinds intact.
+        let base = FaultInjector::new(0xC0FFEE).with_rate(FaultKind::StuckLock, 0.3);
+        let extended = base.clone().with_rate(FaultKind::NanInject, 0.5);
+        for step in 0..300 {
+            assert_eq!(
+                base.fires(step, FaultKind::StuckLock),
+                extended.fires(step, FaultKind::StuckLock),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn param_stream_is_deterministic_and_decorrelated() {
+        let inj = FaultInjector::new(42).with_rate(FaultKind::NanInject, 1.0);
+        let a: Vec<u64> = (0..4).map(|s| inj.param_stream(s).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|s| inj.param_stream(s).next_u64()).collect();
+        assert_eq!(a, b, "parameters are a pure function of (seed, step)");
+        // Drawing parameters must not change the fire/no-fire schedule.
+        let before: Vec<_> = (0..50).map(|s| inj.faults_at(s)).collect();
+        let _ = inj.param_stream(17).next_u64();
+        let after: Vec<_> = (0..50).map(|s| inj.faults_at(s)).collect();
+        assert_eq!(before, after);
     }
 
     #[test]

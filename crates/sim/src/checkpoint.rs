@@ -1,0 +1,368 @@
+//! In-memory rollback points: a fixed-capacity ring of checkpoints.
+//!
+//! The recovery ladder ([`crate::guard`]) needs somewhere cheap to roll
+//! back *to*. Disk checkpoints are durable but slow; [`CheckpointRing`]
+//! keeps the last few known-good states in memory, in grow-only buffers:
+//! each slot's vectors are sized on first use (or pre-warmed via
+//! [`CheckpointRing::warm`]) and only ever overwritten afterwards, so
+//! steady-state checkpointing performs **zero heap allocations** — the
+//! same contract as [`crate::workspace::SimWorkspace`], enforced by the
+//! same `alloc_regression` gate.
+//!
+//! Memory is not trusted blindly: every slot carries an FNV-1a digest of
+//! its payload, recomputed and compared on restore. A slot that rotted in
+//! place (or was scribbled over) is reported as
+//! [`CheckpointError::ChecksumMismatch`] so the caller can fall back to an
+//! older slot instead of resuming from garbage — the in-memory analogue of
+//! the CRC-32 trailer on disk snapshots ([`crate::io`]).
+//!
+//! Each slot also embeds a copy of the [`HealthMonitor`] (it is `Copy`),
+//! so a rollback restores the watchdog's baselines alongside the state:
+//! replayed steps are judged against the memory the watchdog had when the
+//! checkpoint was taken, not against baselines polluted by the corrupt
+//! excursion.
+
+use crate::health::HealthMonitor;
+use crate::integrator::Simulation;
+use nbody_math::Vec3;
+
+/// Why a restore failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// No checkpoint recorded yet (or `nth` exceeds the stored count).
+    OutOfRange { requested: usize, stored: usize },
+    /// The slot's payload no longer matches its digest.
+    ChecksumMismatch { slot: usize },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::OutOfRange { requested, stored } => {
+                write!(f, "checkpoint {requested} requested but only {stored} stored")
+            }
+            CheckpointError::ChecksumMismatch { slot } => {
+                write!(f, "in-memory checkpoint slot {slot} failed its checksum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// What a successful restore rolled back to.
+#[derive(Clone, Copy, Debug)]
+pub struct RestorePoint {
+    /// Simulation time of the restored state.
+    pub time: f64,
+    /// Steps completed at the restored state.
+    pub steps_done: usize,
+    /// How many ring entries back the restore reached (0 = newest).
+    pub age: usize,
+}
+
+#[derive(Default)]
+struct Slot {
+    positions: Vec<Vec3>,
+    velocities: Vec<Vec3>,
+    masses: Vec<f64>,
+    accel: Vec<Vec3>,
+    time: f64,
+    steps_done: usize,
+    accel_fresh: bool,
+    monitor: Option<HealthMonitor>,
+    checksum: u64,
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+#[inline]
+fn fnv_word(h: u64, w: u64) -> u64 {
+    // Word-at-a-time FNV-1a: we need tamper *detection*, not a
+    // cryptographic bound, and hashing 8 bytes per multiply keeps the
+    // checkpoint path O(N) with a tiny constant.
+    (h ^ w).wrapping_mul(FNV_PRIME)
+}
+
+impl Slot {
+    fn digest(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        h = fnv_word(h, self.positions.len() as u64);
+        for p in &self.positions {
+            h = fnv_word(h, p.x.to_bits());
+            h = fnv_word(h, p.y.to_bits());
+            h = fnv_word(h, p.z.to_bits());
+        }
+        for v in &self.velocities {
+            h = fnv_word(h, v.x.to_bits());
+            h = fnv_word(h, v.y.to_bits());
+            h = fnv_word(h, v.z.to_bits());
+        }
+        for m in &self.masses {
+            h = fnv_word(h, m.to_bits());
+        }
+        for a in &self.accel {
+            h = fnv_word(h, a.x.to_bits());
+            h = fnv_word(h, a.y.to_bits());
+            h = fnv_word(h, a.z.to_bits());
+        }
+        h = fnv_word(h, self.time.to_bits());
+        h = fnv_word(h, self.steps_done as u64);
+        h = fnv_word(h, self.accel_fresh as u64);
+        h
+    }
+
+    fn record(&mut self, sim: &Simulation, monitor: &HealthMonitor) {
+        let state = sim.state();
+        self.positions.clear();
+        self.positions.extend_from_slice(&state.positions);
+        self.velocities.clear();
+        self.velocities.extend_from_slice(&state.velocities);
+        self.masses.clear();
+        self.masses.extend_from_slice(&state.masses);
+        self.accel.clear();
+        self.accel.extend_from_slice(sim.accelerations());
+        let (time, steps_done, accel_fresh) = sim.clock();
+        self.time = time;
+        self.steps_done = steps_done;
+        self.accel_fresh = accel_fresh;
+        self.monitor = Some(*monitor);
+        self.checksum = self.digest();
+    }
+}
+
+/// A fixed-capacity ring of in-memory rollback points. See the module docs.
+pub struct CheckpointRing {
+    slots: Vec<Slot>,
+    /// Index of the slot the *next* record will overwrite.
+    next: usize,
+    /// Number of slots holding a recorded checkpoint (≤ capacity).
+    stored: usize,
+    records: u64,
+}
+
+impl CheckpointRing {
+    /// A ring of `capacity` slots (≥ 1). Slot buffers are empty until the
+    /// first record (or [`CheckpointRing::warm`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity >= 1, "checkpoint ring needs at least one slot");
+        CheckpointRing {
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+            next: 0,
+            stored: 0,
+            records: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Checkpoints currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.stored
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stored == 0
+    }
+
+    /// Total records ever made (monotone; exceeds `len` once wrapping).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Pre-size every slot for `n` bodies so later records allocate
+    /// nothing — call once at guard construction, before the steady state
+    /// the alloc gate measures.
+    pub fn warm(&mut self, n: usize) {
+        for s in &mut self.slots {
+            s.positions.reserve(n);
+            s.velocities.reserve(n);
+            s.masses.reserve(n);
+            s.accel.reserve(n);
+        }
+    }
+
+    /// Record the simulation's current state (and the watchdog's baselines)
+    /// into the oldest slot.
+    pub fn record(&mut self, sim: &Simulation, monitor: &HealthMonitor) {
+        let cap = self.slots.len();
+        self.slots[self.next].record(sim, monitor);
+        self.next = (self.next + 1) % cap;
+        self.stored = (self.stored + 1).min(cap);
+        self.records += 1;
+    }
+
+    /// Index (into `slots`) of the `nth`-newest checkpoint.
+    fn nth_newest(&self, nth: usize) -> Result<usize, CheckpointError> {
+        if nth >= self.stored {
+            return Err(CheckpointError::OutOfRange { requested: nth, stored: self.stored });
+        }
+        let cap = self.slots.len();
+        Ok((self.next + cap - 1 - nth) % cap)
+    }
+
+    /// `steps_done` recorded in the `nth`-newest checkpoint (0 = newest) —
+    /// lets the recovery policy see how far back a rollback would reach
+    /// before committing to it.
+    pub fn peek_steps(&self, nth: usize) -> Result<usize, CheckpointError> {
+        Ok(self.slots[self.nth_newest(nth)?].steps_done)
+    }
+
+    /// Roll `sim` (and `monitor`) back to the `nth`-newest checkpoint
+    /// (0 = newest), verifying the slot's digest first. On checksum
+    /// mismatch nothing is restored — the caller should try `nth + 1`.
+    pub fn restore(
+        &self,
+        nth: usize,
+        sim: &mut Simulation,
+        monitor: &mut HealthMonitor,
+    ) -> Result<RestorePoint, CheckpointError> {
+        let idx = self.nth_newest(nth)?;
+        let slot = &self.slots[idx];
+        if slot.digest() != slot.checksum {
+            return Err(CheckpointError::ChecksumMismatch { slot: idx });
+        }
+        sim.restore_from_parts(
+            &slot.positions,
+            &slot.velocities,
+            &slot.masses,
+            &slot.accel,
+            slot.time,
+            slot.steps_done,
+            slot.accel_fresh,
+        );
+        if let Some(m) = slot.monitor {
+            *monitor = m;
+        }
+        Ok(RestorePoint { time: slot.time, steps_done: slot.steps_done, age: nth })
+    }
+
+    /// Flip one bit of the newest slot's payload *without* refreshing its
+    /// digest — simulates in-memory rot for tests of the checksum path.
+    #[doc(hidden)]
+    pub fn corrupt_newest_for_test(&mut self) {
+        if let Ok(idx) = self.nth_newest(0) {
+            if let Some(p) = self.slots[idx].positions.first_mut() {
+                p.x = f64::from_bits(p.x.to_bits() ^ 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::health::HealthConfig;
+    use crate::integrator::{SimOptions, Simulation};
+    use crate::solver::SolverKind;
+    use crate::workload::galaxy_collision;
+
+    fn sim(n: usize, seed: u64) -> Simulation {
+        Simulation::new(galaxy_collision(n, seed), SolverKind::Bvh, SimOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn record_and_restore_round_trips_exactly() {
+        let mut s = sim(200, 61);
+        let mut mon = HealthMonitor::new(HealthConfig::default());
+        s.run(3);
+        let reference = s.state().clone();
+        let (t0, n0, _) = s.clock();
+        let mut ring = CheckpointRing::with_capacity(2);
+        ring.record(&s, &mon);
+        s.run(5);
+        assert_ne!(s.state().positions, reference.positions);
+        let p = ring.restore(0, &mut s, &mut mon).unwrap();
+        assert_eq!(p.steps_done, n0);
+        assert_eq!(s.state().positions, reference.positions);
+        assert_eq!(s.state().velocities, reference.velocities);
+        assert_eq!(s.clock().0, t0);
+    }
+
+    #[test]
+    fn replay_after_restore_is_identical() {
+        // Restoring state + accel + clock and re-running must reproduce the
+        // original trajectory exactly (no faults in the window).
+        let mut s = sim(150, 62);
+        let mut mon = HealthMonitor::new(HealthConfig::default());
+        s.run(2);
+        let mut ring = CheckpointRing::with_capacity(1);
+        ring.record(&s, &mon);
+        s.run(4);
+        let first = s.state().clone();
+        ring.restore(0, &mut s, &mut mon).unwrap();
+        s.run(4);
+        assert_eq!(s.state().positions, first.positions, "replay diverged");
+        assert_eq!(s.state().velocities, first.velocities);
+    }
+
+    #[test]
+    fn ring_wraps_and_orders_newest_first() {
+        let mut s = sim(50, 63);
+        let mon = HealthMonitor::new(HealthConfig::default());
+        let mut ring = CheckpointRing::with_capacity(3);
+        for _ in 0..5 {
+            s.run(1);
+            ring.record(&s, &mon);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.records(), 5);
+        // Records were taken after steps 1..=5; the ring keeps 3, 4, 5.
+        assert_eq!(ring.peek_steps(0).unwrap(), 5);
+        assert_eq!(ring.peek_steps(1).unwrap(), 4);
+        assert_eq!(ring.peek_steps(2).unwrap(), 3);
+        assert!(matches!(ring.peek_steps(3), Err(CheckpointError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn empty_ring_reports_out_of_range() {
+        let ring = CheckpointRing::with_capacity(2);
+        let mut s = sim(10, 64);
+        let mut mon = HealthMonitor::new(HealthConfig::default());
+        assert!(matches!(
+            ring.restore(0, &mut s, &mut mon),
+            Err(CheckpointError::OutOfRange { requested: 0, stored: 0 })
+        ));
+    }
+
+    #[test]
+    fn rotted_slot_is_rejected_and_older_slot_still_restores() {
+        let mut s = sim(100, 65);
+        let mut mon = HealthMonitor::new(HealthConfig::default());
+        let mut ring = CheckpointRing::with_capacity(2);
+        s.run(1);
+        let older = s.state().clone();
+        ring.record(&s, &mon);
+        s.run(1);
+        ring.record(&s, &mon);
+        ring.corrupt_newest_for_test();
+        assert!(matches!(
+            ring.restore(0, &mut s, &mut mon),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+        // The older slot is intact; the ladder falls back to it.
+        ring.restore(1, &mut s, &mut mon).unwrap();
+        assert_eq!(s.state().positions, older.positions);
+    }
+
+    #[test]
+    fn steady_state_records_do_not_allocate_after_warm() {
+        // Structural proxy for the alloc gate: after warm(), recording
+        // must not grow any slot buffer's capacity.
+        let mut s = sim(120, 66);
+        let mon = HealthMonitor::new(HealthConfig::default());
+        let mut ring = CheckpointRing::with_capacity(3);
+        ring.warm(s.state().len());
+        let caps: Vec<usize> = ring.slots.iter().map(|sl| sl.positions.capacity()).collect();
+        for _ in 0..7 {
+            s.run(1);
+            ring.record(&s, &mon);
+        }
+        for (sl, cap) in ring.slots.iter().zip(caps) {
+            assert_eq!(sl.positions.capacity(), cap, "record grew a warmed buffer");
+        }
+    }
+}

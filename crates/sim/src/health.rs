@@ -1,0 +1,437 @@
+//! Numerical-health watchdog: cheap, tiered per-step verdicts.
+//!
+//! Long N-body runs fail in two distinct ways. *Loud* corruption — a NaN
+//! seeded by a torn write, an infinity from a division blow-up — propagates
+//! to every body within a step or two and is trivially detectable if
+//! anyone looks. *Quiet* corruption — a single position teleported by a
+//! flipped exponent bit — keeps every value finite while silently breaking
+//! the physics. [`HealthMonitor`] looks for both, every step, for the cost
+//! of **one fused O(N) reduction** (cheap next to the O(N log N) force
+//! pass):
+//!
+//! * `Σ|r|²` and `Σm|v|²` — NaN/Inf *catchers*: NaN propagates through a
+//!   sum (but not through `f64::max`), so a single poisoned component
+//!   poisons the aggregate. Non-finite aggregates ⇒ [`HealthVerdict::Corrupt`].
+//! * `max|r|²` — bounding-radius blow-up: a body flung to 1e300 by an
+//!   exponent bit flipped *up*.
+//! * `Σm·r` and `Σm·v` — teleport detector: `d(Σm·r)/dt = Σm·v` exactly,
+//!   so the mass-weighted position sum is *predictable* one step ahead
+//!   from the momentum. A single coordinate collapsed toward zero by an
+//!   exponent bit flipped *down* moves `Σm·r` by `m_i·|Δr_i|` — orders of
+//!   magnitude above the integrator's own O(dt²) prediction error — while
+//!   leaving radius and kinetic energy untouched.
+//! * `Σm|v|²` doubles as a kinetic-energy jump detector between steps.
+//! * every [`HealthConfig::energy_check_every`] checks, a sampled total
+//!   energy (reusing [`crate::diagnostics::potential_energy_sampled`],
+//!   allocation-free) is compared against the first measurement — the slow
+//!   drift detector for damage the per-step deltas are too coarse to see.
+//!
+//! Heuristic detectors yield [`HealthVerdict::Suspect`], not `Corrupt`: a
+//! genuine close encounter can spike kinetic energy, so the recovery layer
+//! ([`crate::guard`]) retries suspects but *accepts* them after a bounded
+//! streak rather than looping forever on honest physics.
+//!
+//! The monitor is `Copy` and holds only O(1) baselines, so a checkpoint
+//! slot stores the whole monitor and a rollback restores the watchdog's
+//! memory along with the state — replayed steps are judged against the
+//! baselines that were current when the checkpoint was taken.
+
+use crate::diagnostics::potential_energy_sampled;
+use crate::system::SystemState;
+use nbody_math::Vec3;
+use stdpar::policy::DynPolicy;
+use stdpar::prelude::*;
+
+/// Tiered per-step health verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthVerdict {
+    /// All checks passed.
+    Healthy,
+    /// A heuristic tripped (energy jump, radius blow-up, teleport, drift):
+    /// probably corruption, possibly violent-but-honest physics. The
+    /// recovery policy retries a bounded number of times, then accepts.
+    Suspect,
+    /// Hard evidence of corruption (non-finite state). Never accepted.
+    Corrupt,
+}
+
+/// Thresholds for the heuristic detectors. Defaults are deliberately loose:
+/// a watchdog that cries wolf on honest close encounters costs more
+/// (rollback storms) than one that waits a step for the NaN to appear.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Gravitational constant (for the sampled energy check).
+    pub g: f64,
+    /// Softening length (for the sampled energy check).
+    pub softening: f64,
+    /// Suspect if kinetic energy changes by more than this factor in one
+    /// step (checked both ways: growth and collapse).
+    pub ke_jump_factor: f64,
+    /// Suspect if the bounding radius grows by more than this factor in
+    /// one step.
+    pub radius_blowup_factor: f64,
+    /// Suspect if `Σm·r` deviates from its momentum-predicted value by
+    /// more than this fraction of `M·L` (total mass × bounding radius).
+    /// The integrator's own prediction error is O(dt²) — many orders
+    /// below this — while a single teleported body contributes `~m_i/M`.
+    pub com_drift_tol: f64,
+    /// Run the sampled total-energy check every this many checks
+    /// (0 disables it).
+    pub energy_check_every: u64,
+    /// Probe count for the sampled potential.
+    pub energy_samples: usize,
+    /// Suspect if sampled total energy drifts from the first measurement
+    /// by more than this relative fraction.
+    pub energy_drift_tol: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            g: 1.0,
+            softening: 1e-3,
+            ke_jump_factor: 8.0,
+            radius_blowup_factor: 4.0,
+            com_drift_tol: 1e-5,
+            energy_check_every: 32,
+            energy_samples: 64,
+            energy_drift_tol: 0.1,
+        }
+    }
+}
+
+/// Per-step baselines carried between checks.
+#[derive(Clone, Copy, Debug)]
+struct Baseline {
+    /// `Σ m|v|²` (twice the kinetic energy).
+    ke2: f64,
+    /// `max |r|²`.
+    max_r2: f64,
+    /// `Σ m·r`.
+    mr: Vec3,
+    /// `Σ m·v`.
+    mv: Vec3,
+}
+
+/// What one check concluded.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthReport {
+    pub verdict: HealthVerdict,
+    /// Which detector fired (`None` when healthy).
+    pub reason: Option<&'static str>,
+    /// Kinetic energy of the checked state.
+    pub kinetic_energy: f64,
+    /// Bounding radius of the checked state.
+    pub max_radius: f64,
+    /// Relative energy drift, when the sampled check ran this step.
+    pub energy_drift: Option<f64>,
+}
+
+/// Fused single-pass aggregate; see the module docs for what each field
+/// detects.
+#[derive(Clone, Copy)]
+struct Accum {
+    sum_r2: f64,
+    ke2: f64,
+    max_r2: f64,
+    mr: Vec3,
+    mv: Vec3,
+}
+
+impl Accum {
+    const IDENTITY: Accum =
+        Accum { sum_r2: 0.0, ke2: 0.0, max_r2: 0.0, mr: Vec3::ZERO, mv: Vec3::ZERO };
+
+    fn merge(self, o: Accum) -> Accum {
+        Accum {
+            sum_r2: self.sum_r2 + o.sum_r2,
+            ke2: self.ke2 + o.ke2,
+            // `max` does NOT propagate NaN — that is sum_r2's job.
+            max_r2: self.max_r2.max(o.max_r2),
+            mr: self.mr + o.mr,
+            mv: self.mv + o.mv,
+        }
+    }
+
+    fn is_finite(&self) -> bool {
+        self.sum_r2.is_finite() && self.ke2.is_finite() && self.mr.is_finite() && self.mv.is_finite()
+    }
+}
+
+fn fused_scan(state: &SystemState, policy: DynPolicy) -> Accum {
+    let pos = &state.positions;
+    let vel = &state.velocities;
+    let mass = &state.masses;
+    let body = |i: usize| -> Accum {
+        let (p, v, m) = (pos[i], vel[i], mass[i]);
+        let r2 = p.norm2();
+        Accum { sum_r2: r2, ke2: m * v.norm2(), max_r2: r2, mr: p * m, mv: v * m }
+    };
+    match policy {
+        DynPolicy::Seq => {
+            transform_reduce(Seq, 0..pos.len(), Accum::IDENTITY, Accum::merge, body)
+        }
+        DynPolicy::Par => {
+            transform_reduce(Par, 0..pos.len(), Accum::IDENTITY, Accum::merge, body)
+        }
+        DynPolicy::ParUnseq => {
+            transform_reduce(ParUnseq, 0..pos.len(), Accum::IDENTITY, Accum::merge, body)
+        }
+    }
+}
+
+/// The watchdog. `Copy` on purpose: checkpoint slots embed it so rollback
+/// restores the baselines too (see the module docs).
+#[derive(Clone, Copy, Debug)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    prev: Option<Baseline>,
+    energy_baseline: Option<f64>,
+    /// Total checks performed (drives the energy-check cadence).
+    checks: u64,
+}
+
+impl HealthMonitor {
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthMonitor { cfg, prev: None, energy_baseline: None, checks: 0 }
+    }
+
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Judge `state`, advancing the internal baselines. `dt` is the time
+    /// step that produced this state from the previous one (used to
+    /// predict `Σm·r` from the momentum).
+    ///
+    /// The first check only establishes baselines (verdict `Healthy`
+    /// unless the state is non-finite).
+    pub fn check(&mut self, state: &SystemState, dt: f64, policy: DynPolicy) -> HealthReport {
+        self.checks += 1;
+        let a = fused_scan(state, policy);
+        let kinetic = 0.5 * a.ke2;
+        let max_radius = a.max_r2.sqrt();
+
+        if !a.is_finite() {
+            // Do not advance baselines from a corrupt state: after the
+            // rollback, the next check compares against the last good ones.
+            return HealthReport {
+                verdict: HealthVerdict::Corrupt,
+                reason: Some("non-finite position or velocity"),
+                kinetic_energy: kinetic,
+                max_radius,
+                energy_drift: None,
+            };
+        }
+
+        let now = Baseline { ke2: a.ke2, max_r2: a.max_r2, mr: a.mr, mv: a.mv };
+        let mut reason: Option<&'static str> = None;
+
+        if let Some(prev) = self.prev {
+            let c = &self.cfg;
+            // Kinetic-energy jump, either direction.
+            if prev.ke2 > 0.0 && a.ke2 > 0.0 {
+                let ratio = a.ke2 / prev.ke2;
+                if !(1.0 / c.ke_jump_factor..=c.ke_jump_factor).contains(&ratio) {
+                    reason = Some("kinetic-energy jump");
+                }
+            }
+            // Bounding-radius blow-up.
+            let blow2 = c.radius_blowup_factor * c.radius_blowup_factor;
+            if reason.is_none() && prev.max_r2 > 0.0 && a.max_r2 > blow2 * prev.max_r2 {
+                reason = Some("bounding-radius blowup");
+            }
+            // Teleport: Σm·r must track its momentum prediction. Midpoint
+            // momentum halves the O(dt) truncation of either endpoint.
+            if reason.is_none() {
+                let predicted = prev.mr + (prev.mv + a.mv) * (0.5 * dt);
+                let total_mass: f64 = state.masses.iter().sum();
+                let scale = total_mass * max_radius.max(1e-300);
+                if scale > 0.0 && (a.mr - predicted).norm() > c.com_drift_tol * scale {
+                    reason = Some("mass-weighted position teleport");
+                }
+            }
+        }
+
+        // Slow-drift detector on the sampled cadence.
+        let mut energy_drift = None;
+        let c = self.cfg;
+        if c.energy_check_every > 0 && self.checks.is_multiple_of(c.energy_check_every) {
+            let pe = potential_energy_sampled(state, c.g, c.softening, c.energy_samples);
+            let e = kinetic + pe;
+            match self.energy_baseline {
+                None => self.energy_baseline = Some(e),
+                Some(e0) => {
+                    let drift = if e0 != 0.0 { ((e - e0) / e0).abs() } else { (e - e0).abs() };
+                    energy_drift = Some(drift);
+                    if reason.is_none() && drift > c.energy_drift_tol {
+                        reason = Some("sampled energy drift");
+                    }
+                }
+            }
+        }
+
+        self.prev = Some(now);
+        HealthReport {
+            verdict: if reason.is_some() { HealthVerdict::Suspect } else { HealthVerdict::Healthy },
+            reason,
+            kinetic_energy: kinetic,
+            max_radius,
+            energy_drift,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::galaxy_collision;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig::default()
+    }
+
+    #[test]
+    fn healthy_steps_stay_healthy() {
+        let state = galaxy_collision(500, 51);
+        let mut mon = HealthMonitor::new(cfg());
+        for _ in 0..5 {
+            let r = mon.check(&state, 1e-3, DynPolicy::Par);
+            assert_eq!(r.verdict, HealthVerdict::Healthy, "{:?}", r.reason);
+        }
+        assert_eq!(mon.checks(), 5);
+    }
+
+    #[test]
+    fn nan_position_is_corrupt_not_suspect() {
+        let mut state = galaxy_collision(300, 52);
+        let mut mon = HealthMonitor::new(cfg());
+        mon.check(&state, 1e-3, DynPolicy::Par);
+        state.positions[137].y = f64::NAN;
+        let r = mon.check(&state, 1e-3, DynPolicy::Par);
+        assert_eq!(r.verdict, HealthVerdict::Corrupt);
+    }
+
+    #[test]
+    fn infinite_velocity_is_corrupt() {
+        let mut state = galaxy_collision(300, 53);
+        let mut mon = HealthMonitor::new(cfg());
+        mon.check(&state, 1e-3, DynPolicy::Par);
+        state.velocities[9].x = f64::INFINITY;
+        let r = mon.check(&state, 1e-3, DynPolicy::Par);
+        assert_eq!(r.verdict, HealthVerdict::Corrupt);
+    }
+
+    #[test]
+    fn radius_blowup_is_suspect() {
+        let mut state = galaxy_collision(300, 54);
+        let mut mon = HealthMonitor::new(cfg());
+        mon.check(&state, 1e-3, DynPolicy::Par);
+        // A finite but absurd excursion whose square still fits in an f64.
+        state.positions[7].x = 1e100;
+        let r = mon.check(&state, 1e-3, DynPolicy::Par);
+        assert_eq!(r.verdict, HealthVerdict::Suspect);
+        assert_eq!(r.reason, Some("bounding-radius blowup"));
+    }
+
+    #[test]
+    fn radius_overflow_escalates_to_corrupt() {
+        // Beyond ~1e154 the fused |r|² aggregate overflows to infinity —
+        // the NaN/Inf catcher then reports hard corruption, which is an
+        // even stronger (and still correct) verdict for a bit-flip that
+        // far up.
+        let mut state = galaxy_collision(300, 60);
+        let mut mon = HealthMonitor::new(cfg());
+        mon.check(&state, 1e-3, DynPolicy::Par);
+        state.positions[7].x = 1e200;
+        let r = mon.check(&state, 1e-3, DynPolicy::Par);
+        assert_eq!(r.verdict, HealthVerdict::Corrupt);
+    }
+
+    #[test]
+    fn ke_jump_is_suspect() {
+        let mut state = galaxy_collision(300, 55);
+        let mut mon = HealthMonitor::new(cfg());
+        mon.check(&state, 1e-3, DynPolicy::Par);
+        for v in &mut state.velocities {
+            *v *= 100.0;
+        }
+        let r = mon.check(&state, 1e-3, DynPolicy::Par);
+        assert_eq!(r.verdict, HealthVerdict::Suspect);
+        assert_eq!(r.reason, Some("kinetic-energy jump"));
+    }
+
+    #[test]
+    fn exponent_collapse_is_caught_by_teleport_detector() {
+        // Flip the top exponent bit of a large-ish coordinate *down*: the
+        // value collapses to ~1e-154 of itself — still finite, radius and
+        // kinetic energy unchanged. Only the mass-weighted sum moves.
+        let mut state = galaxy_collision(1000, 56);
+        let mut mon = HealthMonitor::new(cfg());
+        mon.check(&state, 1e-3, DynPolicy::Par);
+        // Pick the body with the largest |x| so the collapse is the
+        // worst-case quiet teleport.
+        let i = (0..state.len())
+            .max_by(|&a, &b| {
+                state.positions[a].x.abs().partial_cmp(&state.positions[b].x.abs()).unwrap()
+            })
+            .unwrap();
+        let bits = state.positions[i].x.to_bits() ^ (1u64 << 62);
+        state.positions[i].x = f64::from_bits(bits);
+        assert!(state.positions[i].is_finite(), "collapse must stay finite for this test");
+        let r = mon.check(&state, 1e-3, DynPolicy::Par);
+        assert_eq!(r.verdict, HealthVerdict::Suspect, "quiet teleport missed");
+        assert_eq!(r.reason, Some("mass-weighted position teleport"));
+    }
+
+    #[test]
+    fn energy_drift_fires_on_cadence() {
+        let state = galaxy_collision(400, 57);
+        let mut mon = HealthMonitor::new(HealthConfig {
+            energy_check_every: 2,
+            energy_drift_tol: 0.01,
+            ..cfg()
+        });
+        mon.check(&state, 1e-3, DynPolicy::Par); // 1: no cadence hit
+        mon.check(&state, 1e-3, DynPolicy::Par); // 2: sets the baseline
+        // Heat the system ~uniformly but mildly: per-step KE ratio stays
+        // inside the jump factor while total energy leaves the band.
+        let mut heated = state.clone();
+        for v in &mut heated.velocities {
+            *v *= 2.0;
+        }
+        mon.check(&heated, 1e-3, DynPolicy::Par); // 3: off-cadence
+        let r = mon.check(&heated, 1e-3, DynPolicy::Par); // 4: cadence hit
+        assert_eq!(r.verdict, HealthVerdict::Suspect, "{:?}", r.reason);
+        assert_eq!(r.reason, Some("sampled energy drift"));
+        assert!(r.energy_drift.unwrap() > 0.01);
+    }
+
+    #[test]
+    fn policies_agree_on_verdicts() {
+        let mut state = galaxy_collision(200, 58);
+        state.positions[50].z = f64::NAN;
+        for policy in [DynPolicy::Seq, DynPolicy::Par, DynPolicy::ParUnseq] {
+            let mut mon = HealthMonitor::new(cfg());
+            let r = mon.check(&state, 1e-3, policy);
+            assert_eq!(r.verdict, HealthVerdict::Corrupt, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn monitor_is_copy_and_rollback_restores_baselines() {
+        let state = galaxy_collision(200, 59);
+        let mut mon = HealthMonitor::new(cfg());
+        mon.check(&state, 1e-3, DynPolicy::Par);
+        let snap = mon; // plain Copy
+        mon.check(&state, 1e-3, DynPolicy::Par);
+        assert_eq!(mon.checks(), 2);
+        mon = snap;
+        assert_eq!(mon.checks(), 1, "rollback must restore the watchdog's memory");
+    }
+}

@@ -156,6 +156,14 @@ impl Simulation {
         &self.state
     }
 
+    /// Mutable state access. Intended for the fault-injection and recovery
+    /// layers ([`crate::guard`]); mutating positions invalidates the cached
+    /// accelerations only in ways the health watchdog is designed to catch.
+    #[inline]
+    pub fn state_mut(&mut self) -> &mut SystemState {
+        &mut self.state
+    }
+
     /// Consume the simulation and return the final state.
     pub fn into_state(self) -> SystemState {
         self.state
@@ -174,6 +182,67 @@ impl Simulation {
     #[inline]
     pub fn solver(&self) -> &dyn ForceSolver {
         self.solver.as_ref()
+    }
+
+    /// Mutable solver access (fault arming, recovery escalation).
+    #[inline]
+    pub fn solver_mut(&mut self) -> &mut dyn ForceSolver {
+        self.solver.as_mut()
+    }
+
+    /// The simulation options.
+    #[inline]
+    pub fn options(&self) -> &SimOptions {
+        &self.opts
+    }
+
+    /// Change the time step mid-run (the recovery ladder replays suspect
+    /// windows at `dt/2`). Takes effect from the next step.
+    #[inline]
+    pub fn set_dt(&mut self, dt: f64) {
+        self.opts.dt = dt;
+    }
+
+    /// The integrator's internal clock: `(time, steps_done, accel_fresh)` —
+    /// everything beyond [`Simulation::state`] and
+    /// [`Simulation::accelerations`] that a rollback point must capture.
+    #[inline]
+    pub fn clock(&self) -> (f64, usize, bool) {
+        (self.time, self.steps_done, self.accel_fresh)
+    }
+
+    /// Restore the simulation to a previously captured rollback point:
+    /// state arrays, cached accelerations, and internal clock. Copies into
+    /// the existing buffers, so restoring to the same body count allocates
+    /// nothing.
+    ///
+    /// # Panics
+    /// Panics if the array lengths disagree with each other.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_from_parts(
+        &mut self,
+        positions: &[Vec3],
+        velocities: &[Vec3],
+        masses: &[f64],
+        accel: &[Vec3],
+        time: f64,
+        steps_done: usize,
+        accel_fresh: bool,
+    ) {
+        assert_eq!(positions.len(), velocities.len(), "positions/velocities length mismatch");
+        assert_eq!(positions.len(), masses.len(), "positions/masses length mismatch");
+        assert_eq!(positions.len(), accel.len(), "positions/accel length mismatch");
+        self.state.positions.clear();
+        self.state.positions.extend_from_slice(positions);
+        self.state.velocities.clear();
+        self.state.velocities.extend_from_slice(velocities);
+        self.state.masses.clear();
+        self.state.masses.extend_from_slice(masses);
+        self.accel.clear();
+        self.accel.extend_from_slice(accel);
+        self.time = time;
+        self.steps_done = steps_done;
+        self.accel_fresh = accel_fresh;
     }
 
     /// Timings of the most recent step.

@@ -17,7 +17,10 @@
 //! assert!(t.force.as_nanos() > 0);
 //! ```
 
+pub mod checkpoint;
 pub mod diagnostics;
+pub mod guard;
+pub mod health;
 pub mod integrator;
 pub mod io;
 pub mod recorder;
@@ -29,6 +32,9 @@ pub mod timing;
 pub mod workload;
 pub mod workspace;
 
+pub use checkpoint::{CheckpointError, CheckpointRing, RestorePoint};
+pub use guard::{resume_state_from_disk, GuardConfig, GuardError, GuardStats, GuardedSimulation};
+pub use health::{HealthConfig, HealthMonitor, HealthReport, HealthVerdict};
 pub use integrator::{IntegratorKind, SimOptions, Simulation};
 pub use io::SnapshotError;
 pub use resilient::{ComputeError, ResilientConfig, ResilientSolver};
@@ -38,7 +44,12 @@ pub use timing::{StepAllocs, StepTimings};
 pub use workspace::SimWorkspace;
 
 pub mod prelude {
+    pub use crate::checkpoint::{CheckpointError, CheckpointRing};
     pub use crate::diagnostics::{l2_error, Diagnostics};
+    pub use crate::guard::{
+        resume_state_from_disk, GuardConfig, GuardError, GuardStats, GuardedSimulation,
+    };
+    pub use crate::health::{HealthConfig, HealthMonitor, HealthReport, HealthVerdict};
     pub use crate::integrator::{IntegratorKind, SimOptions, Simulation};
     pub use crate::resilient::{ComputeError, ResilientConfig, ResilientSolver};
     pub use crate::solver::{make_solver, ForceSolver, SolverKind, SolverParams};

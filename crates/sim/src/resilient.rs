@@ -130,6 +130,10 @@ pub struct ResilientSolver {
     step: u64,
     /// Chain level that served the most recent step (diagnostics).
     last_level: usize,
+    /// Floor on the chain level: levels below this are skipped. Raised by
+    /// [`ForceSolver::escalate_fallback`] when an outer recovery layer has
+    /// lost confidence in the preferred solver; 0 = unrestricted.
+    min_level: usize,
 }
 
 impl ResilientSolver {
@@ -153,6 +157,7 @@ impl ResilientSolver {
             counters: RecoveryCounters::new(),
             step: 0,
             last_level: 0,
+            min_level: 0,
         }
     }
 
@@ -180,6 +185,12 @@ impl ResilientSolver {
     /// Chain level (0 = most preferred) that served the last step.
     pub fn last_level(&self) -> usize {
         self.last_level
+    }
+
+    /// Current floor on the chain level (see
+    /// [`ForceSolver::escalate_fallback`]).
+    pub fn min_level(&self) -> usize {
+        self.min_level
     }
 
     /// Solver kind that served the last step.
@@ -252,14 +263,15 @@ impl ForceSolver for ResilientSolver {
 
         let chain_len = self.config.chain.len();
         let attempts = self.config.max_attempts_per_solver;
+        let start_level = self.min_level.min(chain_len - 1);
         let mut last_err: Option<ComputeError> = None;
-        for level in 0..chain_len {
+        for level in start_level..chain_len {
             let validate = self.config.validate_builds;
             let Some(solver) = Self::solver_at(&mut self.solvers, &self.config, level) else {
                 continue; // policy rejected at this level; not a fallback
             };
             for attempt in 0..attempts {
-                let first = level == 0 && attempt == 0;
+                let first = level == start_level && attempt == 0;
                 if first {
                     for &f in &faults {
                         if matches!(f, FaultKind::StuckLock | FaultKind::AllocExhaustion) {
@@ -318,6 +330,13 @@ impl ForceSolver for ResilientSolver {
         Err(last_err.unwrap_or_else(|| {
             ComputeError::InvariantViolation("no usable solver in the fallback chain".into())
         }))
+    }
+
+    fn escalate_fallback(&mut self, min_level: usize) -> bool {
+        // Clamp so an over-eager escalation still leaves the last-resort
+        // solver reachable rather than emptying the chain.
+        self.min_level = min_level.min(self.config.chain.len() - 1);
+        min_level < self.config.chain.len()
     }
 }
 
@@ -449,6 +468,27 @@ mod tests {
             solver.try_compute(&state, &mut acc, false).unwrap();
             assert!(acc.iter().all(|a| *a == Vec3::ZERO));
         }
+    }
+
+    #[test]
+    fn escalation_floor_skips_preferred_levels() {
+        let state = galaxy_collision(150, 47);
+        let mut solver = ResilientSolver::new(params());
+        let mut acc = vec![Vec3::ZERO; state.len()];
+        use crate::solver::ForceSolver as _;
+        assert!(solver.escalate_fallback(1));
+        solver.try_compute(&state, &mut acc, false).unwrap();
+        assert_eq!(solver.last_kind(), SolverKind::Bvh);
+        assert_eq!(solver.min_level(), 1);
+        // An out-of-range request clamps to the last resort (and reports
+        // that the requested level itself was unreachable).
+        assert!(!solver.escalate_fallback(99));
+        solver.try_compute(&state, &mut acc, false).unwrap();
+        assert_eq!(solver.last_kind(), SolverKind::AllPairs);
+        // Lifting the floor restores the preferred solver.
+        assert!(solver.escalate_fallback(0));
+        solver.try_compute(&state, &mut acc, false).unwrap();
+        assert_eq!(solver.last_kind(), SolverKind::Octree);
     }
 
     #[test]

@@ -207,6 +207,15 @@ pub trait ForceSolver: Send {
     fn inject_fault(&mut self, _kind: FaultKind) -> bool {
         false
     }
+
+    /// Restrict a chained solver to fallback levels ≥ `min_level` for
+    /// subsequent steps — the recovery ladder's "drop through the chain"
+    /// rung ([`crate::guard`]); call with 0 to lift the restriction.
+    /// Returns `true` if this solver has a chain to escalate; plain
+    /// solvers return `false`.
+    fn escalate_fallback(&mut self, _min_level: usize) -> bool {
+        false
+    }
 }
 
 /// Construct a solver for a runtime-selected policy.

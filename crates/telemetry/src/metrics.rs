@@ -5,7 +5,8 @@
 //! Naming: statics are SCREAMING_SNAKE; the parallel string used in JSON
 //! snapshots is the same name in lower snake_case. The registry accessors
 //! ([`counters`], [`gauges`], [`histograms`]) return the metrics in a fixed
-//! order (executor → octree → bvh → sim → resilient) so emitted JSON is
+//! order (executor → octree → bvh → sim → resilient → guard) so emitted
+//! JSON is
 //! byte-stable across runs.
 
 use crate::{Counter, Gauge, Histogram, WorkerTable};
@@ -97,12 +98,40 @@ pub static RESILIENT_SLOW_WORKERS: Counter = Counter::new();
 /// Fallback-chain level that produced each step (0 = primary config).
 pub static RESILIENT_FALLBACK_LEVEL: Histogram = Histogram::new();
 
+// ---- self-healing guard ----------------------------------------------------
+
+/// Logical steps completed through the guarded stepping layer.
+pub static GUARD_STEPS: Counter = Counter::new();
+/// Suspect health verdicts.
+pub static GUARD_SUSPECTS: Counter = Counter::new();
+/// Suspect verdicts accepted under the amnesty policy.
+pub static GUARD_SUSPECTS_ACCEPTED: Counter = Counter::new();
+/// Corrupt health verdicts (hard evidence: non-finite state).
+pub static GUARD_CORRUPTS: Counter = Counter::new();
+/// Rollbacks to an in-memory checkpoint.
+pub static GUARD_ROLLBACKS: Counter = Counter::new();
+/// Replays begun after a rollback.
+pub static GUARD_RETRIES: Counter = Counter::new();
+/// Recovery rungs that halved dt for a bounded window.
+pub static GUARD_DT_HALVINGS: Counter = Counter::new();
+/// Recovery rungs that escalated the solver fallback chain.
+pub static GUARD_CHAIN_ESCALATIONS: Counter = Counter::new();
+/// In-memory rollback points recorded.
+pub static GUARD_CHECKPOINTS: Counter = Counter::new();
+/// In-memory rollback points rejected by their digest at restore time.
+pub static GUARD_CHECKPOINT_REJECTS: Counter = Counter::new();
+/// Durable (on-disk) checkpoints written.
+pub static GUARD_DISK_CHECKPOINTS: Counter = Counter::new();
+/// Age (in ring positions, 0 = newest) of the checkpoint each rollback
+/// restored from.
+pub static GUARD_ROLLBACK_AGE: Histogram = Histogram::new();
+
 /// Number of registered counters.
-pub const N_COUNTERS: usize = 30;
+pub const N_COUNTERS: usize = 41;
 /// Number of registered gauges.
 pub const N_GAUGES: usize = 3;
 /// Number of registered histograms.
-pub const N_HISTOGRAMS: usize = 6;
+pub const N_HISTOGRAMS: usize = 7;
 
 /// All counters, in stable snapshot order.
 pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
@@ -137,6 +166,17 @@ pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
         ("resilient_spin_exhaustions", &RESILIENT_SPIN_EXHAUSTIONS),
         ("resilient_pool_exhaustions", &RESILIENT_POOL_EXHAUSTIONS),
         ("resilient_slow_workers", &RESILIENT_SLOW_WORKERS),
+        ("guard_steps", &GUARD_STEPS),
+        ("guard_suspects", &GUARD_SUSPECTS),
+        ("guard_suspects_accepted", &GUARD_SUSPECTS_ACCEPTED),
+        ("guard_corrupts", &GUARD_CORRUPTS),
+        ("guard_rollbacks", &GUARD_ROLLBACKS),
+        ("guard_retries", &GUARD_RETRIES),
+        ("guard_dt_halvings", &GUARD_DT_HALVINGS),
+        ("guard_chain_escalations", &GUARD_CHAIN_ESCALATIONS),
+        ("guard_checkpoints", &GUARD_CHECKPOINTS),
+        ("guard_checkpoint_rejects", &GUARD_CHECKPOINT_REJECTS),
+        ("guard_disk_checkpoints", &GUARD_DISK_CHECKPOINTS),
     ]
 }
 
@@ -158,6 +198,7 @@ pub fn histograms() -> [(&'static str, &'static Histogram); N_HISTOGRAMS] {
         ("bvh_list_bodies", &BVH_LIST_BODIES),
         ("bvh_list_nodes", &BVH_LIST_NODES),
         ("resilient_fallback_level", &RESILIENT_FALLBACK_LEVEL),
+        ("guard_rollback_age", &GUARD_ROLLBACK_AGE),
     ]
 }
 

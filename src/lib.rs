@@ -56,6 +56,10 @@ pub mod prelude {
     pub use crate::sim::workload::{
         galaxy_collision, plummer, solar_system, spinning_disk, uniform_cube, WorkloadSpec,
     };
-    pub use crate::sim::{SimOptions, SimWorkspace, Simulation, StepAllocs, StepTimings};
+    pub use crate::sim::{
+        resume_state_from_disk, GuardConfig, GuardError, GuardStats, GuardedSimulation,
+        HealthConfig, HealthMonitor, HealthVerdict, SimOptions, SimWorkspace, Simulation,
+        StepAllocs, StepTimings,
+    };
     pub use crate::stdpar::policy::{DynPolicy, Par, ParUnseq, Seq};
 }

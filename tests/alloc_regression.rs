@@ -133,6 +133,41 @@ fn steady_state_steps_allocate_nothing() {
                 assert_steady_state_clean(sim, &mut ws, &format!("resilient/{:?}", eval));
             }
 
+            // The self-healing guard with checkpointing and the watchdog
+            // fully active: the healthy path (fused health reduction every
+            // step, ring checkpoint every other step, sampled-energy check
+            // every other check) must add zero allocations on top of the
+            // wrapped step once the ring is warm.
+            {
+                let opts = SimOptions { dt: 0.0, softening: 1e-3, ..SimOptions::default() };
+                let cfg = GuardConfig {
+                    checkpoint_every: 2,
+                    health: HealthConfig { energy_check_every: 2, ..HealthConfig::default() },
+                    ..GuardConfig::default()
+                };
+                let mut guard =
+                    GuardedSimulation::new(state.clone(), SolverKind::Bvh, opts, cfg).unwrap();
+                let mut ws = SimWorkspace::new();
+                for _ in 0..3 {
+                    guard.step_into(&mut ws).unwrap();
+                }
+                for step in 0..4 {
+                    let before = allocation_count();
+                    let t = guard.step_into(&mut ws).unwrap();
+                    let delta = allocation_count() - before;
+                    assert_eq!(
+                        delta, 0,
+                        "guarded: steady-state step {step} performed {delta} allocations"
+                    );
+                    assert_eq!(t.allocs.total(), 0, "guarded phase counters: {:?}", t.allocs);
+                }
+                assert!(
+                    guard.stats().checkpoint_records >= 3,
+                    "checkpointing must have been live during the measured window: {:?}",
+                    guard.stats()
+                );
+            }
+
             // The owned-workspace entry point: `step()` detaches and
             // restores the simulation's own arena without allocating.
             let opts = SimOptions {

@@ -3,6 +3,7 @@
 //! systems, conserving mass and energy".
 
 use stdpar_nbody::prelude::*;
+use stdpar_nbody::resilience::{FaultInjector, FaultKind};
 
 #[test]
 fn energy_is_conserved_by_tree_solvers() {
@@ -63,6 +64,33 @@ fn bound_system_stays_bound() {
     // No body should have been ejected to absurd distance in 0.4 time units.
     let max_r = sim.state().positions.iter().map(|p| p.norm()).fold(0.0, f64::max);
     assert!(max_r < 50.0, "body ejected to r = {max_r}");
+}
+
+#[test]
+fn energy_is_conserved_through_guarded_recovery() {
+    // The self-healing layer under live fault injection must not cost
+    // physics: rollback-retry (and any dt-halving rungs) keep the guarded
+    // run inside the same energy-drift band as the clean solvers above.
+    let state = galaxy_collision(1_000, 16);
+    let opts = SimOptions { dt: 1e-3, theta: 0.5, softening: 5e-3, ..SimOptions::default() };
+    let e0 = Diagnostics::measure(&state, 1.0, 5e-3).total_energy;
+    let m0 = state.total_mass();
+    let mut guard =
+        GuardedSimulation::new(state, SolverKind::Bvh, opts, GuardConfig::default())
+            .unwrap()
+            .with_injector(
+                FaultInjector::new(0xC0_5E_4E)
+                    .with_rate(FaultKind::NanInject, 0.05)
+                    .with_rate(FaultKind::PositionBitFlip, 0.03),
+            );
+    guard.run(100).unwrap();
+    let s = guard.stats();
+    assert!(s.rollbacks >= 1, "injection should have fired over 100 steps: {s:?}");
+    let e1 = Diagnostics::measure(guard.state(), 1.0, 5e-3).total_energy;
+    let drift = ((e1 - e0) / e0).abs();
+    assert!(drift < 5e-3, "guarded+faulted energy drift {drift} (stats {s:?})");
+    assert_eq!(guard.state().total_mass(), m0, "rollback must never touch masses");
+    assert!(guard.state().is_valid());
 }
 
 #[test]

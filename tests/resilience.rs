@@ -18,8 +18,10 @@ fn params() -> SolverParams {
 
 #[test]
 fn every_fault_kind_is_detected_and_recovered() {
+    // Solver-level kinds only: the state-level numeric-corruption kinds are
+    // the guarded stepping layer's job, covered by `self_healing.rs`.
     let state = galaxy_collision(256, 7);
-    for kind in FaultKind::ALL {
+    for kind in FaultKind::SOLVER_LEVEL {
         let mut solver = ResilientSolver::new(params())
             .with_injector(FaultInjector::new(0xACCE55).at_step(0, kind));
         let mut acc = vec![Vec3::ZERO; state.len()];
@@ -37,6 +39,7 @@ fn every_fault_kind_is_detected_and_recovered() {
             FaultKind::AllocExhaustion => c.pool_exhaustions,
             FaultKind::NanPositions => c.invalid_states,
             FaultKind::SlowWorker => c.slow_workers,
+            state_level => unreachable!("not a solver-level fault: {}", state_level.name()),
         };
         assert_eq!(detected, 1, "{}: fault must be detected exactly once: {c}", kind.name());
         // Transient faults clear on retry: the preferred solver still

@@ -1,0 +1,197 @@
+//! Soak matrix for the self-healing stepping layer (DESIGN.md §
+//! Self-healing & checkpointing): every injected numeric-corruption
+//! scenario must be *detected* by the watchdog and *fully recovered* by
+//! the rollback-retry ladder, leaving a final state that matches the
+//! uninjected run — bit-for-bit where only rollback+replay was needed,
+//! and within the harness's established `mean_rel_err`-style tolerance
+//! when dt-halving reshaped the trajectory.
+
+use stdpar_nbody::prelude::*;
+use stdpar_nbody::resilience::{FaultInjector, FaultKind};
+use stdpar_nbody::sim::diagnostics::l2_error_relative;
+use stdpar_nbody::sim::solver::SolverParams;
+use stdpar_nbody::sim::{ResilientConfig, ResilientSolver};
+use stdpar_nbody::stdpar::backend::{with_backend, Backend};
+
+fn opts() -> SimOptions {
+    SimOptions { dt: 1e-3, softening: 5e-3, ..SimOptions::default() }
+}
+
+fn guarded(n: usize, seed: u64, cfg: GuardConfig) -> GuardedSimulation {
+    GuardedSimulation::new(galaxy_collision(n, seed), SolverKind::Bvh, opts(), cfg).unwrap()
+}
+
+/// The error band the accuracy harness already accepts for approximate
+/// force evaluation (`mean_rel_err` in BENCH_blocked.json is ~1e-3; the
+/// conservation suite tolerates 5e-3).
+const REL_TOL: f64 = 5e-3;
+
+#[test]
+fn soak_transient_faults_recover_to_the_uninjected_trajectory() {
+    // One scenario per state-level corruption mode that strikes the live
+    // state. Scripted faults are transient (keyed by execution index, so
+    // the replay runs clean): recovery is rollback+replay only, and the
+    // final state must equal the uninjected run *exactly*.
+    let scenarios: [(&str, FaultKind); 2] =
+        [("nan-inject", FaultKind::NanInject), ("position-bit-flip", FaultKind::PositionBitFlip)];
+    let mut clean = guarded(400, 21, GuardConfig::default());
+    clean.run(40).unwrap();
+
+    for (name, kind) in scenarios {
+        let mut faulty = guarded(400, 21, GuardConfig::default())
+            .with_injector(FaultInjector::new(0x50AC + kind as u64).at_step(9, kind));
+        faulty.run(40).unwrap_or_else(|e| panic!("{name}: guarded run died: {e}"));
+        let s = faulty.stats();
+        assert!(s.suspects + s.corrupts >= 1, "{name}: fault went undetected: {s:?}");
+        assert!(s.rollbacks >= 1, "{name}: no recovery happened: {s:?}");
+        assert_eq!(
+            clean.state().positions,
+            faulty.state().positions,
+            "{name}: transient recovery must be bit-identical"
+        );
+        assert_eq!(clean.state().velocities, faulty.state().velocities, "{name}");
+    }
+}
+
+#[test]
+fn soak_rate_driven_corruption_stays_within_harness_tolerance() {
+    // Poisson-style corruption at a realistic rate. Replays can be hit
+    // again (the schedule keeps drawing), so dt-halving rungs may engage
+    // and the trajectory may legitimately differ from the uninjected one —
+    // but it must stay finite, conserve energy, and land within the same
+    // relative-error band the approximate solvers already live in.
+    let mut clean = guarded(400, 22, GuardConfig::default());
+    clean.run(60).unwrap();
+
+    let mut faulty = guarded(400, 22, GuardConfig::default()).with_injector(
+        FaultInjector::new(0xDECAF)
+            .with_rate(FaultKind::NanInject, 0.04)
+            .with_rate(FaultKind::PositionBitFlip, 0.03),
+    );
+    faulty.run(60).unwrap();
+    let s = faulty.stats();
+    assert!(s.rollbacks >= 1, "rates should have fired over 60 steps: {s:?}");
+    assert!(faulty.state().is_valid(), "recovered state must be finite");
+    assert_eq!(faulty.sim().time(), clean.sim().time(), "logical time must not drift");
+    let err = l2_error_relative(&clean.state().positions, &faulty.state().positions);
+    assert!(err < REL_TOL, "recovered trajectory strayed: rel err {err:.3e}, stats {s:?}");
+}
+
+#[test]
+fn consecutive_faults_escalate_through_dt_halving_to_the_chain() {
+    // A burst of corruption on consecutive execution indices defeats plain
+    // replay (rung 0) and must climb the ladder: halved dt (rung 1), then
+    // a solver-chain escalation (rung 2) when wrapped around a
+    // ResilientSolver. The run still completes and stays physical.
+    let params = SolverParams { softening: 5e-3, ..SolverParams::default() };
+    let solver = ResilientSolver::with_config(ResilientConfig { params, ..Default::default() });
+    let sim = Simulation::with_solver(galaxy_collision(300, 23), Box::new(solver), opts());
+    let inj = (10..=14).fold(FaultInjector::new(31), |inj, exec| {
+        inj.at_step(exec, FaultKind::NanInject)
+    });
+    let mut guard = GuardedSimulation::from_simulation(sim, GuardConfig::default())
+        .with_injector(inj);
+    guard.run(30).unwrap();
+    let s = guard.stats();
+    assert!(s.dt_halvings >= 1, "rung 1 never engaged: {s:?}");
+    assert!(s.chain_escalations >= 1, "rung 2 never engaged: {s:?}");
+    assert!(guard.state().is_valid());
+    // The incident closed: dt restored once the window passed.
+    assert_eq!(guard.sim().options().dt, opts().dt, "dt must be restored after recovery");
+}
+
+#[test]
+fn guarded_recovery_is_reproducible_under_detpar() {
+    // The determinism backend plus a seeded schedule: two runs of the same
+    // chaos must agree on every counter and every bit of the final state.
+    let run = || {
+        with_backend(Backend::DetPar, || {
+            let mut guard = guarded(250, 24, GuardConfig::default()).with_injector(
+                FaultInjector::new(0x5EED)
+                    .with_rate(FaultKind::NanInject, 0.05)
+                    .with_rate(FaultKind::PositionBitFlip, 0.04),
+            );
+            guard.run(25).unwrap();
+            (guard.stats(), guard.state().clone())
+        })
+    };
+    let (s1, st1) = run();
+    let (s2, st2) = run();
+    assert_eq!(s1, s2, "recovery history must be deterministic under DetPar");
+    assert!(s1.rollbacks > 0, "schedule should have fired: {s1:?}");
+    assert_eq!(st1.positions, st2.positions);
+    assert_eq!(st1.velocities, st2.velocities);
+}
+
+#[test]
+fn budget_exhaustion_is_a_typed_error_not_a_hang() {
+    let cfg = GuardConfig { max_recoveries: 4, ..GuardConfig::default() };
+    let mut guard = guarded(150, 25, cfg)
+        .with_injector(FaultInjector::new(77).with_rate(FaultKind::NanInject, 1.0));
+    match guard.run(100) {
+        Err(GuardError::RecoveryBudgetExhausted { budget: 4, reason, .. }) => {
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected RecoveryBudgetExhausted, got {other:?}"),
+    }
+    assert_eq!(guard.recoveries_used(), 4);
+}
+
+#[test]
+fn kill_and_restart_from_a_corrupted_disk_checkpoint() {
+    // End-to-end durability: run guarded with rotating disk checkpoints
+    // while the injector sabotages the newest file (torn flush), then
+    // "restart the process": resume must reject the damaged file with a
+    // typed error and restart cleanly from the rotated previous one.
+    let dir = std::env::temp_dir();
+    let path = dir.join("self_healing_restart.bin");
+    let prev = dir.join("self_healing_restart.bin.prev");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&prev);
+
+    let cfg = GuardConfig { disk_path: Some(path.clone()), disk_every: 3, ..GuardConfig::default() };
+    let mut guard = guarded(200, 26, cfg)
+        .with_injector(FaultInjector::new(88).at_step(8, FaultKind::CheckpointTruncation));
+    guard.run(12).unwrap();
+    assert!(guard.stats().disk_checkpoints >= 2, "{:?}", guard.stats());
+
+    let (resumed, used_prev) = resume_state_from_disk(&path).unwrap();
+    assert!(resumed.is_valid());
+    assert_eq!(resumed.len(), 200);
+    // Whether the sabotaged write was the newest file depends on the
+    // cadence; either way the resume must succeed, and if the primary was
+    // the damaged one the fallback flag must say so.
+    if used_prev {
+        assert!(stdpar_nbody::sim::io::try_load(&path).is_err());
+    }
+
+    // The resumed state seeds a fresh guarded run that steps cleanly.
+    let mut resumed_guard = GuardedSimulation::new(
+        resumed,
+        SolverKind::Bvh,
+        opts(),
+        GuardConfig::default(),
+    )
+    .unwrap();
+    resumed_guard.run(3).unwrap();
+    assert!(resumed_guard.state().is_valid());
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&prev);
+}
+
+#[test]
+fn healthy_guarded_run_is_bit_identical_to_plain() {
+    // The watchdog and checkpointing must be pure observers on the healthy
+    // path: same trajectory as the unwrapped simulation, to the bit.
+    let state = galaxy_collision(500, 27);
+    let mut plain = Simulation::new(state.clone(), SolverKind::Bvh, opts()).unwrap();
+    let mut guard =
+        GuardedSimulation::new(state, SolverKind::Bvh, opts(), GuardConfig::default()).unwrap();
+    plain.run(25);
+    guard.run(25).unwrap();
+    assert_eq!(plain.state().positions, guard.state().positions);
+    assert_eq!(plain.state().velocities, guard.state().velocities);
+    let s = guard.stats();
+    assert_eq!(s.rollbacks + s.suspects + s.corrupts, 0, "healthy run misjudged: {s:?}");
+}
