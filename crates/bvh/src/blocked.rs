@@ -22,13 +22,21 @@
 //! is valid under `par_unseq` like the rest of the BVH pipeline.
 
 use crate::build::Bvh;
-use nbody_math::gravity::ForceParams;
-use nbody_math::{Aabb, InteractionLists, ListsPool, Vec3};
+use nbody_math::gravity::{ForceKernel, ForceParams};
+use nbody_math::simd::simd_level;
+use nbody_math::{Aabb, InteractionLists, KernelStats, ListsPool, Vec3};
 use nbody_telemetry::{metrics, record, MacCounts};
 use stdpar::backend::max_workers;
 use stdpar::prelude::*;
 
 impl Bvh {
+    /// Default blocked group size: the measured optimum for the BVH's tight
+    /// Hilbert-run boxes (group = 32 → 4.11x over per-body at N = 1e5,
+    /// θ = 0.5; see `BENCH_blocked.json`). Resolved from the
+    /// `ForceEval::Blocked { group: 0 }` auto sentinel by
+    /// [`nbody_math::gravity::ForceEval::resolve_group`].
+    pub const DEFAULT_BLOCK_GROUP: usize = 32;
+
     /// Blocked force evaluation: one traversal per contiguous group of
     /// `group` Hilbert-sorted bodies. Called from
     /// [`Bvh::compute_forces`] when `params.eval` selects
@@ -54,6 +62,9 @@ impl Bvh {
         let this = self;
         let theta2 = params.theta * params.theta;
         let eps2 = params.softening * params.softening;
+        if params.kernel == ForceKernel::Simd {
+            record!(gauge SIMD_DISPATCH_LEVEL, simd_level() as u64);
+        }
         for_each_chunk_worker(policy, 0..n, group, |w, r| {
             let mut gbox = Aabb::EMPTY;
             for j in r.clone() {
@@ -62,7 +73,8 @@ impl Bvh {
             // SAFETY: `w` is the executor's worker index — never observed
             // concurrently by two threads — and the pool was prepared for
             // `max_workers()` workers above.
-            let lists: &mut InteractionLists = unsafe { pool.slot(w) };
+            let state = unsafe { pool.slot(w) };
+            let lists: &mut InteractionLists = &mut state.lists;
             lists.clear();
             let mut mac = MacCounts::default();
             this.gather_group(gbox, theta2, params.use_quadrupole, lists, &mut mac);
@@ -71,10 +83,31 @@ impl Bvh {
             mac.flush(&metrics::BVH_MAC_ACCEPTS, &metrics::BVH_MAC_OPENS);
             record!(hist BVH_LIST_BODIES, lists.n_bodies() as u64);
             record!(hist BVH_LIST_NODES, lists.n_nodes() as u64);
-            for j in r {
-                let a = lists.eval_at(this.sorted_pos[j], params.g, eps2);
-                // Disjoint slots: perm is a permutation and groups partition it.
-                unsafe { out.write(this.perm[j] as usize, a) };
+            match params.kernel {
+                ForceKernel::Scalar => {
+                    for j in r {
+                        let a = lists.eval_at(this.sorted_pos[j], params.g, eps2);
+                        // Disjoint slots: perm is a permutation and groups
+                        // partition it.
+                        unsafe { out.write(this.perm[j] as usize, a) };
+                    }
+                }
+                ForceKernel::Simd => {
+                    let scratch = &mut state.scratch;
+                    scratch.clear_targets();
+                    for j in r.clone() {
+                        scratch.push_target(this.sorted_pos[j]);
+                    }
+                    let mut ks = KernelStats::default();
+                    lists.eval_group(scratch, params.g, eps2, params.precision, &mut ks);
+                    record!(counter SIMD_GROUPS, ks.groups);
+                    record!(counter SIMD_TILES, ks.tiles);
+                    record!(counter SIMD_LANE_SLOTS, ks.lane_slots);
+                    record!(counter SIMD_ACTIVE_LANES, ks.active_lanes);
+                    for (t, j) in r.enumerate() {
+                        unsafe { out.write(this.perm[j] as usize, scratch.accel(t)) };
+                    }
+                }
             }
         });
     }
@@ -289,19 +322,87 @@ mod tests {
     }
 
     #[test]
-    fn zero_group_size_is_clamped() {
+    fn zero_group_resolves_to_tree_default() {
         let (pos, mass) = random_system(64, 96);
         let b = built(&pos, &mass, false);
-        let one = forces(
-            &b,
-            &pos,
-            &ForceParams { eval: ForceEval::Blocked { group: 1 }, ..ForceParams::default() },
-        );
-        let zero = forces(
+        let auto = forces(
             &b,
             &pos,
             &ForceParams { eval: ForceEval::Blocked { group: 0 }, ..ForceParams::default() },
         );
-        assert_eq!(one, zero);
+        let explicit = forces(
+            &b,
+            &pos,
+            &ForceParams {
+                eval: ForceEval::Blocked { group: Bvh::DEFAULT_BLOCK_GROUP },
+                ..ForceParams::default()
+            },
+        );
+        assert_eq!(auto, explicit);
+        assert_eq!(
+            ForceEval::blocked().resolve_group(Bvh::DEFAULT_BLOCK_GROUP),
+            Some(Bvh::DEFAULT_BLOCK_GROUP)
+        );
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar_within_rounding() {
+        use nbody_math::gravity::{ForceKernel, KernelPrecision};
+        let (pos, mass) = random_system(700, 97);
+        for quad in [false, true] {
+            let b = built(&pos, &mass, quad);
+            let base = ForceParams {
+                theta: 0.6,
+                use_quadrupole: quad,
+                eval: ForceEval::blocked(),
+                ..ForceParams::default()
+            };
+            let scalar = forces(&b, &pos, &base);
+            let simd =
+                forces(&b, &pos, &ForceParams { kernel: ForceKernel::Simd, ..base });
+            for i in 0..pos.len() {
+                let rel = (simd[i] - scalar[i]).norm() / (1e-12 + scalar[i].norm());
+                assert!(rel < 1e-12, "quad={quad} body {i}: rel {rel}");
+            }
+            // Mixed precision stays within f32 noise of the f64 answer.
+            let mixed = forces(
+                &b,
+                &pos,
+                &ForceParams {
+                    kernel: ForceKernel::Simd,
+                    precision: KernelPrecision::MixedF32Far,
+                    ..base
+                },
+            );
+            for i in 0..pos.len() {
+                let rel = (mixed[i] - scalar[i]).norm() / (1e-12 + scalar[i].norm());
+                assert!(rel < 1e-4, "mixed quad={quad} body {i}: rel {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_kernel_agrees_across_policies_and_backends() {
+        use nbody_math::gravity::ForceKernel;
+        let (pos, mass) = random_system(400, 98);
+        let b = built(&pos, &mass, false);
+        let params = ForceParams {
+            eval: ForceEval::Blocked { group: 48 },
+            kernel: ForceKernel::Simd,
+            ..ForceParams::default()
+        };
+        let mut reference: Option<Vec<Vec3>> = None;
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let a = forces(&b, &pos, &params);
+                match &reference {
+                    None => reference = Some(a),
+                    Some(r) => assert_eq!(r, &a),
+                }
+            });
+        }
+        let mut seq = vec![Vec3::ZERO; pos.len()];
+        b.compute_forces(Seq, &pos, &mut seq, &params);
+        assert_eq!(reference.unwrap(), seq);
     }
 }

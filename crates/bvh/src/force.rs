@@ -13,7 +13,7 @@
 //!    for the octree.
 
 use crate::build::Bvh;
-use nbody_math::gravity::{multipole_accel, pair_accel, ForceEval, ForceParams};
+use nbody_math::gravity::{multipole_accel, pair_accel, ForceParams};
 use nbody_math::Vec3;
 use nbody_telemetry::{metrics, MacCounts};
 use stdpar::backend::{par_grain, unseq_grain};
@@ -58,8 +58,8 @@ impl Bvh {
         if params.use_quadrupole {
             assert!(self.quad.is_some(), "quadrupole requested but not accumulated");
         }
-        if let ForceEval::Blocked { group } = params.eval {
-            self.compute_forces_blocked(policy, accel, params, group.max(1), &mut scratch.lists);
+        if let Some(group) = params.eval.resolve_group(Self::DEFAULT_BLOCK_GROUP) {
+            self.compute_forces_blocked(policy, accel, params, group, &mut scratch.lists);
             return;
         }
         // Chunked rather than per-index so MAC telemetry tallies in a local
@@ -114,10 +114,12 @@ impl Bvh {
             let mut descend = false;
             if m > 0.0 {
                 if self.is_leaf(i) {
-                    // Exact pair-wise interaction at leaf nodes.
+                    // Exact pair-wise interaction at leaf nodes. G is
+                    // hoisted: terms accumulate unscaled and the single
+                    // multiply happens once at exit.
                     let j = i - self.leaves;
                     if Some(self.perm[j]) != exclude {
-                        acc += pair_accel(self.sorted_pos[j] - p, self.sorted_mass[j], params.g, eps2);
+                        acc += pair_accel(self.sorted_pos[j] - p, self.sorted_mass[j], 1.0, eps2);
                     }
                 } else {
                     let d = self.com[i] - p;
@@ -129,7 +131,7 @@ impl Bvh {
                     let d2 = self.boxes[i].distance2_to_point(p);
                     if self.diag2[i] < theta2 * d2 {
                         accepts += 1;
-                        acc += multipole_accel(d, m, quad.map(|q| &q[i]), params.g, eps2);
+                        acc += multipole_accel(d, m, quad.map(|q| &q[i]), 1.0, eps2);
                     } else {
                         opens += 1;
                         i *= 2; // forward step: descend into the left child
@@ -159,7 +161,7 @@ impl Bvh {
         };
         mac.accepts += accepts;
         mac.opens += opens;
-        acc
+        acc * params.g
     }
 }
 

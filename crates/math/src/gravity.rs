@@ -33,20 +33,73 @@ pub enum ForceEval {
 }
 
 impl ForceEval {
-    /// Default group size of the blocked path: large enough to amortise the
-    /// traversal, small enough that group AABBs stay tight.
-    pub const DEFAULT_GROUP: usize = 32;
-
-    /// The blocked path at its default group size.
+    /// The blocked path at its automatic group size: each tree resolves
+    /// `group: 0` to its own measured optimum (see
+    /// [`ForceEval::resolve_group`]).
     pub const fn blocked() -> Self {
-        ForceEval::Blocked { group: Self::DEFAULT_GROUP }
+        ForceEval::Blocked { group: 0 }
     }
 
-    /// Group size of the blocked path (`None` for the per-body path).
-    pub const fn group(self) -> Option<usize> {
+    /// Group size of the blocked path (`None` for the per-body path), with
+    /// the *auto* sentinel `group == 0` resolved to `tree_default`.
+    ///
+    /// The best group size is a property of the tree, not of the workload:
+    /// the octree's cubic cells peak at small groups (8) while the BVH's
+    /// tight boxes amortise further (32) — see `BENCH_blocked.json`. Each
+    /// tree passes its own measured default here.
+    pub const fn resolve_group(self, tree_default: usize) -> Option<usize> {
         match self {
             ForceEval::PerBody => None,
-            ForceEval::Blocked { group } => Some(if group == 0 { 1 } else { group }),
+            ForceEval::Blocked { group: 0 } => {
+                Some(if tree_default == 0 { 1 } else { tree_default })
+            }
+            ForceEval::Blocked { group } => Some(group),
+        }
+    }
+}
+
+/// Which kernel implementation consumes the blocked interaction lists.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ForceKernel {
+    /// The scalar reference kernel
+    /// ([`crate::interaction::InteractionLists::eval_at`]): one target ×
+    /// one source per iteration, term-identical to the per-body traversal.
+    /// Retained as the oracle the SIMD path is tested against.
+    #[default]
+    Scalar,
+    /// The tiled SIMD kernel
+    /// ([`crate::interaction::InteractionLists::eval_group`]): the whole
+    /// group against L1-resident source tiles, sources across vector lanes.
+    Simd,
+}
+
+impl ForceKernel {
+    pub fn name(self) -> &'static str {
+        match self {
+            ForceKernel::Scalar => "scalar",
+            ForceKernel::Simd => "simd",
+        }
+    }
+}
+
+/// Floating-point precision of the SIMD kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelPrecision {
+    /// Every term in f64 — bit-for-bit the same accuracy budget as the
+    /// scalar kernel.
+    #[default]
+    F64,
+    /// Far-field monopole terms accumulate in `f32x8` (twice the lane
+    /// width); near-field pair terms and quadrupole corrections stay f64.
+    /// Only the SIMD kernel honours this; the scalar oracle is always f64.
+    MixedF32Far,
+}
+
+impl KernelPrecision {
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPrecision::F64 => "f64",
+            KernelPrecision::MixedF32Far => "mixed-f32-far",
         }
     }
 }
@@ -69,6 +122,11 @@ pub struct ForceParams {
     pub use_quadrupole: bool,
     /// Traversal strategy (per-body re-walks vs blocked shared lists).
     pub eval: ForceEval,
+    /// Kernel consuming the blocked interaction lists (ignored by the
+    /// per-body traversal, which has no flat lists to vectorise).
+    pub kernel: ForceKernel,
+    /// Precision mode of the SIMD kernel (ignored by the scalar oracle).
+    pub precision: KernelPrecision,
 }
 
 impl Default for ForceParams {
@@ -79,13 +137,18 @@ impl Default for ForceParams {
             g: 1.0,
             use_quadrupole: false,
             eval: ForceEval::PerBody,
+            kernel: ForceKernel::Scalar,
+            precision: KernelPrecision::F64,
         }
     }
 }
 
 /// Acceleration at a body from a point source of mass `m` displaced by
 /// `d = x_source − x_body`, with squared softening `eps2`.
-#[inline]
+///
+/// `#[inline(always)]`: this is the innermost term of every traversal loop
+/// — an outlined call would cost more than the body.
+#[inline(always)]
 pub fn pair_accel(d: Vec3, m: f64, g: f64, eps2: f64) -> Vec3 {
     let r2 = d.norm2() + eps2;
     if r2 > 0.0 {
@@ -98,7 +161,10 @@ pub fn pair_accel(d: Vec3, m: f64, g: f64, eps2: f64) -> Vec3 {
 /// Monopole + optional quadrupole acceleration of a node with mass `m`,
 /// displacement `d = com − x_body`, and central second moments `s`
 /// (xx, xy, xz, yy, yz, zz).
-#[inline]
+///
+/// `#[inline(always)]`: per-node term of the traversal inner loop, same
+/// rationale as [`pair_accel`].
+#[inline(always)]
 pub fn multipole_accel(
     d: Vec3,
     m: f64,

@@ -18,14 +18,15 @@ pub mod interaction;
 pub mod kahan;
 pub mod morton;
 pub mod rng;
+pub mod simd;
 pub mod vec2;
 pub mod vec3;
 
 pub use aabb::Aabb;
 pub use atomic_f64::AtomicF64;
 pub use crc32::{crc32, Crc32};
-pub use gravity::{ForceEval, ForceParams};
-pub use interaction::{InteractionLists, ListsPool};
+pub use gravity::{ForceEval, ForceKernel, ForceParams, KernelPrecision};
+pub use interaction::{InteractionLists, KernelScratch, KernelStats, ListsPool, WorkerKernelState};
 pub use kahan::KahanSum;
 pub use rng::SplitMix64;
 pub use vec2::{Rect, Vec2};

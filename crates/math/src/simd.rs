@@ -1,0 +1,757 @@
+//! Dependency-free portable SIMD: fixed-width lane types and a runtime
+//! CPU-feature dispatch for the force microkernels.
+//!
+//! # One operation set, two instantiations
+//!
+//! The kernels are generic over the [`SimdF64`]/[`SimdF32`] operation
+//! traits. The portable impls ([`f64x4`], [`f32x8`]) are array wrappers
+//! whose ops are per-lane loops — correct everywhere, vectorised by LLVM
+//! as far as the baseline ISA allows. The x86-64 AVX2 impls
+//! ([`avx2::F64x4A`], [`avx2::F32x8A`]) wrap `__m256d`/`__m256` and map
+//! each op onto exactly one 256-bit intrinsic; they exist because LLVM's
+//! SLP vectoriser only rediscovers 128-bit vectors from the array loops
+//! even inside an `#[target_feature(enable = "avx2,fma")]` function, so
+//! the wide tier must name its instructions explicitly.
+//!
+//! Both impls execute the *same IEEE-754 operation per lane*: add, sub and
+//! mul are exactly rounded; `mul_add` is the IEEE `fusedMultiplyAdd` (one
+//! rounding — identical from `vfmadd` and from the correctly-rounded
+//! software fallback on FMA-less targets); `rsqrt` is the same integer
+//! seed plus the same fused Newton steps; the guard select and the
+//! horizontal-sum association are fixed. Results therefore do not depend
+//! on the dispatched tier — the dispatch changes throughput, never bits.
+//! `tests/simd_kernels.rs` tests this end to end and the unit tests below
+//! compare the two impls lane by lane.
+//!
+//! # Lane layout
+//!
+//! Kernels put *sources* across lanes (`lane k` = source `base + k`) and
+//! keep *targets* in scalar registers broadcast via [`f64x4::splat`]. The
+//! horizontal reduction [`f64x4::hsum`] uses one fixed association,
+//! `(l0 + l1) + (l2 + l3)`, so summation order — and therefore rounding —
+//! is a pure function of the data layout, independent of CPU or schedule.
+//!
+//! # Dispatch
+//!
+//! [`simd_level`] probes the CPU once (cached in a relaxed atomic — the
+//! probe is idempotent) and the kernel entry points select the matching
+//! monomorphisation. `#[target_feature]` functions cannot be inlined into
+//! callers lacking the feature, so the wide path lives behind one indirect
+//! boundary per *group*, amortised over the whole tile product.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Lanes in one [`f64x4`].
+pub const F64_LANES: usize = 4;
+/// Lanes in one [`f32x8`].
+pub const F32_LANES: usize = 8;
+
+/// Vector width tier selected at runtime. Ordered: higher = wider.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Baseline codegen (SSE2 on x86-64): the portable fallback.
+    Portable = 0,
+    /// 256-bit AVX2 + FMA instruction set available; kernels run through
+    /// their `#[target_feature(enable = "avx2,fma")]` instantiations.
+    Avx2Fma = 1,
+}
+
+impl SimdLevel {
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Portable => "portable",
+            SimdLevel::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+/// Probe result cache: 0 = unprobed, 1 = Portable, 2 = Avx2Fma.
+// relaxed-ok: idempotent memoisation — racing initialisers compute the same
+// value from CPUID, and a stale 0 merely re-probes.
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+
+/// The SIMD tier this process dispatches to, probed once at first use.
+#[inline]
+pub fn simd_level() -> SimdLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => SimdLevel::Portable,
+        2 => SimdLevel::Avx2Fma,
+        _ => {
+            let level = probe();
+            LEVEL.store(
+                match level {
+                    SimdLevel::Portable => 1,
+                    SimdLevel::Avx2Fma => 2,
+                },
+                Ordering::Relaxed,
+            );
+            level
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn probe() -> SimdLevel {
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        SimdLevel::Avx2Fma
+    } else {
+        SimdLevel::Portable
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn probe() -> SimdLevel {
+    SimdLevel::Portable
+}
+
+/// Four `f64` lanes. All ops are element-wise IEEE-754; see module docs.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct f64x4(pub [f64; 4]);
+
+/// Eight `f32` lanes for the mixed-precision far-field accumulator.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct f32x8(pub [f32; 8]);
+
+macro_rules! lanewise {
+    ($name:ident, $op:tt) => {
+        #[inline(always)]
+        pub fn $name(self, rhs: Self) -> Self {
+            let mut out = self.0;
+            for (o, r) in out.iter_mut().zip(rhs.0) {
+                *o $op r;
+            }
+            Self(out)
+        }
+    };
+}
+
+// Lane ops deliberately reuse the scalar operator names (`add`, `mul`, …)
+// without implementing `std::ops`: call sites then read as explicit
+// vector-lane operations, and the kernels stay generic over the minimal
+// `SimdF64`/`SimdF32` surface instead of operator sugar.
+#[allow(clippy::should_implement_trait)]
+impl f64x4 {
+    pub const ZERO: Self = f64x4([0.0; 4]);
+
+    /// Broadcast one scalar across every lane.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        f64x4([v; 4])
+    }
+
+    /// Load four contiguous lanes from `s` starting at `at`.
+    ///
+    /// # Panics
+    /// If `s[at..at + 4]` is out of bounds.
+    #[inline(always)]
+    pub fn load(s: &[f64], at: usize) -> Self {
+        f64x4([s[at], s[at + 1], s[at + 2], s[at + 3]])
+    }
+
+    lanewise!(add, +=);
+    lanewise!(sub, -=);
+    lanewise!(mul, *=);
+    lanewise!(div, /=);
+
+    /// Per-lane fused `self·b + c` — the IEEE-754 `fusedMultiplyAdd`,
+    /// one rounding. Deterministic across tiers: the result is defined by
+    /// the standard, identical from `vfmadd` and from the
+    /// correctly-rounded software fallback on FMA-less targets (where it
+    /// is slow — the portable tier is a compatibility path, not a fast
+    /// path).
+    #[inline(always)]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        f64x4(std::array::from_fn(|i| self.0[i].mul_add(b.0[i], c.0[i])))
+    }
+
+    /// Per-lane square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        f64x4([self.0[0].sqrt(), self.0[1].sqrt(), self.0[2].sqrt(), self.0[3].sqrt()])
+    }
+
+    /// Per-lane `numer / denom` where `denom > 0.0`, else `0.0` — the
+    /// kernels' zero-distance guard, compiled to a compare + blend.
+    #[inline(always)]
+    pub fn div_guarded(numer: Self, denom: Self) -> Self {
+        f64x4(std::array::from_fn(|i| {
+            if denom.0[i] > 0.0 {
+                numer.0[i] / denom.0[i]
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    /// Horizontal sum with the fixed association `(l0 + l1) + (l2 + l3)`.
+    #[inline(always)]
+    pub fn hsum(self) -> f64 {
+        (self.0[0] + self.0[1]) + (self.0[2] + self.0[3])
+    }
+
+    /// Per-lane reciprocal square root `x^(-1/2)` to ≈2-3 ulp, built from
+    /// an integer-shift seed and four Newton-Raphson steps.
+    ///
+    /// The force kernels are throughput-limited by the divider port
+    /// (`vdivpd`/`vsqrtpd` share it and pipeline poorly); this formulation
+    /// is pure mul/sub, which issues on the FMA ports and overlaps with
+    /// the surrounding arithmetic. The seed is the classic bit trick
+    /// (integer ops only) rather than a hardware estimate instruction
+    /// (`vrsqrtps` is implementation-defined per CPU), so results are
+    /// bit-identical across machines and dispatch tiers.
+    ///
+    /// Lanes with non-positive, subnormal, or non-finite input produce
+    /// garbage — callers mask them with [`f64x4::zero_unless_pos`].
+    #[inline(always)]
+    pub fn rsqrt(self) -> Self {
+        // Seed accurate to ~5 bits; each Newton step squares the relative
+        // error, so four steps exceed f64 precision.
+        let mut y = f64x4(std::array::from_fn(|i| {
+            f64::from_bits(0x5FE6_EB50_C7B5_37A9u64.wrapping_sub(self.0[i].to_bits() >> 1))
+        }));
+        let neg_half_x = self.mul(f64x4::splat(-0.5));
+        let three_halves = f64x4::splat(1.5);
+        for _ in 0..4 {
+            // y ← y (3/2 + (−x/2)·y²), polynomial step fused.
+            let y2 = y.mul(y);
+            y = y.mul(neg_half_x.mul_add(y2, three_halves));
+        }
+        y
+    }
+
+    /// Per-lane `if cond > 0.0 { val } else { 0.0 }` — compiled to a
+    /// compare + blend. Zeroes even NaN/inf `val` lanes, so it masks the
+    /// garbage lanes of [`f64x4::rsqrt`] and the kernels' zero-distance
+    /// guard in one select.
+    #[inline(always)]
+    pub fn zero_unless_pos(cond: Self, val: Self) -> Self {
+        f64x4(std::array::from_fn(|i| if cond.0[i] > 0.0 { val.0[i] } else { 0.0 }))
+    }
+}
+
+// See the note on the f64x4 impl for the operator-style method names.
+#[allow(clippy::should_implement_trait)]
+impl f32x8 {
+    pub const ZERO: Self = f32x8([0.0; 8]);
+
+    /// Broadcast one scalar across every lane.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        f32x8([v; 8])
+    }
+
+    /// Load eight contiguous lanes from `s` starting at `at`.
+    ///
+    /// # Panics
+    /// If `s[at..at + 8]` is out of bounds.
+    #[inline(always)]
+    pub fn load(s: &[f32], at: usize) -> Self {
+        f32x8(std::array::from_fn(|i| s[at + i]))
+    }
+
+    lanewise!(add, +=);
+    lanewise!(sub, -=);
+    lanewise!(mul, *=);
+    lanewise!(div, /=);
+
+    /// Per-lane fused `self·b + c` (see [`f64x4::mul_add`]).
+    #[inline(always)]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        f32x8(std::array::from_fn(|i| self.0[i].mul_add(b.0[i], c.0[i])))
+    }
+
+    /// Per-lane square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        f32x8(self.0.map(f32::sqrt))
+    }
+
+    /// Per-lane `numer / denom` where `denom > 0.0`, else `0.0`.
+    #[inline(always)]
+    pub fn div_guarded(numer: Self, denom: Self) -> Self {
+        f32x8(std::array::from_fn(|i| {
+            if denom.0[i] > 0.0 {
+                numer.0[i] / denom.0[i]
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    /// Horizontal sum in f64 with fixed pairwise association:
+    /// `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`, each lane widened
+    /// first so the reduction itself adds no f32 rounding.
+    #[inline(always)]
+    pub fn hsum_f64(self) -> f64 {
+        let l = self.0.map(|v| v as f64);
+        ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+    }
+
+    /// Per-lane reciprocal square root to ≈2-3 ulp of f32: integer-shift
+    /// seed plus three Newton-Raphson steps (see [`f64x4::rsqrt`] for the
+    /// rationale; f32 needs one step fewer to saturate its mantissa).
+    /// Garbage on non-positive input — mask with
+    /// [`f32x8::zero_unless_pos`].
+    #[inline(always)]
+    pub fn rsqrt(self) -> Self {
+        let mut y = f32x8(std::array::from_fn(|i| {
+            f32::from_bits(0x5F37_5A86u32.wrapping_sub(self.0[i].to_bits() >> 1))
+        }));
+        let neg_half_x = self.mul(f32x8::splat(-0.5));
+        let three_halves = f32x8::splat(1.5);
+        for _ in 0..3 {
+            let y2 = y.mul(y);
+            y = y.mul(neg_half_x.mul_add(y2, three_halves));
+        }
+        y
+    }
+
+    /// Per-lane `if cond > 0.0 { val } else { 0.0 }` (compare + blend).
+    #[inline(always)]
+    pub fn zero_unless_pos(cond: Self, val: Self) -> Self {
+        f32x8(std::array::from_fn(|i| if cond.0[i] > 0.0 { val.0[i] } else { 0.0 }))
+    }
+}
+
+/// The f64 lane-operation set of the force microkernels (see module docs:
+/// every method is the same IEEE-754 per-lane operation in every impl, so
+/// kernel results are impl-independent).
+pub trait SimdF64: Copy {
+    fn zero() -> Self;
+    fn splat(v: f64) -> Self;
+    /// Load [`F64_LANES`] contiguous lanes from `s` starting at `at`.
+    /// Panics if out of bounds.
+    fn load(s: &[f64], at: usize) -> Self;
+    fn from_lanes(l: [f64; F64_LANES]) -> Self;
+    fn to_lanes(self) -> [f64; F64_LANES];
+    fn add(self, rhs: Self) -> Self;
+    fn sub(self, rhs: Self) -> Self;
+    fn mul(self, rhs: Self) -> Self;
+    /// Fused `self·b + c`, one rounding (IEEE `fusedMultiplyAdd`).
+    fn mul_add(self, b: Self, c: Self) -> Self;
+    /// Newton rsqrt (see [`f64x4::rsqrt`]); garbage on non-positive lanes.
+    fn rsqrt(self) -> Self;
+    /// Per-lane `if cond > 0.0 { val } else { 0.0 }`.
+    fn zero_unless_pos(cond: Self, val: Self) -> Self;
+    /// Horizontal sum, fixed association `(l0 + l1) + (l2 + l3)`.
+    fn hsum(self) -> f64;
+}
+
+/// The f32 lane-operation set of the mixed-precision far-field kernel.
+pub trait SimdF32: Copy {
+    fn zero() -> Self;
+    fn splat(v: f32) -> Self;
+    /// Load [`F32_LANES`] contiguous lanes; panics if out of bounds.
+    fn load(s: &[f32], at: usize) -> Self;
+    fn from_lanes(l: [f32; F32_LANES]) -> Self;
+    fn to_lanes(self) -> [f32; F32_LANES];
+    fn sub(self, rhs: Self) -> Self;
+    fn mul(self, rhs: Self) -> Self;
+    fn mul_add(self, b: Self, c: Self) -> Self;
+    fn rsqrt(self) -> Self;
+    fn zero_unless_pos(cond: Self, val: Self) -> Self;
+    /// Horizontal sum in f64, lanes widened first, fixed pairwise
+    /// association `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`.
+    fn hsum_f64(self) -> f64;
+}
+
+impl SimdF64 for f64x4 {
+    #[inline(always)]
+    fn zero() -> Self {
+        f64x4::ZERO
+    }
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        f64x4::splat(v)
+    }
+    #[inline(always)]
+    fn load(s: &[f64], at: usize) -> Self {
+        f64x4::load(s, at)
+    }
+    #[inline(always)]
+    fn from_lanes(l: [f64; F64_LANES]) -> Self {
+        f64x4(l)
+    }
+    #[inline(always)]
+    fn to_lanes(self) -> [f64; F64_LANES] {
+        self.0
+    }
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        f64x4::add(self, rhs)
+    }
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        f64x4::sub(self, rhs)
+    }
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        f64x4::mul(self, rhs)
+    }
+    #[inline(always)]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        f64x4::mul_add(self, b, c)
+    }
+    #[inline(always)]
+    fn rsqrt(self) -> Self {
+        f64x4::rsqrt(self)
+    }
+    #[inline(always)]
+    fn zero_unless_pos(cond: Self, val: Self) -> Self {
+        f64x4::zero_unless_pos(cond, val)
+    }
+    #[inline(always)]
+    fn hsum(self) -> f64 {
+        f64x4::hsum(self)
+    }
+}
+
+impl SimdF32 for f32x8 {
+    #[inline(always)]
+    fn zero() -> Self {
+        f32x8::ZERO
+    }
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        f32x8::splat(v)
+    }
+    #[inline(always)]
+    fn load(s: &[f32], at: usize) -> Self {
+        f32x8::load(s, at)
+    }
+    #[inline(always)]
+    fn from_lanes(l: [f32; F32_LANES]) -> Self {
+        f32x8(l)
+    }
+    #[inline(always)]
+    fn to_lanes(self) -> [f32; F32_LANES] {
+        self.0
+    }
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        f32x8::sub(self, rhs)
+    }
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        f32x8::mul(self, rhs)
+    }
+    #[inline(always)]
+    fn mul_add(self, b: Self, c: Self) -> Self {
+        f32x8::mul_add(self, b, c)
+    }
+    #[inline(always)]
+    fn rsqrt(self) -> Self {
+        f32x8::rsqrt(self)
+    }
+    #[inline(always)]
+    fn zero_unless_pos(cond: Self, val: Self) -> Self {
+        f32x8::zero_unless_pos(cond, val)
+    }
+    #[inline(always)]
+    fn hsum_f64(self) -> f64 {
+        f32x8::hsum_f64(self)
+    }
+}
+
+/// 256-bit AVX2+FMA impls of the lane traits, one intrinsic per op.
+///
+/// # Safety contract
+///
+/// Values of these types are only ever created inside the
+/// `#[target_feature(enable = "avx2,fma")]` kernel instantiation, which is
+/// entered after runtime detection ([`super::simd_level`]); every
+/// intrinsic's feature requirement is therefore met at each call site.
+/// The module is `pub(crate)` so the contract is enforceable by
+/// inspection: the only users are the kernel entry points in
+/// `interaction.rs`.
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2 {
+    use super::{SimdF32, SimdF64, F32_LANES, F64_LANES};
+    use core::arch::x86_64::*;
+
+    /// `__m256d` impl of [`SimdF64`] — see the module safety contract.
+    #[derive(Clone, Copy)]
+    pub struct F64x4A(__m256d);
+
+    /// `__m256` impl of [`SimdF32`] — see the module safety contract.
+    #[derive(Clone, Copy)]
+    pub struct F32x8A(__m256);
+
+    impl SimdF64 for F64x4A {
+        #[inline(always)]
+        fn zero() -> Self {
+            // SAFETY (this and every block below): module safety contract.
+            unsafe { F64x4A(_mm256_setzero_pd()) }
+        }
+        #[inline(always)]
+        fn splat(v: f64) -> Self {
+            unsafe { F64x4A(_mm256_set1_pd(v)) }
+        }
+        #[inline(always)]
+        fn load(s: &[f64], at: usize) -> Self {
+            // The slice index performs the same bounds check as the
+            // portable load, making the raw read sound.
+            let s = &s[at..at + F64_LANES];
+            unsafe { F64x4A(_mm256_loadu_pd(s.as_ptr())) }
+        }
+        #[inline(always)]
+        fn from_lanes(l: [f64; F64_LANES]) -> Self {
+            unsafe { F64x4A(_mm256_loadu_pd(l.as_ptr())) }
+        }
+        #[inline(always)]
+        fn to_lanes(self) -> [f64; F64_LANES] {
+            let mut l = [0.0f64; F64_LANES];
+            unsafe { _mm256_storeu_pd(l.as_mut_ptr(), self.0) };
+            l
+        }
+        #[inline(always)]
+        fn add(self, rhs: Self) -> Self {
+            unsafe { F64x4A(_mm256_add_pd(self.0, rhs.0)) }
+        }
+        #[inline(always)]
+        fn sub(self, rhs: Self) -> Self {
+            unsafe { F64x4A(_mm256_sub_pd(self.0, rhs.0)) }
+        }
+        #[inline(always)]
+        fn mul(self, rhs: Self) -> Self {
+            unsafe { F64x4A(_mm256_mul_pd(self.0, rhs.0)) }
+        }
+        #[inline(always)]
+        fn mul_add(self, b: Self, c: Self) -> Self {
+            unsafe { F64x4A(_mm256_fmadd_pd(self.0, b.0, c.0)) }
+        }
+        #[inline(always)]
+        fn rsqrt(self) -> Self {
+            // Same integer seed and fused Newton steps as f64x4::rsqrt,
+            // lane for lane: srli/sub_epi64 are the same wrapping u64
+            // arithmetic, fmadd/mul the same IEEE ops.
+            unsafe {
+                let magic = _mm256_set1_epi64x(0x5FE6_EB50_C7B5_37A9u64 as i64);
+                let seed = _mm256_sub_epi64(magic, _mm256_srli_epi64::<1>(_mm256_castpd_si256(self.0)));
+                let mut y = _mm256_castsi256_pd(seed);
+                let neg_half_x = _mm256_mul_pd(self.0, _mm256_set1_pd(-0.5));
+                let three_halves = _mm256_set1_pd(1.5);
+                for _ in 0..4 {
+                    let y2 = _mm256_mul_pd(y, y);
+                    y = _mm256_mul_pd(y, _mm256_fmadd_pd(neg_half_x, y2, three_halves));
+                }
+                F64x4A(y)
+            }
+        }
+        #[inline(always)]
+        fn zero_unless_pos(cond: Self, val: Self) -> Self {
+            // cond > 0.0 (ordered, quiet: NaN lanes fail the compare, as
+            // in the portable `if`) → all-ones mask → AND keeps val bits
+            // exactly, zeroed lanes are +0.0 like the portable else-arm.
+            unsafe {
+                let mask = _mm256_cmp_pd::<_CMP_GT_OQ>(cond.0, _mm256_setzero_pd());
+                F64x4A(_mm256_and_pd(mask, val.0))
+            }
+        }
+        #[inline(always)]
+        fn hsum(self) -> f64 {
+            let mut l = [0.0f64; F64_LANES];
+            unsafe { _mm256_storeu_pd(l.as_mut_ptr(), self.0) };
+            (l[0] + l[1]) + (l[2] + l[3])
+        }
+    }
+
+    impl SimdF32 for F32x8A {
+        #[inline(always)]
+        fn zero() -> Self {
+            unsafe { F32x8A(_mm256_setzero_ps()) }
+        }
+        #[inline(always)]
+        fn splat(v: f32) -> Self {
+            unsafe { F32x8A(_mm256_set1_ps(v)) }
+        }
+        #[inline(always)]
+        fn load(s: &[f32], at: usize) -> Self {
+            let s = &s[at..at + F32_LANES];
+            unsafe { F32x8A(_mm256_loadu_ps(s.as_ptr())) }
+        }
+        #[inline(always)]
+        fn from_lanes(l: [f32; F32_LANES]) -> Self {
+            unsafe { F32x8A(_mm256_loadu_ps(l.as_ptr())) }
+        }
+        #[inline(always)]
+        fn to_lanes(self) -> [f32; F32_LANES] {
+            let mut l = [0.0f32; F32_LANES];
+            unsafe { _mm256_storeu_ps(l.as_mut_ptr(), self.0) };
+            l
+        }
+        #[inline(always)]
+        fn sub(self, rhs: Self) -> Self {
+            unsafe { F32x8A(_mm256_sub_ps(self.0, rhs.0)) }
+        }
+        #[inline(always)]
+        fn mul(self, rhs: Self) -> Self {
+            unsafe { F32x8A(_mm256_mul_ps(self.0, rhs.0)) }
+        }
+        #[inline(always)]
+        fn mul_add(self, b: Self, c: Self) -> Self {
+            unsafe { F32x8A(_mm256_fmadd_ps(self.0, b.0, c.0)) }
+        }
+        #[inline(always)]
+        fn rsqrt(self) -> Self {
+            unsafe {
+                let magic = _mm256_set1_epi32(0x5F37_5A86u32 as i32);
+                let seed = _mm256_sub_epi32(magic, _mm256_srli_epi32::<1>(_mm256_castps_si256(self.0)));
+                let mut y = _mm256_castsi256_ps(seed);
+                let neg_half_x = _mm256_mul_ps(self.0, _mm256_set1_ps(-0.5));
+                let three_halves = _mm256_set1_ps(1.5);
+                for _ in 0..3 {
+                    let y2 = _mm256_mul_ps(y, y);
+                    y = _mm256_mul_ps(y, _mm256_fmadd_ps(neg_half_x, y2, three_halves));
+                }
+                F32x8A(y)
+            }
+        }
+        #[inline(always)]
+        fn zero_unless_pos(cond: Self, val: Self) -> Self {
+            unsafe {
+                let mask = _mm256_cmp_ps::<_CMP_GT_OQ>(cond.0, _mm256_setzero_ps());
+                F32x8A(_mm256_and_ps(mask, val.0))
+            }
+        }
+        #[inline(always)]
+        fn hsum_f64(self) -> f64 {
+            let mut l = [0.0f32; F32_LANES];
+            unsafe { _mm256_storeu_ps(l.as_mut_ptr(), self.0) };
+            let l = l.map(|v| v as f64);
+            ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_is_stable_and_probed_once() {
+        let a = simd_level();
+        let b = simd_level();
+        assert_eq!(a, b);
+        assert!(!a.name().is_empty());
+    }
+
+    #[test]
+    fn f64x4_arithmetic_is_lanewise() {
+        let a = f64x4([1.0, 2.0, 3.0, 4.0]);
+        let b = f64x4::splat(2.0);
+        assert_eq!(a.add(b).0, [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.sub(b).0, [-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!(a.mul(b).0, [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.div(b).0, [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!(f64x4([4.0, 9.0, 16.0, 25.0]).sqrt().0, [2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn div_guarded_zeroes_nonpositive_denominators() {
+        let n = f64x4::splat(1.0);
+        let d = f64x4([2.0, 0.0, -1.0, 4.0]);
+        assert_eq!(f64x4::div_guarded(n, d).0, [0.5, 0.0, 0.0, 0.25]);
+        let n8 = f32x8::splat(1.0);
+        let d8 = f32x8([2.0, 0.0, -1.0, 4.0, 8.0, 0.0, 16.0, -2.0]);
+        assert_eq!(f32x8::div_guarded(n8, d8).0, [0.5, 0.0, 0.0, 0.25, 0.125, 0.0, 0.0625, 0.0]);
+    }
+
+    #[test]
+    fn mul_add_is_fused_per_lane() {
+        // (1+2⁻³⁰)² − 1 = 2⁻²⁹ + 2⁻⁶⁰: the 2⁻⁶⁰ term survives only under
+        // fma's single rounding (mul-then-add rounds it away at the 1.0
+        // magnitude), so this pins fusion, not just the arithmetic.
+        let x = 1.0 + (-30f64).exp2();
+        let a = f64x4([1.0, 2.0, 3.0, x]);
+        let b = f64x4([x, 0.5, -1.0, x]);
+        let c = f64x4([-1.0, 0.5, -3.0, -1.0]);
+        let got = a.mul_add(b, c);
+        for i in 0..4 {
+            assert_eq!(got.0[i], a.0[i].mul_add(b.0[i], c.0[i]), "lane {i}");
+        }
+        assert_ne!(got.0[3], x * x - 1.0, "lane fma must be fused, not mul-then-add");
+        let x8 = 1.0 + (-14f32).exp2();
+        let got8 = f32x8::splat(x8).mul_add(f32x8::splat(x8), f32x8::splat(-1.0));
+        assert_eq!(got8.0[0], x8.mul_add(x8, -1.0));
+        assert_ne!(got8.0[0], x8 * x8 - 1.0);
+    }
+
+    #[test]
+    fn hsum_association_is_fixed() {
+        // Values chosen so different associations round differently.
+        let v = f64x4([1.0, 1e16, -1e16, 1.0]);
+        assert_eq!(v.hsum(), (1.0 + 1e16) + (-1e16 + 1.0));
+        let w = f32x8([0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]);
+        let l = w.0.map(|x| x as f64);
+        assert_eq!(w.hsum_f64(), ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7])));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_impls_match_portable_bitwise() {
+        // The whole determinism story rests on the two impls computing
+        // identical bits per lane — compare every trait op directly.
+        use super::avx2::{F32x8A, F64x4A};
+        if simd_level() != SimdLevel::Avx2Fma {
+            eprintln!("avx2+fma not detected; skipping impl-equivalence test");
+            return;
+        }
+        fn eq4(p: f64x4, v: F64x4A, what: &str) {
+            assert_eq!(p.0.map(f64::to_bits), v.to_lanes().map(f64::to_bits), "{what}");
+        }
+        let a = [1.5, -2.25, 1.0e-8 + 1e-20, 4.0e7];
+        let b = [0.5, 3.5, -1.0e8, 2.5e-7];
+        let c = [1.0 + (-30f64).exp2(), -1.0, 0.125, -0.0625];
+        let (pa, pb, pc) = (f64x4(a), f64x4(b), f64x4(c));
+        let (va, vb, vc) =
+            (F64x4A::from_lanes(a), F64x4A::from_lanes(b), F64x4A::from_lanes(c));
+        eq4(pa.add(pb), va.add(vb), "add");
+        eq4(pa.sub(pb), va.sub(vb), "sub");
+        eq4(pa.mul(pb), va.mul(vb), "mul");
+        eq4(pa.mul_add(pb, pc), va.mul_add(vb, vc), "mul_add");
+        let pos = [1.0e-3, 0.5, 2.0, 9.81e4];
+        eq4(f64x4(pos).rsqrt(), F64x4A::from_lanes(pos).rsqrt(), "rsqrt");
+        let cond = [1.0, 0.0, -3.0, f64::NAN];
+        let val = [2.0, 5.0, 7.0, 11.0];
+        eq4(
+            f64x4::zero_unless_pos(f64x4(cond), f64x4(val)),
+            F64x4A::zero_unless_pos(F64x4A::from_lanes(cond), F64x4A::from_lanes(val)),
+            "zero_unless_pos",
+        );
+        assert_eq!(pa.hsum().to_bits(), va.hsum().to_bits(), "hsum");
+        assert_eq!(f64x4::load(&a, 0).0, F64x4A::load(&a, 0).to_lanes(), "load");
+
+        fn eq8(p: f32x8, v: F32x8A, what: &str) {
+            assert_eq!(p.0.map(f32::to_bits), v.to_lanes().map(f32::to_bits), "{what}");
+        }
+        let a = [1.5f32, -2.25, 1.0e-6, 4.0e7, 0.3, -0.7, 42.0, 1.0 + (-14f32).exp2()];
+        let b = [0.5f32, 3.5, -1.0e6, 2.5e-7, 1.0, 2.0, -3.0, 1.0 + (-14f32).exp2()];
+        let c = [1.0f32, -1.0, 0.125, -0.0625, 0.0, 7.5, -7.5, -1.0];
+        let (pa, pb, pc) = (f32x8(a), f32x8(b), f32x8(c));
+        let (va, vb, vc) =
+            (F32x8A::from_lanes(a), F32x8A::from_lanes(b), F32x8A::from_lanes(c));
+        eq8(pa.sub(pb), va.sub(vb), "f32 sub");
+        eq8(pa.mul(pb), va.mul(vb), "f32 mul");
+        eq8(pa.mul_add(pb, pc), va.mul_add(vb, vc), "f32 mul_add");
+        let pos = [1.0e-3f32, 0.5, 2.0, 9.81e4, 1.0, 3.0, 123.0, 7.7e6];
+        eq8(f32x8(pos).rsqrt(), F32x8A::from_lanes(pos).rsqrt(), "f32 rsqrt");
+        let cond = [1.0f32, 0.0, -3.0, f32::NAN, 2.0, -0.0, 0.5, 1e-30];
+        eq8(
+            f32x8::zero_unless_pos(f32x8(cond), pa),
+            F32x8A::zero_unless_pos(F32x8A::from_lanes(cond), va),
+            "f32 zero_unless_pos",
+        );
+        assert_eq!(pa.hsum_f64().to_bits(), va.hsum_f64().to_bits(), "f32 hsum_f64");
+    }
+
+    #[test]
+    fn loads_read_contiguous_lanes() {
+        let s: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(f64x4::load(&s, 3).0, [3.0, 4.0, 5.0, 6.0]);
+        let t: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        assert_eq!(f32x8::load(&t, 2).0, [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+}

@@ -22,14 +22,23 @@ use crate::scratch::TraversalScratch;
 use crate::tags::{self, Slot};
 use crate::tree::Octree;
 use crate::validate::collect_bodies_into;
-use nbody_math::gravity::ForceParams;
-use nbody_math::{Aabb, InteractionLists, Vec3};
+use nbody_math::gravity::{ForceKernel, ForceParams};
+use nbody_math::simd::simd_level;
+use nbody_math::{Aabb, InteractionLists, KernelStats, Vec3};
 use nbody_telemetry::{metrics, record, MacCounts};
 use std::sync::atomic::Ordering;
 use stdpar::backend::max_workers;
 use stdpar::prelude::*;
 
 impl Octree {
+    /// Default blocked group size: the measured optimum for the octree's
+    /// cubic cells (group = 8 → 2.57x over per-body at N = 1e5, θ = 0.5;
+    /// see `BENCH_blocked.json` — larger groups inflate the conservative
+    /// group box faster than they amortise the walk). Resolved from the
+    /// `ForceEval::Blocked { group: 0 }` auto sentinel by
+    /// [`nbody_math::gravity::ForceEval::resolve_group`].
+    pub const DEFAULT_BLOCK_GROUP: usize = 8;
+
     /// Blocked force evaluation: one traversal per contiguous group of
     /// `group` bodies in depth-first tree order. Called from
     /// [`Octree::compute_forces`] when `params.eval` selects
@@ -60,6 +69,9 @@ impl Octree {
         let this = self;
         let theta2 = params.theta * params.theta;
         let eps2 = params.softening * params.softening;
+        if params.kernel == ForceKernel::Simd {
+            record!(gauge SIMD_DISPATCH_LEVEL, simd_level() as u64);
+        }
         for_each_chunk_worker(policy, 0..order.len(), group, |w, r| {
             let mut gbox = Aabb::EMPTY;
             for &b in &order[r.clone()] {
@@ -68,7 +80,8 @@ impl Octree {
             // SAFETY: `w` is the executor's worker index — never observed
             // concurrently by two threads — and the pool was prepared for
             // `max_workers()` workers above.
-            let lists: &mut InteractionLists = unsafe { pool.slot(w) };
+            let state = unsafe { pool.slot(w) };
+            let lists: &mut InteractionLists = &mut state.lists;
             lists.clear();
             let mut mac = MacCounts::default();
             this.gather_group(
@@ -85,10 +98,31 @@ impl Octree {
             mac.flush(&metrics::OCTREE_MAC_ACCEPTS, &metrics::OCTREE_MAC_OPENS);
             record!(hist OCTREE_LIST_BODIES, lists.n_bodies() as u64);
             record!(hist OCTREE_LIST_NODES, lists.n_nodes() as u64);
-            for &b in &order[r] {
-                let a = lists.eval_at(positions[b as usize], params.g, eps2);
-                // Disjoint slots: the DFS order is a permutation of 0..n.
-                unsafe { out.write(b as usize, a) };
+            match params.kernel {
+                ForceKernel::Scalar => {
+                    for &b in &order[r] {
+                        let a = lists.eval_at(positions[b as usize], params.g, eps2);
+                        // Disjoint slots: the DFS order is a permutation of
+                        // 0..n.
+                        unsafe { out.write(b as usize, a) };
+                    }
+                }
+                ForceKernel::Simd => {
+                    let scratch = &mut state.scratch;
+                    scratch.clear_targets();
+                    for &b in &order[r.clone()] {
+                        scratch.push_target(positions[b as usize]);
+                    }
+                    let mut ks = KernelStats::default();
+                    lists.eval_group(scratch, params.g, eps2, params.precision, &mut ks);
+                    record!(counter SIMD_GROUPS, ks.groups);
+                    record!(counter SIMD_TILES, ks.tiles);
+                    record!(counter SIMD_LANE_SLOTS, ks.lane_slots);
+                    record!(counter SIMD_ACTIVE_LANES, ks.active_lanes);
+                    for (t, &b) in order[r].iter().enumerate() {
+                        unsafe { out.write(b as usize, scratch.accel(t)) };
+                    }
+                }
             }
         });
     }
@@ -256,6 +290,90 @@ mod tests {
         let t = built(&pos, &mass, false);
         let params =
             ForceParams { eval: ForceEval::Blocked { group: 48 }, ..ForceParams::default() };
+        let mut reference: Option<Vec<Vec3>> = None;
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                let a = forces(&t, &pos, &mass, &params);
+                match &reference {
+                    None => reference = Some(a),
+                    Some(r) => assert_eq!(r, &a),
+                }
+            });
+        }
+        let mut seq = vec![Vec3::ZERO; pos.len()];
+        t.compute_forces(Seq, &pos, &mass, &mut seq, &params);
+        assert_eq!(reference.unwrap(), seq);
+    }
+
+    #[test]
+    fn zero_group_resolves_to_tree_default() {
+        let (pos, mass) = random_system(64, 45);
+        let t = built(&pos, &mass, false);
+        let auto = forces(
+            &t,
+            &pos,
+            &mass,
+            &ForceParams { eval: ForceEval::Blocked { group: 0 }, ..ForceParams::default() },
+        );
+        let explicit = forces(
+            &t,
+            &pos,
+            &mass,
+            &ForceParams {
+                eval: ForceEval::Blocked { group: Octree::DEFAULT_BLOCK_GROUP },
+                ..ForceParams::default()
+            },
+        );
+        assert_eq!(auto, explicit);
+    }
+
+    #[test]
+    fn simd_kernel_matches_scalar_within_rounding() {
+        use nbody_math::gravity::{ForceKernel, KernelPrecision};
+        let (pos, mass) = random_system(700, 46);
+        for quad in [false, true] {
+            let t = built(&pos, &mass, quad);
+            let base = ForceParams {
+                theta: 0.6,
+                use_quadrupole: quad,
+                eval: ForceEval::blocked(),
+                ..ForceParams::default()
+            };
+            let scalar = forces(&t, &pos, &mass, &base);
+            let simd =
+                forces(&t, &pos, &mass, &ForceParams { kernel: ForceKernel::Simd, ..base });
+            for b in 0..pos.len() {
+                let rel = (simd[b] - scalar[b]).norm() / (1e-12 + scalar[b].norm());
+                assert!(rel < 1e-12, "quad={quad} body {b}: rel {rel}");
+            }
+            // Mixed precision stays within f32 noise of the f64 answer.
+            let mixed = forces(
+                &t,
+                &pos,
+                &mass,
+                &ForceParams {
+                    kernel: ForceKernel::Simd,
+                    precision: KernelPrecision::MixedF32Far,
+                    ..base
+                },
+            );
+            for b in 0..pos.len() {
+                let rel = (mixed[b] - scalar[b]).norm() / (1e-12 + scalar[b].norm());
+                assert!(rel < 1e-4, "mixed quad={quad} body {b}: rel {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_kernel_agrees_across_policies_and_backends() {
+        use nbody_math::gravity::ForceKernel;
+        let (pos, mass) = random_system(400, 47);
+        let t = built(&pos, &mass, false);
+        let params = ForceParams {
+            eval: ForceEval::Blocked { group: 48 },
+            kernel: ForceKernel::Simd,
+            ..ForceParams::default()
+        };
         let mut reference: Option<Vec<Vec3>> = None;
         for backend in Backend::ALL {
             with_backend(backend, || {

@@ -9,7 +9,7 @@
 
 use crate::tags::{self, Slot};
 use crate::tree::Octree;
-use nbody_math::gravity::{multipole_accel, pair_accel, ForceEval};
+use nbody_math::gravity::{multipole_accel, pair_accel};
 use nbody_math::Vec3;
 use nbody_telemetry::{metrics, MacCounts};
 use std::sync::atomic::Ordering;
@@ -59,16 +59,8 @@ impl Octree {
         if params.use_quadrupole {
             assert!(self.quadrupole_enabled(), "quadrupole requested but not computed");
         }
-        if let ForceEval::Blocked { group } = params.eval {
-            self.compute_forces_blocked(
-                policy,
-                positions,
-                masses,
-                accel,
-                params,
-                group.max(1),
-                scratch,
-            );
+        if let Some(group) = params.eval.resolve_group(Self::DEFAULT_BLOCK_GROUP) {
+            self.compute_forces_blocked(policy, positions, masses, accel, params, group, scratch);
             return;
         }
         // Chunked rather than per-index so MAC telemetry tallies in a local
@@ -153,8 +145,7 @@ impl Octree {
                         let quad = quads.map(|q| {
                             std::array::from_fn(|k| q[k][i as usize].load(Ordering::Relaxed))
                         });
-                        acc +=
-                            multipole_accel(d, self.node_mass_of(i), quad.as_ref(), params.g, eps2);
+                        acc += multipole_accel(d, self.node_mass_of(i), quad.as_ref(), 1.0, eps2);
                     } else {
                         // Too close: forward step into the first child.
                         opens += 1;
@@ -165,7 +156,9 @@ impl Octree {
                 }
                 Slot::Empty => {}
                 Slot::Body(head) => {
-                    // Exact pair-wise interactions at leaf nodes.
+                    // Exact pair-wise interactions at leaf nodes. G is
+                    // hoisted: terms accumulate unscaled and the single
+                    // multiply happens once at exit.
                     for bj in self.chain(head) {
                         if Some(bj) == exclude {
                             continue;
@@ -173,7 +166,7 @@ impl Octree {
                         acc += pair_accel(
                             positions[bj as usize] - p,
                             masses[bj as usize],
-                            params.g,
+                            1.0,
                             eps2,
                         );
                     }
@@ -203,7 +196,7 @@ impl Octree {
         };
         mac.accepts += accepts;
         mac.opens += opens;
-        acc
+        acc * params.g
     }
 }
 

@@ -9,7 +9,7 @@ use crate::solver::{make_solver, ForceSolver, SolverError, SolverKind, SolverPar
 use crate::system::SystemState;
 use crate::timing::{timed_counted, StepTimings};
 use crate::workspace::SimWorkspace;
-use nbody_math::gravity::ForceEval;
+use nbody_math::gravity::{ForceEval, ForceKernel, KernelPrecision};
 use nbody_math::Vec3;
 use nbody_telemetry::record;
 use stdpar::policy::DynPolicy;
@@ -77,6 +77,11 @@ pub struct SimOptions {
     /// Force-evaluation strategy for the tree solvers (per-body traversal
     /// or blocked traversal with shared interaction lists).
     pub eval: ForceEval,
+    /// Kernel consuming the blocked interaction lists (scalar oracle or
+    /// tiled SIMD).
+    pub kernel: ForceKernel,
+    /// Precision mode of the SIMD kernel.
+    pub precision: KernelPrecision,
     /// Hilbert grid bits (BVH).
     pub hilbert_bits: u32,
     /// Time integration scheme (paper: Störmer-Verlet leapfrog).
@@ -94,6 +99,8 @@ impl Default for SimOptions {
             tree_rebuild_every: 1,
             quadrupole: false,
             eval: ForceEval::PerBody,
+            kernel: ForceKernel::Scalar,
+            precision: KernelPrecision::F64,
             hilbert_bits: 16,
             integrator: IntegratorKind::LeapfrogKdk,
         }
@@ -108,6 +115,8 @@ impl SimOptions {
             g: self.g,
             quadrupole: self.quadrupole,
             eval: self.eval,
+            kernel: self.kernel,
+            precision: self.precision,
             hilbert_bits: self.hilbert_bits,
         }
     }

@@ -22,7 +22,7 @@ use crate::workspace::SimWorkspace;
 use bh_bvh::{Bvh, BvhParams};
 use bh_octree::Octree;
 use nbody_math::atomic_f64::atomic_f64_vec;
-use nbody_math::gravity::{pair_accel, ForceEval, ForceParams};
+use nbody_math::gravity::{pair_accel, ForceEval, ForceKernel, ForceParams, KernelPrecision};
 use nbody_math::Vec3;
 use nbody_resilience::FaultKind;
 use std::sync::atomic::Ordering;
@@ -40,6 +40,11 @@ pub struct SolverParams {
     /// Force-evaluation strategy (both trees): one traversal per body, or
     /// one traversal per group with shared SoA interaction lists.
     pub eval: ForceEval,
+    /// Kernel consuming the blocked interaction lists (both trees; the
+    /// scalar oracle or the tiled SIMD microkernel).
+    pub kernel: ForceKernel,
+    /// Precision mode of the SIMD kernel (f64 or mixed f32 far-field).
+    pub precision: KernelPrecision,
     /// Hilbert grid resolution (BVH only).
     pub hilbert_bits: u32,
 }
@@ -52,6 +57,8 @@ impl Default for SolverParams {
             g: 1.0,
             quadrupole: false,
             eval: ForceEval::PerBody,
+            kernel: ForceKernel::Scalar,
+            precision: KernelPrecision::F64,
             hilbert_bits: 16,
         }
     }
@@ -65,6 +72,8 @@ impl SolverParams {
             g: self.g,
             use_quadrupole: self.quadrupole,
             eval: self.eval,
+            kernel: self.kernel,
+            precision: self.precision,
         }
     }
 }

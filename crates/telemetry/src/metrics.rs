@@ -81,6 +81,21 @@ pub static SIM_MULTIPOLE_NANOS: Counter = Counter::new();
 pub static SIM_FORCE_NANOS: Counter = Counter::new();
 pub static SIM_UPDATE_NANOS: Counter = Counter::new();
 
+// ---- SIMD force kernel -----------------------------------------------------
+
+/// Body groups evaluated through the tiled SIMD kernel (both trees).
+pub static SIMD_GROUPS: Counter = Counter::new();
+/// Source tiles streamed by the SIMD kernel.
+pub static SIMD_TILES: Counter = Counter::new();
+/// Vector lane slots issued, including masked sentinel padding.
+pub static SIMD_LANE_SLOTS: Counter = Counter::new();
+/// Lane slots occupied by real sources — `active/slots` is the kernel's
+/// lane-utilization ratio.
+pub static SIMD_ACTIVE_LANES: Counter = Counter::new();
+/// Dispatch tier selected by the runtime CPU probe (0 = portable baseline,
+/// 1 = AVX2+FMA), mirroring `nbody_math::simd::SimdLevel`.
+pub static SIMD_DISPATCH_LEVEL: Gauge = Gauge::new();
+
 // ---- resilient chain -------------------------------------------------------
 
 /// Steps completed through the resilient driver.
@@ -127,9 +142,9 @@ pub static GUARD_DISK_CHECKPOINTS: Counter = Counter::new();
 pub static GUARD_ROLLBACK_AGE: Histogram = Histogram::new();
 
 /// Number of registered counters.
-pub const N_COUNTERS: usize = 41;
+pub const N_COUNTERS: usize = 45;
 /// Number of registered gauges.
-pub const N_GAUGES: usize = 3;
+pub const N_GAUGES: usize = 4;
 /// Number of registered histograms.
 pub const N_HISTOGRAMS: usize = 7;
 
@@ -158,6 +173,10 @@ pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
         ("sim_multipole_nanos", &SIM_MULTIPOLE_NANOS),
         ("sim_force_nanos", &SIM_FORCE_NANOS),
         ("sim_update_nanos", &SIM_UPDATE_NANOS),
+        ("simd_groups", &SIMD_GROUPS),
+        ("simd_tiles", &SIMD_TILES),
+        ("simd_lane_slots", &SIMD_LANE_SLOTS),
+        ("simd_active_lanes", &SIMD_ACTIVE_LANES),
         ("resilient_steps", &RESILIENT_STEPS),
         ("resilient_build_retries", &RESILIENT_BUILD_RETRIES),
         ("resilient_fallbacks", &RESILIENT_FALLBACKS),
@@ -186,6 +205,7 @@ pub fn gauges() -> [(&'static str, &'static Gauge); N_GAUGES] {
         ("stdpar_workers_high_water", &STDPAR_WORKERS_HIGH_WATER),
         ("octree_pool_high_water", &OCTREE_POOL_HIGH_WATER),
         ("bvh_nodes_high_water", &BVH_NODES_HIGH_WATER),
+        ("simd_dispatch_level", &SIMD_DISPATCH_LEVEL),
     ]
 }
 

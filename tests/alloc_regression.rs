@@ -85,18 +85,29 @@ fn steady_state_steps_allocate_nothing() {
     // the build/sort/traversal phases still run in full each step.
     let state = galaxy_collision(1_500, 77);
     let evals = [ForceEval::PerBody, ForceEval::Blocked { group: 32 }];
+    // The (eval, kernel, precision) matrix: the SIMD rows prove the tiled
+    // microkernel's pooled scratch (targets, accumulators, converted f32
+    // far-field copies) is grow-only like the interaction lists.
+    let configs = [
+        (ForceEval::PerBody, ForceKernel::Scalar, KernelPrecision::F64),
+        (ForceEval::Blocked { group: 32 }, ForceKernel::Scalar, KernelPrecision::F64),
+        (ForceEval::Blocked { group: 32 }, ForceKernel::Simd, KernelPrecision::F64),
+        (ForceEval::Blocked { group: 32 }, ForceKernel::Simd, KernelPrecision::MixedF32Far),
+    ];
 
     for backend in Backend::ALL {
         with_backend(backend, || {
-            // Both trees x every policy x per-body and blocked.
+            // Both trees x every policy x the eval/kernel matrix.
             for kind in [SolverKind::Octree, SolverKind::Bvh] {
                 for policy in [DynPolicy::Seq, DynPolicy::Par, DynPolicy::ParUnseq] {
-                    for eval in evals {
+                    for (eval, kernel, precision) in configs {
                         let opts = SimOptions {
                             dt: 0.0,
                             softening: 1e-3,
                             policy,
                             eval,
+                            kernel,
+                            precision,
                             ..SimOptions::default()
                         };
                         let Ok(sim) = Simulation::new(state.clone(), kind, opts) else {
@@ -104,11 +115,13 @@ fn steady_state_steps_allocate_nothing() {
                         };
                         let mut ws = SimWorkspace::new();
                         let label = format!(
-                            "{}/{}/{:?}/{:?}",
+                            "{}/{}/{:?}/{:?}/{}/{}",
                             backend.name(),
                             kind.name(),
                             policy,
-                            eval
+                            eval,
+                            kernel.name(),
+                            precision.name()
                         );
                         assert_steady_state_clean(sim, &mut ws, &label);
                     }
