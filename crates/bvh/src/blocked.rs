@@ -77,7 +77,7 @@ impl Bvh {
             let lists: &mut InteractionLists = &mut state.lists;
             lists.clear();
             let mut mac = MacCounts::default();
-            this.gather_group(gbox, theta2, params.use_quadrupole, lists, &mut mac);
+            this.gather_group(gbox, theta2, params.mac_pad, params.use_quadrupole, lists, &mut mac);
             // One flush and two histogram samples per *group*, amortised
             // over every member body.
             mac.flush(&metrics::BVH_MAC_ACCEPTS, &metrics::BVH_MAC_OPENS);
@@ -119,6 +119,7 @@ impl Bvh {
         &self,
         gbox: Aabb,
         theta2: f64,
+        pad: f64,
         want_quad: bool,
         lists: &mut InteractionLists,
         mac: &mut MacCounts,
@@ -140,7 +141,7 @@ impl Bvh {
                     lists.push_body(self.sorted_pos[j], self.sorted_mass[j]);
                 } else {
                     let d2 = self.boxes[i].distance2_to_box(gbox);
-                    if self.diag2[i] < theta2 * d2 {
+                    if nbody_math::mac_accepts(self.diag2[i], d2, theta2, pad) {
                         mac.accepts += 1;
                         lists.push_node(self.com[i], m, quad.map(|q| q[i]));
                     } else {

@@ -125,6 +125,13 @@ impl Bvh {
         self.sorted = false;
     }
 
+    /// True when a successful sort's data is current (the lazy re-sort
+    /// uses this to decide whether the previous permutation is reusable).
+    #[inline]
+    pub(crate) fn sorted_is_current(&self) -> bool {
+        self.sorted
+    }
+
     /// Number of leaf nodes (power of two, ≥ n).
     #[inline]
     pub fn leaf_count(&self) -> usize {
@@ -211,16 +218,38 @@ impl Bvh {
         &mut self,
         policy: P,
     ) -> Result<(), nbody_resilience::BuildError> {
-        if !self.sorted {
-            return Err(nbody_resilience::BuildError::NotSorted);
-        }
-        self.build_and_accumulate(policy);
+        self.try_build_structure(policy)?;
+        self.accumulate_moments(policy);
         Ok(())
     }
 
     /// Panicking variant of [`Bvh::try_build_and_accumulate`].
     pub fn build_and_accumulate<P: ExecutionPolicy>(&mut self, policy: P) {
-        assert!(self.sorted, "call hilbert_sort before build_and_accumulate");
+        self.build_structure(policy);
+        self.accumulate_moments(policy);
+    }
+
+    /// Fallible variant of [`Bvh::build_structure`]: errors with
+    /// [`BuildError::NotSorted`](nbody_resilience::BuildError) when called
+    /// before a successful sort of the current bodies.
+    pub fn try_build_structure<P: ExecutionPolicy>(
+        &mut self,
+        policy: P,
+    ) -> Result<(), nbody_resilience::BuildError> {
+        if !self.sorted {
+            return Err(nbody_resilience::BuildError::NotSorted);
+        }
+        self.build_structure(policy);
+        Ok(())
+    }
+
+    /// BUILDTREE: geometry only — per-node bounding boxes and squared
+    /// diagonals, leaves up to the root. [`Bvh::accumulate_moments`]
+    /// (ACCUMULATEMASS) fills masses/centres/quadrupoles afterwards; the
+    /// split lets the step loop attribute structure and moment time to
+    /// separate phases (`build` vs `multipole` in the timing breakdown).
+    pub fn build_structure<P: ExecutionPolicy>(&mut self, policy: P) {
+        assert!(self.sorted, "call hilbert_sort before build_structure");
         let n = self.n;
         let leaves = if n == 0 { 1 } else { n.next_power_of_two() };
         self.leaves = leaves;
@@ -231,6 +260,45 @@ impl Bvh {
         // (zero mass), so zero is a safe fill for the whole array.
         self.diag2.clear();
         self.diag2.resize(total, 0.0);
+
+        // Leaf boxes: one body per leaf, in Hilbert order. Excess leaves
+        // keep the `Aabb::EMPTY` fill.
+        {
+            let boxes = SyncSlice::new(&mut self.boxes);
+            let pos = &self.sorted_pos;
+            for_each_index(policy, 0..n, |j| unsafe {
+                boxes.write(leaves + j, Aabb::from_point(pos[j]));
+            });
+        }
+
+        // Level-by-level bottom-up reduction (one parallel pass per level).
+        // The empty-box guard replaces the mass guard of the fused build:
+        // a node's subtree is body-free exactly when its box is empty.
+        let mut width = leaves / 2;
+        while width >= 1 {
+            let boxes = SyncSlice::new(&mut self.boxes);
+            let diag2 = SyncSlice::new(&mut self.diag2);
+            for_each_index(policy, width..2 * width, |i| unsafe {
+                let bx = boxes.read(2 * i).union(boxes.read(2 * i + 1));
+                boxes.write(i, bx);
+                diag2.write(i, if bx.is_empty() { 0.0 } else { bx.extent().norm2() });
+            });
+            width /= 2;
+        }
+        nbody_telemetry::record!(counter BVH_BUILDS, 1);
+        nbody_telemetry::record!(gauge BVH_NODES_HIGH_WATER, total as u64);
+    }
+
+    /// ACCUMULATEMASS: per-node total mass, centre of mass and (optionally)
+    /// central second moments, reduced level by level over the structure
+    /// laid out by [`Bvh::build_structure`]. Must run after it; reruns are
+    /// idempotent and reuse the node storage.
+    pub fn accumulate_moments<P: ExecutionPolicy>(&mut self, policy: P) {
+        assert!(self.sorted, "call hilbert_sort before accumulate_moments");
+        let n = self.n;
+        let leaves = self.leaves;
+        let total = 2 * leaves;
+        debug_assert_eq!(self.boxes.len(), total, "build_structure must run first");
         self.mass.clear();
         self.mass.resize(total, 0.0);
         self.com.clear();
@@ -243,16 +311,14 @@ impl Bvh {
             self.quad = None;
         }
 
-        // Leaf construction: one body per leaf, in Hilbert order.
+        // Leaf moments: one body per leaf, in Hilbert order.
         {
-            let boxes = SyncSlice::new(&mut self.boxes);
             let mass = SyncSlice::new(&mut self.mass);
             let com = SyncSlice::new(&mut self.com);
             let pos = &self.sorted_pos;
             let m = &self.sorted_mass;
             for_each_index(policy, 0..n, |j| unsafe {
                 let i = leaves + j;
-                boxes.write(i, Aabb::from_point(pos[j]));
                 mass.write(i, m[j]);
                 com.write(i, pos[j]);
             });
@@ -261,8 +327,6 @@ impl Bvh {
         // Level-by-level bottom-up reduction (one parallel pass per level).
         let mut width = leaves / 2;
         while width >= 1 {
-            let boxes = SyncSlice::new(&mut self.boxes);
-            let diag2 = SyncSlice::new(&mut self.diag2);
             let mass = SyncSlice::new(&mut self.mass);
             let com = SyncSlice::new(&mut self.com);
             let quad = self.quad.as_mut().map(|q| SyncSlice::new(q));
@@ -270,9 +334,6 @@ impl Bvh {
                 let (l, r) = (2 * i, 2 * i + 1);
                 let (ml, mr) = (mass.read(l), mass.read(r));
                 let m = ml + mr;
-                let bx = boxes.read(l).union(boxes.read(r));
-                boxes.write(i, bx);
-                diag2.write(i, if m > 0.0 { bx.extent().norm2() } else { 0.0 });
                 mass.write(i, m);
                 let c = if m > 0.0 {
                     (com.read(l) * ml + com.read(r) * mr) / m
@@ -300,11 +361,6 @@ impl Bvh {
             });
             width /= 2;
         }
-        if n == 0 {
-            // Root == the single empty leaf; nothing else to do.
-        }
-        nbody_telemetry::record!(counter BVH_BUILDS, 1);
-        nbody_telemetry::record!(gauge BVH_NODES_HIGH_WATER, total as u64);
     }
 }
 

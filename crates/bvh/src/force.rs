@@ -102,6 +102,7 @@ impl Bvh {
         }
         let theta2 = params.theta * params.theta;
         let eps2 = params.softening * params.softening;
+        let pad = params.mac_pad;
         // Resolve the quadrupole source once, outside the traversal loop.
         let quad = if params.use_quadrupole { self.quad.as_deref() } else { None };
         // Tally MAC decisions in plain locals (registers) for the whole
@@ -129,7 +130,7 @@ impl Bvh {
                     // elongated, overlapping BVH boxes can reach much closer
                     // to the body than their COM does.
                     let d2 = self.boxes[i].distance2_to_point(p);
-                    if self.diag2[i] < theta2 * d2 {
+                    if nbody_math::mac_accepts(self.diag2[i], d2, theta2, pad) {
                         accepts += 1;
                         acc += multipole_accel(d, m, quad.map(|q| &q[i]), 1.0, eps2);
                     } else {

@@ -104,6 +104,67 @@ impl KernelPrecision {
     }
 }
 
+/// How the acceleration structure is maintained across steps.
+///
+/// `Rebuild` is the paper's pipeline: every step re-sorts and rebuilds the
+/// tree from scratch. `Incremental` keeps the tree *persistent*: the sort
+/// is repaired lazily (only locally-disordered runs are merged), the
+/// octree refines/coarsens only the subtrees whose body counts changed
+/// (node groups recycled through a first-fit free list), and multipoles
+/// are recomputed only along dirty paths. `max_stale_steps = k` further
+/// allows the tree to be *reused unchanged* for up to `k` steps between
+/// refreshes, with the acceptance criterion inflated by the accumulated
+/// maximum body displacement so the θ error bound still holds (see
+/// DESIGN.md § Incremental tree maintenance).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TreeLifecycle {
+    /// From-scratch sort + build + multipoles every step (the oracle).
+    #[default]
+    Rebuild,
+    /// Persistent, delta-updated tree; refreshed every `max_stale_steps+1`
+    /// steps (`0` ⇒ refreshed every step, never reused stale).
+    Incremental {
+        /// Steps the tree may be reused *without* a refresh. During stale
+        /// steps the MAC is padded by the accumulated max displacement.
+        max_stale_steps: u32,
+    },
+}
+
+impl TreeLifecycle {
+    pub fn name(self) -> &'static str {
+        match self {
+            TreeLifecycle::Rebuild => "rebuild",
+            TreeLifecycle::Incremental { .. } => "incremental",
+        }
+    }
+}
+
+/// Drift-inflated multipole acceptance test.
+///
+/// With `pad == 0` this is the classic squared comparison `s² < θ²·d²`.
+/// With `pad > 0` (stale-tree steps) both sides are padded conservatively:
+/// the node size `s` grows by `2·pad` (every source body may have drifted
+/// up to `pad` from the position the tree recorded) and the distance `d`
+/// shrinks by `2·pad` (the target and the node may have drifted toward
+/// each other), so acceptance implies the *true* geometry still satisfies
+/// the θ criterion: `(s + 2·pad) < θ·(d − 2·pad)`.
+///
+/// `#[inline(always)]`: sits on the MAC hot path of all four traversals;
+/// the `pad > 0` branch is perfectly predictable within a step.
+#[inline(always)]
+pub fn mac_accepts(s2: f64, d2: f64, theta2: f64, pad: f64) -> bool {
+    if pad > 0.0 {
+        let d = d2.sqrt() - 2.0 * pad;
+        if d <= 0.0 {
+            return false;
+        }
+        let s = s2.sqrt() + 2.0 * pad;
+        s * s < theta2 * d * d
+    } else {
+        s2 < theta2 * d2
+    }
+}
+
 /// Parameters of a Barnes-Hut force evaluation.
 #[derive(Clone, Copy, Debug)]
 pub struct ForceParams {
@@ -127,6 +188,15 @@ pub struct ForceParams {
     pub kernel: ForceKernel,
     /// Precision mode of the SIMD kernel (ignored by the scalar oracle).
     pub precision: KernelPrecision,
+    /// How the tree is maintained across steps (rebuild vs incremental).
+    /// Carried here so solvers and benches can thread one knob end to end;
+    /// the traversals themselves only consume [`ForceParams::mac_pad`].
+    pub lifecycle: TreeLifecycle,
+    /// Accumulated maximum body displacement since the tree was last
+    /// refreshed. Zero on fresh trees (the MAC stays the pure squared
+    /// compare); positive on stale-tree steps, where every acceptance
+    /// test is conservatively inflated by it (see [`mac_accepts`]).
+    pub mac_pad: f64,
 }
 
 impl Default for ForceParams {
@@ -139,6 +209,8 @@ impl Default for ForceParams {
             eval: ForceEval::PerBody,
             kernel: ForceKernel::Scalar,
             precision: KernelPrecision::F64,
+            lifecycle: TreeLifecycle::Rebuild,
+            mac_pad: 0.0,
         }
     }
 }

@@ -25,7 +25,9 @@ pub mod vec3;
 pub use aabb::Aabb;
 pub use atomic_f64::AtomicF64;
 pub use crc32::{crc32, Crc32};
-pub use gravity::{ForceEval, ForceKernel, ForceParams, KernelPrecision};
+pub use gravity::{
+    mac_accepts, ForceEval, ForceKernel, ForceParams, KernelPrecision, TreeLifecycle,
+};
 pub use interaction::{InteractionLists, KernelScratch, KernelStats, ListsPool, WorkerKernelState};
 pub use kahan::KahanSum;
 pub use rng::SplitMix64;

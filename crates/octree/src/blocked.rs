@@ -87,6 +87,7 @@ impl Octree {
             this.gather_group(
                 gbox,
                 theta2,
+                params.mac_pad,
                 params.use_quadrupole,
                 positions,
                 masses,
@@ -136,6 +137,7 @@ impl Octree {
         &self,
         gbox: Aabb,
         theta2: f64,
+        pad: f64,
         want_quad: bool,
         positions: &[Vec3],
         masses: &[f64],
@@ -154,7 +156,7 @@ impl Octree {
                 Slot::Node(c) => {
                     let com = self.node_com_of(i);
                     let d2 = gbox.distance2_to_point(com);
-                    if width * width < theta2 * d2 {
+                    if nbody_math::mac_accepts(width * width, d2, theta2, pad) {
                         mac.accepts += 1;
                         let quad = quads.map(|q| {
                             std::array::from_fn(|k| q[k][i as usize].load(Ordering::Relaxed))

@@ -124,6 +124,7 @@ impl Octree {
         }
         let theta2 = params.theta * params.theta;
         let eps2 = params.softening * params.softening;
+        let pad = params.mac_pad;
         // Resolve the quadrupole source once, outside the traversal loop.
         let quads = if params.use_quadrupole { self.node_quad.as_ref() } else { None };
         // Tally MAC decisions in plain locals (registers) for the whole
@@ -139,7 +140,7 @@ impl Octree {
                     let com = self.node_com_of(i);
                     let d = com - p;
                     let d2 = d.norm2();
-                    if width * width < theta2 * d2 {
+                    if nbody_math::mac_accepts(width * width, d2, theta2, pad) {
                         // Far node: accept the multipole approximation.
                         accepts += 1;
                         let quad = quads.map(|q| {

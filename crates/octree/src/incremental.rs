@@ -1,0 +1,1165 @@
+//! Incremental tree maintenance: persistent node storage with a first-fit
+//! free-list allocator, count-delta refine/coarsen, and dirty-path
+//! multipole recomputation.
+//!
+//! A from-scratch build ([`Octree::build`]) bump-allocates sibling groups
+//! and re-inserts every body each step. This module keeps the tree alive
+//! across steps instead (Cornerstone-style maintenance, Keller et al.):
+//!
+//! 1. [`Octree::init_incremental`] walks a freshly built tree once,
+//!    caching per-slot subtree body counts, each body's leaf slot and leaf
+//!    cell geometry, and handing every bump-unclaimed sibling group to a
+//!    [`FirstFitAllocator`] free list.
+//! 2. [`Octree::update_incremental`] detects *movers* (bodies that left
+//!    their cached leaf cell), unlinks them (decrementing counts up their
+//!    paths), coarsens any subtree whose count dropped to ≤ 1 (releasing
+//!    its groups to the free list), and re-inserts the movers from the
+//!    root, splitting leaves with freshly granted groups. The result is
+//!    structurally canonical: a cell is internal exactly when it holds
+//!    ≥ 2 bodies, the same shape a from-scratch build of the new
+//!    positions (on the same root cube) produces.
+//! 3. [`Octree::refresh_moments_incremental`] recomputes multipoles with a
+//!    *pruned* post-order DFS: only nodes on dirty paths (structure
+//!    changed, or a cached-position mismatch below them) are recombined;
+//!    clean subtrees return their stored finalized moments. The DFS
+//!    combines children in octant order from finalized values, so the
+//!    result is independent of slot layout — an incrementally maintained
+//!    tree and a from-scratch oracle on the same structure produce
+//!    bitwise-identical moments ([`Octree::compute_multipoles_dfs`] is the
+//!    same routine run unpruned, for oracles and fresh initialisation).
+//!
+//! Anything that would make the update non-canonical falls back: touching
+//! a co-located chain, exceeding `MAX_DEPTH`, or a body escaping the
+//! persistent root cube returns [`NeedsRebuild`] and the caller performs a
+//! full build (counted in telemetry). Degenerate inputs therefore stay
+//! correct — they just stop being incremental.
+//!
+//! With [`Octree::set_step_probes`] armed, every update and refresh runs
+//! the free-list invariants ([`Octree::probe_incremental_invariants`]:
+//! no leaked or double-granted groups, counts consistent, leaf caches
+//! exact) and a moment-consistency check (stored dirty-path moments match
+//! a from-scratch DFS recompute bitwise), so DetPar's adversarial
+//! schedules can hunt torn incremental state from the surrounding
+//! parallel phases.
+
+use crate::tags::{self, Slot, CHILDREN, EMPTY, FIRST_GROUP};
+use crate::tree::{octant_center, pool_size_for, Octree, CHAIN_END, MAX_DEPTH, NO_PARENT};
+use nbody_math::{Aabb, Vec3};
+use nbody_telemetry::record;
+use std::sync::atomic::Ordering;
+
+/// Relative (to the root edge) margin by which a body must sit *inside*
+/// its cached leaf cell to be considered a non-mover. Cell centres are
+/// accumulated through ~`depth` rounded additions, so the computed box can
+/// drift a few ulps (≈ `depth · 2⁻⁵² · root_edge`) from the exact descent
+/// geometry; the margin is orders of magnitude wider, so a body that
+/// passes the strict-interior test is guaranteed to re-descend to the same
+/// leaf. Borderline bodies are conservatively flagged as movers — always
+/// correct, merely a little more work.
+const CELL_MARGIN_REL: f64 = 1e-13;
+
+/// When more than `n / CHANGED_DENSE_DIVISOR` bodies moved since the last
+/// refresh, per-path dirty marking (O(changed · depth)) would cost more
+/// than recomputing every moment (O(nodes)); flip to a full recompute.
+const CHANGED_DENSE_DIVISOR: usize = 8;
+
+/// The incremental update cannot express this step; the caller must fall
+/// back to a from-scratch [`Octree::build`] (+ re-init).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NeedsRebuild {
+    /// Why the incremental path refused (diagnostic, stable strings).
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for NeedsRebuild {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "incremental update needs a full rebuild: {}", self.reason)
+    }
+}
+
+impl std::error::Error for NeedsRebuild {}
+
+fn needs(reason: &'static str) -> NeedsRebuild {
+    NeedsRebuild { reason }
+}
+
+/// What one successful [`Octree::update_incremental`] did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Bodies that left their leaf cell and were re-inserted.
+    pub movers: usize,
+    /// Bodies whose position changed at all since the last refresh.
+    pub changed_positions: usize,
+    /// Sibling groups granted from the free list (refinement).
+    pub refined_groups: u32,
+    /// Sibling groups released to the free list (coarsening).
+    pub coarsened_groups: u32,
+}
+
+/// First-fit free list over sibling-group indices, bitmap-backed.
+///
+/// Bit `g` set ⇔ group `g` is free. `grant` returns the *lowest* free
+/// group (true first-fit, so the pool stays compact and re-granted groups
+/// are cache-warm); `release` returns a group and slides the scan hint
+/// back. Grow-only: the bitmap never shrinks, and all bookkeeping is
+/// O(groups/64) words.
+#[derive(Debug, Default)]
+pub(crate) struct FirstFitAllocator {
+    /// Bit set ⇔ group free.
+    free: Vec<u64>,
+    groups: u32,
+    free_count: u32,
+    /// Lowest word that may contain a set bit — first-fit scan start.
+    hint: usize,
+    /// High-water mark of simultaneously granted (in-use) groups.
+    used_high_water: u32,
+}
+
+impl FirstFitAllocator {
+    /// Reset to `groups` groups, all free.
+    fn reset_all_free(&mut self, groups: u32) {
+        let words = (groups as usize).div_ceil(64);
+        self.free.clear();
+        self.free.resize(words, !0u64);
+        // Mask the tail so the scan never grants a group beyond `groups`.
+        let tail = groups as usize % 64;
+        if tail != 0 {
+            if let Some(w) = self.free.last_mut() {
+                *w = (1u64 << tail) - 1;
+            }
+        }
+        self.groups = groups;
+        self.free_count = groups;
+        self.hint = 0;
+    }
+
+    /// Extend the pool: groups `self.groups..new_groups` become free.
+    fn extend_free(&mut self, new_groups: u32) {
+        debug_assert!(new_groups >= self.groups);
+        let words = (new_groups as usize).div_ceil(64);
+        self.free.resize(words, 0);
+        for g in self.groups..new_groups {
+            self.free[g as usize / 64] |= 1u64 << (g % 64);
+        }
+        self.hint = self.hint.min(self.groups as usize / 64);
+        self.free_count += new_groups - self.groups;
+        self.groups = new_groups;
+    }
+
+    /// Claim a specific group (initial walk over a bump-built tree).
+    fn mark_used(&mut self, g: u32) {
+        let (w, m) = (g as usize / 64, 1u64 << (g % 64));
+        debug_assert!(self.free[w] & m != 0, "group {g} double-claimed");
+        self.free[w] &= !m;
+        self.free_count -= 1;
+        self.used_high_water = self.used_high_water.max(self.used());
+    }
+
+    /// First-fit grant: the lowest free group, or `None` when exhausted.
+    fn grant(&mut self) -> Option<u32> {
+        if self.free_count == 0 {
+            return None;
+        }
+        let words = self.free.len();
+        while self.hint < words && self.free[self.hint] == 0 {
+            self.hint += 1;
+        }
+        if self.hint >= words {
+            return None;
+        }
+        let w = self.hint;
+        let b = self.free[w].trailing_zeros();
+        self.free[w] &= !(1u64 << b);
+        self.free_count -= 1;
+        self.used_high_water = self.used_high_water.max(self.used());
+        Some((w * 64) as u32 + b)
+    }
+
+    /// Return a group to the free list.
+    fn release(&mut self, g: u32) {
+        let (w, m) = (g as usize / 64, 1u64 << (g % 64));
+        debug_assert!(self.free[w] & m == 0, "group {g} double-released");
+        self.free[w] |= m;
+        self.free_count += 1;
+        self.hint = self.hint.min(w);
+    }
+
+    fn is_free(&self, g: u32) -> bool {
+        self.free[g as usize / 64] & (1u64 << (g % 64)) != 0
+    }
+
+    fn used(&self) -> u32 {
+        self.groups - self.free_count
+    }
+}
+
+/// Persistent incremental-maintenance state. Every buffer is grow-only, so
+/// steady-state updates perform zero heap allocations once warm.
+#[derive(Debug, Default)]
+pub struct IncState {
+    /// False after any full build or failed update: the caches below no
+    /// longer describe the tree and must be re-initialised.
+    pub(crate) valid: bool,
+    pub(crate) alloc: FirstFitAllocator,
+    /// Subtree body count per node slot (leaf chains count each member).
+    count: Vec<u32>,
+    /// Leaf slot currently holding each body.
+    body_leaf: Vec<u32>,
+    /// Centre of each body's leaf cell (same values the insert descent
+    /// computed, so the mover test reproduces descent geometry).
+    cell_center: Vec<Vec3>,
+    /// Half-width of each body's leaf cell.
+    cell_half: Vec<f64>,
+    /// Position snapshot taken at the last moment refresh.
+    last_pos: Vec<Vec3>,
+    /// Per-slot dirty bitset for the moment recompute.
+    dirty: Vec<u64>,
+    /// Slots whose dirty bit is set (for O(dirty) clearing).
+    dirty_slots: Vec<u32>,
+    /// Every moment is stale (initialisation, or dense position changes).
+    all_dirty: bool,
+    /// Bodies whose position changed, while sparse enough to path-mark.
+    changed: Vec<u32>,
+    movers: Vec<u32>,
+    removed: Vec<u32>,
+    /// DFS stack of group bases for subtree release.
+    stack: Vec<u32>,
+    /// Sibling ranks collected while replaying cell geometry.
+    ranks: Vec<u8>,
+}
+
+impl IncState {
+    #[inline]
+    fn is_dirty(&self, i: u32) -> bool {
+        self.dirty[i as usize / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, i: u32) {
+        let (w, m) = (i as usize / 64, 1u64 << (i % 64));
+        if self.dirty[w] & m == 0 {
+            self.dirty[w] |= m;
+            self.dirty_slots.push(i);
+        }
+    }
+
+    /// Mark the path from `leaf` to the root dirty, stopping early at the
+    /// first already-dirty node. Sound because every marking site
+    /// preserves "dirty(i) ⇒ all ancestors of i dirty" (removals climb to
+    /// the root, insertions mark top-down from the root).
+    fn mark_path_dirty(&mut self, tree: &Octree, leaf: u32) {
+        let mut i = leaf;
+        loop {
+            if self.is_dirty(i) {
+                return;
+            }
+            self.mark_dirty(i);
+            if i == 0 {
+                return;
+            }
+            i = tree.parent_of(i);
+        }
+    }
+
+    /// Resize per-slot buffers after a pool grow (counts of fresh slots are
+    /// zero; their groups are free).
+    fn on_pool_grown(&mut self, cap: usize, new_groups: u32) {
+        self.count.resize(cap, 0);
+        self.dirty.resize(cap.div_ceil(64), 0);
+        self.alloc.extend_free(new_groups);
+    }
+}
+
+/// Finalized moments of one node: total mass, centre of mass, and central
+/// second moments (used only when quadrupoles are enabled).
+#[derive(Clone, Copy)]
+struct Moment {
+    m: f64,
+    com: Vec3,
+    quad: [f64; 6],
+}
+
+const ZERO_MOMENT: Moment = Moment { m: 0.0, com: Vec3::ZERO, quad: [0.0; 6] };
+
+impl Octree {
+    /// Initialise incremental maintenance over the *current* (successfully
+    /// built) tree: cache per-slot counts and per-body leaf cells, park the
+    /// bump allocator, and hand every unclaimed sibling group to the
+    /// first-fit free list. Call once after a full build; afterwards step
+    /// with [`Octree::update_incremental`] +
+    /// [`Octree::refresh_moments_incremental`].
+    pub fn init_incremental(&mut self, positions: &[Vec3]) {
+        assert_eq!(positions.len(), self.n_bodies(), "positions length changed since build");
+        let mut inc = self.inc.take().unwrap_or_default();
+        let cap = self.node_capacity();
+        let groups_total = ((cap - FIRST_GROUP as usize) / CHILDREN as usize) as u32;
+
+        inc.count.clear();
+        inc.count.resize(cap, 0);
+        inc.body_leaf.clear();
+        inc.body_leaf.resize(positions.len(), 0);
+        inc.cell_center.clear();
+        inc.cell_center.resize(positions.len(), Vec3::ZERO);
+        inc.cell_half.clear();
+        inc.cell_half.resize(positions.len(), 0.0);
+        inc.dirty.clear();
+        inc.dirty.resize(cap.div_ceil(64), 0);
+        inc.dirty_slots.clear();
+        inc.alloc.reset_all_free(groups_total);
+
+        let root_half = self.root_edge * 0.5;
+        self.init_walk(&mut inc, 0, self.root_center, root_half);
+
+        // Groups the walk did not claim are free; stamp the sentinel so
+        // stale climbs (and the probes) can recognise them.
+        // relaxed-ok (whole method): `&mut self` — single-threaded; the
+        // atomics only paper over the shared storage layout.
+        for g in 0..groups_total {
+            if inc.alloc.is_free(g) {
+                self.parent[g as usize].store(NO_PARENT, Ordering::Relaxed);
+            }
+        }
+        self.park_bump_at_capacity();
+
+        inc.all_dirty = true;
+        inc.last_pos.clear();
+        inc.last_pos.extend_from_slice(positions);
+        inc.valid = true;
+        self.inc = Some(inc);
+    }
+
+    /// True when [`Octree::init_incremental`] state is live (no full build
+    /// or failed update has invalidated it since).
+    pub fn incremental_ready(&self) -> bool {
+        self.inc.as_deref().is_some_and(|inc| inc.valid)
+    }
+
+    /// Free groups currently available to the incremental allocator
+    /// (0 when incremental state is absent).
+    pub fn free_groups(&self) -> u32 {
+        self.inc.as_deref().map_or(0, |inc| inc.alloc.free_count)
+    }
+
+    fn init_walk(&self, inc: &mut IncState, i: u32, center: Vec3, half: f64) -> u32 {
+        let cnt = match self.slot(i) {
+            Slot::Empty => 0,
+            Slot::Locked => unreachable!("locked slot after build"),
+            Slot::Body(head) => {
+                let mut c = 0;
+                for b in self.chain(head) {
+                    inc.body_leaf[b as usize] = i;
+                    inc.cell_center[b as usize] = center;
+                    inc.cell_half[b as usize] = half;
+                    c += 1;
+                }
+                c
+            }
+            Slot::Node(cg) => {
+                inc.alloc.mark_used(tags::group_of(cg));
+                let mut c = 0;
+                for oct in 0..CHILDREN as usize {
+                    c += self.init_walk(
+                        inc,
+                        cg + oct as u32,
+                        octant_center(center, half, oct),
+                        half * 0.5,
+                    );
+                }
+                c
+            }
+        };
+        inc.count[i as usize] = cnt;
+        cnt
+    }
+
+    /// Delta-update the persistent tree to `positions`: remove and
+    /// re-insert bodies that left their leaf cells, coarsening emptied
+    /// subtrees and refining split leaves through the free list. Marks
+    /// dirty moment paths; call [`Octree::refresh_moments_incremental`]
+    /// afterwards. On [`NeedsRebuild`] the state is invalidated and the
+    /// caller must do a full build + [`Octree::init_incremental`].
+    pub fn update_incremental(
+        &mut self,
+        positions: &[Vec3],
+    ) -> Result<IncrementalStats, NeedsRebuild> {
+        let Some(mut inc) = self.inc.take() else {
+            return Err(needs("incremental state not initialised"));
+        };
+        if !inc.valid {
+            self.inc = Some(inc);
+            return Err(needs("incremental state invalidated"));
+        }
+        if positions.len() != self.n_bodies {
+            inc.valid = false;
+            self.inc = Some(inc);
+            return Err(needs("body count changed"));
+        }
+        let res = self.update_inner(&mut inc, positions);
+        if res.is_err() {
+            inc.valid = false;
+        }
+        self.inc = Some(inc);
+        match &res {
+            Ok(stats) => {
+                record!(counter OCTREE_INC_UPDATES, 1);
+                if stats.refined_groups > 0 {
+                    record!(counter OCTREE_NODES_REFINED, (stats.refined_groups * CHILDREN) as u64);
+                }
+                if stats.coarsened_groups > 0 {
+                    record!(counter OCTREE_NODES_COARSENED, (stats.coarsened_groups * CHILDREN) as u64);
+                }
+                let hw = self.inc.as_deref().map_or(0, |i| i.alloc.used_high_water);
+                record!(gauge OCTREE_FREELIST_HIGH_WATER, hw as u64);
+                if self.step_probes_enabled() {
+                    self.probe_incremental_invariants(positions);
+                }
+            }
+            Err(_) => {
+                record!(counter OCTREE_INC_FALLBACKS, 1);
+            }
+        }
+        res
+    }
+
+    // relaxed-ok (whole method): `&mut self` — the update is strictly
+    // single-threaded; atomics only paper over the shared storage layout,
+    // and publication to the parallel force phase is the caller's join.
+    fn update_inner(
+        &mut self,
+        inc: &mut IncState,
+        positions: &[Vec3],
+    ) -> Result<IncrementalStats, NeedsRebuild> {
+        let n = positions.len();
+        let root_half = self.root_edge * 0.5;
+        let margin = self.root_edge * CELL_MARGIN_REL;
+        let changed_cap = (n / CHANGED_DENSE_DIVISOR).max(16);
+
+        // Phase 1: movers (left their leaf cell) and changed positions.
+        inc.movers.clear();
+        inc.changed.clear();
+        let mut changed = 0usize;
+        for b in 0..n as u32 {
+            let p = positions[b as usize];
+            if !p.is_finite() {
+                return Err(needs("non-finite position"));
+            }
+            if p != inc.last_pos[b as usize] {
+                changed += 1;
+                if !inc.all_dirty {
+                    if inc.changed.len() < changed_cap {
+                        inc.changed.push(b);
+                    } else {
+                        inc.all_dirty = true;
+                        inc.changed.clear();
+                    }
+                }
+            }
+            let c = inc.cell_center[b as usize];
+            let h = inc.cell_half[b as usize];
+            let inside = (p.x - c.x).abs() < h - margin
+                && (p.y - c.y).abs() < h - margin
+                && (p.z - c.z).abs() < h - margin;
+            if !inside {
+                if (p.x - self.root_center.x).abs() > root_half
+                    || (p.y - self.root_center.y).abs() > root_half
+                    || (p.z - self.root_center.z).abs() > root_half
+                {
+                    return Err(needs("body escaped the root cube"));
+                }
+                inc.movers.push(b);
+            }
+        }
+        if inc.movers.is_empty() && changed == 0 {
+            return Ok(IncrementalStats::default());
+        }
+
+        // Phase 2: unlink movers, decrementing counts (and marking moment
+        // paths dirty) up to the root.
+        let movers = std::mem::take(&mut inc.movers);
+        inc.removed.clear();
+        let mut fail: Option<NeedsRebuild> = None;
+        for &b in &movers {
+            let leaf = inc.body_leaf[b as usize];
+            if inc.count[leaf as usize] != 1 {
+                fail = Some(needs("mover shares a co-located chain"));
+                break;
+            }
+            debug_assert_eq!(self.slot(leaf), Slot::Body(b), "leaf cache stale");
+            self.child[leaf as usize].store(EMPTY, Ordering::Relaxed);
+            inc.removed.push(leaf);
+            let mut i = leaf;
+            loop {
+                inc.count[i as usize] -= 1;
+                inc.mark_dirty(i);
+                if i == 0 {
+                    break;
+                }
+                i = self.parent_of(i);
+            }
+        }
+        if let Some(e) = fail {
+            inc.movers = movers;
+            return Err(e);
+        }
+
+        // Phase 3: coarsen — collapse the topmost ancestor whose subtree
+        // count fell to ≤ 1, releasing its groups to the free list.
+        let removed = std::mem::take(&mut inc.removed);
+        let mut coarsened = 0u32;
+        for &leaf in &removed {
+            if leaf != 0 && self.parent_of(leaf) == NO_PARENT {
+                continue; // subtree already released by an earlier collapse
+            }
+            let mut x = leaf;
+            while x != 0 {
+                let p = self.parent_of(x);
+                if inc.count[p as usize] <= 1 {
+                    x = p;
+                } else {
+                    break;
+                }
+            }
+            if let Slot::Node(cg) = self.slot(x) {
+                coarsened += self.collapse(inc, x, cg);
+            }
+        }
+        inc.removed = removed;
+
+        // Phase 4: re-insert movers from the root, refining through the
+        // free list.
+        let mut refined = 0u32;
+        for &b in &movers {
+            match self.inc_insert(inc, b, positions) {
+                Ok(g) => refined += g,
+                Err(e) => {
+                    fail = Some(e);
+                    break;
+                }
+            }
+        }
+        inc.movers = movers;
+        if let Some(e) = fail {
+            return Err(e);
+        }
+
+        // Phase 5: sparse position changes dirty their (possibly new) leaf
+        // paths; dense changes already flipped `all_dirty`.
+        if !inc.all_dirty {
+            let changed_bodies = std::mem::take(&mut inc.changed);
+            for &b in &changed_bodies {
+                inc.mark_path_dirty(self, inc.body_leaf[b as usize]);
+            }
+            inc.changed = changed_bodies;
+        }
+
+        Ok(IncrementalStats {
+            movers: inc.movers.len(),
+            changed_positions: changed,
+            refined_groups: refined,
+            coarsened_groups: coarsened,
+        })
+    }
+
+    /// Collapse internal node `x` (subtree count ≤ 1): release every group
+    /// beneath it and re-tag it as the surviving body's leaf (or empty).
+    /// Returns the number of groups released.
+    // relaxed-ok (whole method): `&mut self` via update_inner —
+    // single-threaded; see update_inner.
+    fn collapse(&mut self, inc: &mut IncState, x: u32, cg: u32) -> u32 {
+        debug_assert!(inc.count[x as usize] <= 1);
+        inc.stack.clear();
+        inc.stack.push(cg);
+        let mut survivor: Option<u32> = None;
+        let mut released = 0u32;
+        while let Some(base) = inc.stack.pop() {
+            for k in 0..CHILDREN {
+                match self.slot(base + k) {
+                    Slot::Empty => {}
+                    Slot::Locked => unreachable!("locked slot in live tree"),
+                    Slot::Body(h) => {
+                        debug_assert!(survivor.is_none(), "count said ≤ 1 body");
+                        survivor = Some(h);
+                    }
+                    Slot::Node(c2) => inc.stack.push(c2),
+                }
+            }
+            let g = tags::group_of(base);
+            for k in 0..CHILDREN as usize {
+                self.child[base as usize + k].store(EMPTY, Ordering::Relaxed);
+                inc.count[base as usize + k] = 0;
+            }
+            self.parent[g as usize].store(NO_PARENT, Ordering::Relaxed);
+            inc.alloc.release(g);
+            released += 1;
+        }
+        match survivor {
+            Some(b) => {
+                debug_assert_eq!(inc.count[x as usize], 1);
+                self.child[x as usize].store(tags::body_tag(b), Ordering::Relaxed);
+                let (c, h) = self.cell_of(inc, x);
+                inc.body_leaf[b as usize] = x;
+                inc.cell_center[b as usize] = c;
+                inc.cell_half[b as usize] = h;
+            }
+            None => self.child[x as usize].store(EMPTY, Ordering::Relaxed),
+        }
+        released
+    }
+
+    /// Cell geometry of slot `x`, reconstructed by climbing to the root
+    /// collecting sibling ranks and replaying the descent — the *same*
+    /// `octant_center` halving the insert path uses, so cached cells are
+    /// bitwise-reproducible.
+    fn cell_of(&self, inc: &mut IncState, x: u32) -> (Vec3, f64) {
+        inc.ranks.clear();
+        let mut i = x;
+        while i != 0 {
+            inc.ranks.push(tags::sibling_rank(i) as u8);
+            i = self.parent_of(i);
+        }
+        let mut center = self.root_center;
+        let mut half = self.root_edge * 0.5;
+        for &r in inc.ranks.iter().rev() {
+            center = octant_center(center, half, r as usize);
+            half *= 0.5;
+        }
+        (center, half)
+    }
+
+    /// Sequential re-insert of one mover, mirroring the concurrent insert
+    /// descent but allocating through the free list. Returns the number of
+    /// groups granted (refinement).
+    // relaxed-ok (whole method): `&mut self` via update_inner —
+    // single-threaded; see update_inner.
+    fn inc_insert(
+        &mut self,
+        inc: &mut IncState,
+        b: u32,
+        positions: &[Vec3],
+    ) -> Result<u32, NeedsRebuild> {
+        let p = positions[b as usize];
+        let mut granted = 0u32;
+        let mut i = 0u32;
+        let mut center = self.root_center;
+        let mut half = self.root_edge * 0.5;
+        let mut depth = 0u32;
+        inc.count[0] += 1;
+        inc.mark_dirty(0);
+        loop {
+            match self.slot(i) {
+                Slot::Empty => {
+                    self.child[i as usize].store(tags::body_tag(b), Ordering::Relaxed);
+                    self.next_colocated[b as usize].store(CHAIN_END, Ordering::Relaxed);
+                    inc.body_leaf[b as usize] = i;
+                    inc.cell_center[b as usize] = center;
+                    inc.cell_half[b as usize] = half;
+                    return Ok(granted);
+                }
+                Slot::Locked => unreachable!("locked slot in live tree"),
+                Slot::Node(c) => {
+                    let oct = Aabb::octant_of(center, p);
+                    center = octant_center(center, half, oct);
+                    half *= 0.5;
+                    i = c + oct as u32;
+                    depth += 1;
+                    inc.count[i as usize] += 1;
+                    inc.mark_dirty(i);
+                }
+                Slot::Body(b2) => {
+                    // `count[i]` already includes the arriving body.
+                    if inc.count[i as usize] != 2 {
+                        return Err(needs("insert split a co-located chain"));
+                    }
+                    if depth >= MAX_DEPTH {
+                        return Err(needs("insert reached max depth"));
+                    }
+                    let p2 = positions[b2 as usize];
+                    if p == p2 {
+                        return Err(needs("insert would create a chain"));
+                    }
+                    let g = match inc.alloc.grant() {
+                        Some(g) => g,
+                        None => {
+                            self.grow_for_incremental(inc)?;
+                            inc.alloc.grant().ok_or_else(|| needs("free list exhausted"))?
+                        }
+                    };
+                    granted += 1;
+                    let cbase = tags::group_base(g);
+                    self.parent[g as usize].store(i, Ordering::Relaxed);
+                    let oct2 = Aabb::octant_of(center, p2);
+                    let slot2 = cbase + oct2 as u32;
+                    self.child[slot2 as usize].store(tags::body_tag(b2), Ordering::Relaxed);
+                    inc.count[slot2 as usize] = 1;
+                    inc.mark_dirty(slot2);
+                    inc.body_leaf[b2 as usize] = slot2;
+                    inc.cell_center[b2 as usize] = octant_center(center, half, oct2);
+                    inc.cell_half[b2 as usize] = half * 0.5;
+                    self.child[i as usize].store(tags::node_tag(cbase), Ordering::Relaxed);
+                    // Next iteration descends into the fresh group.
+                }
+            }
+        }
+    }
+
+    fn grow_for_incremental(&mut self, inc: &mut IncState) -> Result<(), NeedsRebuild> {
+        let cap = self.node_capacity() as u32;
+        let want = pool_size_for(cap.saturating_mul(2).max(cap + CHILDREN));
+        self.grow_pool_preserving(want).map_err(|_| needs("node pool at hard capacity"))?;
+        let cap = self.node_capacity();
+        let groups_total = ((cap - FIRST_GROUP as usize) / CHILDREN as usize) as u32;
+        inc.on_pool_grown(cap, groups_total);
+        Ok(())
+    }
+
+    /// Recompute multipoles along dirty paths only (pruned post-order
+    /// DFS); clean subtrees keep their stored finalized moments. Clears
+    /// the dirty set and snapshots `positions` as the new refresh
+    /// baseline. Requires live incremental state.
+    pub fn refresh_moments_incremental(&mut self, positions: &[Vec3], masses: &[f64]) {
+        assert_eq!(positions.len(), self.n_bodies(), "positions length changed since build");
+        assert_eq!(masses.len(), self.n_bodies(), "masses length changed since build");
+        let cap = self.node_capacity();
+        self.ensure_moment_storage_preserving(cap);
+        let mut inc = self.inc.take().expect("refresh_moments_incremental without init");
+        assert!(inc.valid, "refresh_moments_incremental on invalidated state");
+
+        if inc.all_dirty {
+            self.dfs_moment(None, 0, positions, masses, false);
+        } else {
+            self.dfs_moment(Some(&inc), 0, positions, masses, false);
+        }
+
+        for &s in &inc.dirty_slots {
+            inc.dirty[s as usize / 64] &= !(1u64 << (s % 64));
+        }
+        inc.dirty_slots.clear();
+        inc.all_dirty = false;
+        inc.last_pos.clear();
+        inc.last_pos.extend_from_slice(positions);
+        self.inc = Some(inc);
+
+        if self.step_probes_enabled() {
+            self.probe_incremental_moments(positions, masses);
+        }
+    }
+
+    /// Layout-independent from-scratch multipole computation: a sequential
+    /// post-order DFS combining children in octant order from finalized
+    /// values. Used to initialise incremental trees and as the bitwise
+    /// oracle the dirty-path refresh is verified against — on two trees
+    /// with the same structure it produces identical bits regardless of
+    /// slot layout (which the concurrent climb-based
+    /// [`Octree::compute_multipoles`] does not guarantee).
+    pub fn compute_multipoles_dfs(&mut self, positions: &[Vec3], masses: &[f64]) {
+        assert_eq!(positions.len(), self.n_bodies(), "positions length changed since build");
+        assert_eq!(masses.len(), self.n_bodies(), "masses length changed since build");
+        let alloc = self.allocated_nodes() as usize;
+        self.ensure_moment_storage_preserving(alloc);
+        self.dfs_moment(None, 0, positions, masses, false);
+    }
+
+    /// Post-order moment DFS. `dirty: Some(inc)` prunes at clean nodes
+    /// (their stored moments are returned untouched); `None` recomputes
+    /// everything reachable. `verify` compares instead of storing,
+    /// panicking on any bitwise mismatch (probe mode).
+    // relaxed-ok (whole method): sequential `&self` walk; callers hold
+    // `&mut self` or run post-join — no concurrent writers exist.
+    fn dfs_moment(
+        &self,
+        dirty: Option<&IncState>,
+        i: u32,
+        positions: &[Vec3],
+        masses: &[f64],
+        verify: bool,
+    ) -> Moment {
+        let slot = self.slot(i);
+        // Empty slots short-circuit *before* the dirty pruning: a re-granted
+        // group's empty slots may hold stale stored moments from a previous
+        // life without being dirty, and nothing is ever stored for empties.
+        if slot == Slot::Empty {
+            return ZERO_MOMENT;
+        }
+        if let Some(inc) = dirty {
+            if !inc.is_dirty(i) {
+                return self.stored_moment(i);
+            }
+        }
+        let want_quad = self.node_quad.is_some();
+        let mom = match slot {
+            Slot::Empty => unreachable!("handled above"),
+            Slot::Locked => unreachable!("locked slot in live tree"),
+            Slot::Body(head) => {
+                let mut m = 0.0;
+                let mut mx = Vec3::ZERO;
+                for b in self.chain(head) {
+                    let w = masses[b as usize];
+                    m += w;
+                    mx += positions[b as usize] * w;
+                }
+                let com = if m > 0.0 { mx / m } else { positions[head as usize] };
+                let mut quad = [0.0; 6];
+                if want_quad {
+                    for b in self.chain(head) {
+                        let w = masses[b as usize];
+                        let d = positions[b as usize] - com;
+                        quad[0] += w * d.x * d.x;
+                        quad[1] += w * d.x * d.y;
+                        quad[2] += w * d.x * d.z;
+                        quad[3] += w * d.y * d.y;
+                        quad[4] += w * d.y * d.z;
+                        quad[5] += w * d.z * d.z;
+                    }
+                }
+                Moment { m, com, quad }
+            }
+            Slot::Node(c) => {
+                let kids: [Moment; CHILDREN as usize] = std::array::from_fn(|k| {
+                    self.dfs_moment(dirty, c + k as u32, positions, masses, verify)
+                });
+                let mut m = 0.0;
+                let mut mx = Vec3::ZERO;
+                for kid in &kids {
+                    m += kid.m;
+                    mx += kid.com * kid.m;
+                }
+                let com = if m > 0.0 { mx / m } else { Vec3::ZERO };
+                let mut quad = [0.0; 6];
+                if want_quad {
+                    // Parallel-axis combination of the children's central
+                    // moments about the joint centre of mass.
+                    for kid in &kids {
+                        if kid.m <= 0.0 {
+                            continue;
+                        }
+                        let d = kid.com - com;
+                        quad[0] += kid.quad[0] + kid.m * d.x * d.x;
+                        quad[1] += kid.quad[1] + kid.m * d.x * d.y;
+                        quad[2] += kid.quad[2] + kid.m * d.x * d.z;
+                        quad[3] += kid.quad[3] + kid.m * d.y * d.y;
+                        quad[4] += kid.quad[4] + kid.m * d.y * d.z;
+                        quad[5] += kid.quad[5] + kid.m * d.z * d.z;
+                    }
+                }
+                Moment { m, com, quad }
+            }
+        };
+        if verify {
+            let stored = self.stored_moment(i);
+            assert_eq!(stored.m.to_bits(), mom.m.to_bits(), "node {i}: stale mass");
+            for (a, b) in [
+                (stored.com.x, mom.com.x),
+                (stored.com.y, mom.com.y),
+                (stored.com.z, mom.com.z),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "node {i}: stale centre of mass");
+            }
+            if want_quad {
+                for k in 0..6 {
+                    assert_eq!(
+                        stored.quad[k].to_bits(),
+                        mom.quad[k].to_bits(),
+                        "node {i}: stale quadrupole [{k}]"
+                    );
+                }
+            }
+        } else {
+            let idx = i as usize;
+            self.node_mass[idx].store(mom.m, Ordering::Relaxed);
+            self.node_com[0][idx].store(mom.com.x, Ordering::Relaxed);
+            self.node_com[1][idx].store(mom.com.y, Ordering::Relaxed);
+            self.node_com[2][idx].store(mom.com.z, Ordering::Relaxed);
+            if let Some(q) = &self.node_quad {
+                for (qk, &v) in q.iter().zip(&mom.quad) {
+                    qk[idx].store(v, Ordering::Relaxed);
+                }
+            }
+        }
+        mom
+    }
+
+    // relaxed-ok (whole method): read-only accessor on quiescent storage;
+    // see dfs_moment.
+    fn stored_moment(&self, i: u32) -> Moment {
+        let idx = i as usize;
+        Moment {
+            m: self.node_mass[idx].load(Ordering::Relaxed),
+            com: Vec3::new(
+                self.node_com[0][idx].load(Ordering::Relaxed),
+                self.node_com[1][idx].load(Ordering::Relaxed),
+                self.node_com[2][idx].load(Ordering::Relaxed),
+            ),
+            quad: match &self.node_quad {
+                Some(q) => std::array::from_fn(|k| q[k][idx].load(Ordering::Relaxed)),
+                None => [0.0; 6],
+            },
+        }
+    }
+
+    /// Free-list / structure invariants of an incrementally maintained
+    /// tree (probe: panics on violation). Checks, in one recursive walk
+    /// plus one bitmap sweep:
+    ///
+    /// * every reachable child group is group-aligned, in range, *not* on
+    ///   the free list, visited at most once (no double-grants or cycles),
+    ///   and its parent back-pointer names the publishing node;
+    /// * cached subtree counts equal recomputed counts at every slot;
+    /// * every body's cached leaf slot and cell geometry are exact, and
+    ///   its position lies inside the (slightly inflated) cell box;
+    /// * every group is either reachable or free — no leaks — and the
+    ///   `NO_PARENT` sentinel marks exactly the free groups.
+    pub fn probe_incremental_invariants(&self, positions: &[Vec3]) {
+        let Some(inc) = self.inc.as_deref() else { return };
+        if !inc.valid {
+            return;
+        }
+        assert_eq!(positions.len(), self.n_bodies(), "probe: positions length");
+        let groups_total = inc.alloc.groups;
+        let mut seen = vec![false; groups_total as usize];
+        let n = self
+            .probe_walk(inc, &mut seen, 0, self.root_center, self.root_edge * 0.5, positions);
+        assert_eq!(n as usize, self.n_bodies, "probe: reachable bodies");
+        for g in 0..groups_total {
+            let free = inc.alloc.is_free(g);
+            assert!(
+                seen[g as usize] != free,
+                "group {g}: reachable={} free={free} (leak or double-grant)",
+                seen[g as usize]
+            );
+            let sentinel = self.parent_of(tags::group_base(g)) == NO_PARENT;
+            assert_eq!(sentinel, free, "group {g}: NO_PARENT sentinel out of sync");
+        }
+    }
+
+    fn probe_walk(
+        &self,
+        inc: &IncState,
+        seen: &mut [bool],
+        i: u32,
+        center: Vec3,
+        half: f64,
+        positions: &[Vec3],
+    ) -> u32 {
+        let cnt = match self.slot(i) {
+            Slot::Empty => 0,
+            Slot::Locked => panic!("probe: locked slot {i} in quiescent tree"),
+            Slot::Body(head) => {
+                let mut c = 0;
+                let tol = 1e-9 * half.max(1e-300);
+                for b in self.chain(head) {
+                    assert_eq!(inc.body_leaf[b as usize], i, "probe: body {b} leaf cache");
+                    let cc = inc.cell_center[b as usize];
+                    assert_eq!(
+                        (cc.x.to_bits(), cc.y.to_bits(), cc.z.to_bits()),
+                        (center.x.to_bits(), center.y.to_bits(), center.z.to_bits()),
+                        "probe: body {b} cell-centre cache"
+                    );
+                    assert_eq!(
+                        inc.cell_half[b as usize].to_bits(),
+                        half.to_bits(),
+                        "probe: body {b} cell-half cache"
+                    );
+                    let p = positions[b as usize];
+                    assert!(
+                        (p.x - center.x).abs() <= half + tol
+                            && (p.y - center.y).abs() <= half + tol
+                            && (p.z - center.z).abs() <= half + tol,
+                        "probe: body {b} outside its cell"
+                    );
+                    c += 1;
+                }
+                c
+            }
+            Slot::Node(cg) => {
+                assert!(
+                    cg >= FIRST_GROUP && (cg - FIRST_GROUP).is_multiple_of(CHILDREN),
+                    "probe: node {i} child offset {cg} not group-aligned"
+                );
+                assert!(
+                    cg + CHILDREN <= self.node_capacity() as u32,
+                    "probe: node {i} child group {cg} beyond capacity"
+                );
+                let g = tags::group_of(cg);
+                assert!(!seen[g as usize], "probe: group {g} reached twice (double-grant)");
+                seen[g as usize] = true;
+                assert!(!inc.alloc.is_free(g), "probe: live group {g} on the free list");
+                assert_eq!(self.parent_of(cg), i, "probe: group {g} parent back-pointer");
+                let mut c = 0;
+                for oct in 0..CHILDREN as usize {
+                    c += self.probe_walk(
+                        inc,
+                        seen,
+                        cg + oct as u32,
+                        octant_center(center, half, oct),
+                        half * 0.5,
+                        positions,
+                    );
+                }
+                c
+            }
+        };
+        assert_eq!(inc.count[i as usize], cnt, "probe: slot {i} count cache");
+        cnt
+    }
+
+    /// Moment-consistency probe: every stored moment on the reachable tree
+    /// must equal a from-scratch DFS recompute *bitwise* (panics
+    /// otherwise). Valid right after a refresh.
+    pub fn probe_incremental_moments(&self, positions: &[Vec3], masses: &[f64]) {
+        if self.node_mass.len() < self.node_capacity() {
+            return; // moments never computed for this tree
+        }
+        self.dfs_moment(None, 0, positions, masses, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::SplitMix64;
+
+    #[test]
+    fn first_fit_grants_lowest_free_group() {
+        let mut a = FirstFitAllocator::default();
+        a.reset_all_free(130);
+        assert_eq!(a.grant(), Some(0));
+        assert_eq!(a.grant(), Some(1));
+        a.mark_used(2);
+        assert_eq!(a.grant(), Some(3));
+        a.release(1);
+        assert_eq!(a.grant(), Some(1), "first-fit must return the lowest free group");
+        for _ in 0..126 {
+            assert!(a.grant().is_some());
+        }
+        assert_eq!(a.grant(), None);
+        assert_eq!(a.used(), 130);
+        assert_eq!(a.used_high_water, 130);
+        a.release(129);
+        a.release(64);
+        assert_eq!(a.grant(), Some(64));
+        assert_eq!(a.grant(), Some(129));
+        assert_eq!(a.grant(), None);
+    }
+
+    #[test]
+    fn extend_free_adds_only_new_groups() {
+        let mut a = FirstFitAllocator::default();
+        a.reset_all_free(3);
+        assert_eq!(a.grant(), Some(0));
+        assert_eq!(a.grant(), Some(1));
+        assert_eq!(a.grant(), Some(2));
+        assert_eq!(a.grant(), None);
+        a.extend_free(70);
+        assert_eq!(a.free_count, 67);
+        assert_eq!(a.grant(), Some(3));
+        assert!(!a.is_free(0));
+        assert!(a.is_free(69));
+    }
+
+    #[test]
+    fn incremental_matches_rebuild_structure_and_moments() {
+        let mut r = SplitMix64::new(99);
+        let n = 600;
+        let mut pos: Vec<Vec3> = (0..n)
+            .map(|_| Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0)))
+            .collect();
+        let masses: Vec<f64> = (0..n).map(|_| r.uniform(0.1, 2.0)).collect();
+
+        // Inflated bounds so drift stays inside the persistent cube.
+        let mut bounds = Aabb::from_points(&pos);
+        let c = bounds.center();
+        let half = bounds.extent() * 0.75;
+        bounds = Aabb::new(c - half, c + half);
+
+        let mut t = Octree::new();
+        t.set_step_probes(true);
+        t.build(stdpar::prelude::Par, &pos, bounds).unwrap();
+        t.init_incremental(&pos);
+        t.refresh_moments_incremental(&pos, &masses);
+        let cube = t.root_cube();
+
+        for step in 0..12 {
+            // Alternate dense steps (every body random-walks, some teleport)
+            // with sparse steps (a handful of bodies move — exercises the
+            // pruned dirty-path refresh instead of the full recompute).
+            let sparse = step % 3 == 2;
+            for (k, p) in pos.iter_mut().enumerate() {
+                if sparse && k % 31 != 0 {
+                    continue;
+                }
+                let s = if k % 17 == step % 17 { 0.2 } else { 0.004 };
+                *p += Vec3::new(r.uniform(-s, s), r.uniform(-s, s), r.uniform(-s, s));
+                p.x = p.x.clamp(cube.min.x + 1e-6, cube.max.x - 1e-6);
+                p.y = p.y.clamp(cube.min.y + 1e-6, cube.max.y - 1e-6);
+                p.z = p.z.clamp(cube.min.z + 1e-6, cube.max.z - 1e-6);
+            }
+            let stats = t.update_incremental(&pos).unwrap();
+            t.refresh_moments_incremental(&pos, &masses);
+            assert!(stats.changed_positions <= n);
+            if sparse {
+                assert!(stats.changed_positions <= n.div_ceil(31), "sparse step moved too many");
+            }
+
+            // Oracle: from-scratch build on the same cube, same DFS moments.
+            let mut oracle = Octree::new();
+            oracle.build(stdpar::prelude::Seq, &pos, cube).unwrap();
+            oracle.compute_multipoles_dfs(&pos, &masses);
+            assert_eq!(
+                t.node_mass_of(0).to_bits(),
+                oracle.node_mass_of(0).to_bits(),
+                "step {step}: root mass diverged"
+            );
+            let (a, b) = (t.node_com_of(0), oracle.node_com_of(0));
+            assert_eq!(
+                (a.x.to_bits(), a.y.to_bits(), a.z.to_bits()),
+                (b.x.to_bits(), b.y.to_bits(), b.z.to_bits()),
+                "step {step}: root com diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_touch_falls_back() {
+        let p = Vec3::new(0.25, 0.25, 0.25);
+        let mut pos = vec![p, p, Vec3::new(-0.5, -0.5, -0.5)];
+        let mut t = Octree::new();
+        t.build(stdpar::prelude::Par, &pos, Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)))
+            .unwrap();
+        t.init_incremental(&pos);
+        // Move a chained body out of its cell: the incremental path must
+        // refuse (removing one member would orphan the chain bookkeeping).
+        pos[0] = Vec3::new(-0.7, 0.7, 0.7);
+        let err = t.update_incremental(&pos).unwrap_err();
+        assert_eq!(err.reason, "mover shares a co-located chain");
+        assert!(!t.incremental_ready());
+    }
+
+    #[test]
+    fn escape_of_root_cube_falls_back() {
+        let mut pos = vec![Vec3::new(0.1, 0.1, 0.1), Vec3::new(-0.4, -0.2, 0.3)];
+        let mut t = Octree::new();
+        t.build(stdpar::prelude::Par, &pos, Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)))
+            .unwrap();
+        t.init_incremental(&pos);
+        pos[0] = Vec3::new(5.0, 0.0, 0.0);
+        let err = t.update_incremental(&pos).unwrap_err();
+        assert_eq!(err.reason, "body escaped the root cube");
+    }
+
+    #[test]
+    fn dt_zero_update_is_a_no_op() {
+        let mut r = SplitMix64::new(5);
+        let pos: Vec<Vec3> = (0..200)
+            .map(|_| Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0)))
+            .collect();
+        let masses = vec![1.0; 200];
+        let mut t = Octree::new();
+        t.set_step_probes(true);
+        t.build(stdpar::prelude::Par, &pos, Aabb::from_points(&pos)).unwrap();
+        t.init_incremental(&pos);
+        t.refresh_moments_incremental(&pos, &masses);
+        let stats = t.update_incremental(&pos).unwrap();
+        assert_eq!(stats, IncrementalStats::default());
+        t.refresh_moments_incremental(&pos, &masses);
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod blocked;
 pub mod force;
+pub mod incremental;
 pub mod multipole;
 pub mod query;
 pub mod scratch;
@@ -54,6 +55,7 @@ pub mod tree;
 pub mod validate;
 
 pub use force::ForceParams;
+pub use incremental::{IncrementalStats, NeedsRebuild};
 pub use scratch::TraversalScratch;
 pub use tree::{BuildError, BuildStats, Octree, DEFAULT_SPIN_BUDGET, MAX_DEPTH};
 pub use validate::TreeInvariants;

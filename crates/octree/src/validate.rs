@@ -34,11 +34,32 @@ impl TreeInvariants {
     /// 4. every body lies inside the cell of the leaf that holds it;
     /// 5. every body index appears exactly once.
     pub fn check(tree: &Octree, positions: &[Vec3]) -> Result<TreeInvariants, String> {
+        Self::check_inner(tree, positions, true)
+    }
+
+    /// [`TreeInvariants::check`] for incrementally maintained trees: the
+    /// free-list allocator recycles sibling groups, so a child offset may
+    /// legitimately be *smaller* than its parent's index (the stackless-DFS
+    /// ordering only holds for bump-allocated builds; incremental mode
+    /// evaluates forces through the blocked traversal, which does not need
+    /// it). Acyclicity is enforced by a visited-group set instead.
+    pub fn check_relaxed(tree: &Octree, positions: &[Vec3]) -> Result<TreeInvariants, String> {
+        Self::check_inner(tree, positions, false)
+    }
+
+    fn check_inner(
+        tree: &Octree,
+        positions: &[Vec3],
+        ordered: bool,
+    ) -> Result<TreeInvariants, String> {
         let n = tree.n_bodies();
         if n == 0 {
             return Ok(TreeInvariants::default());
         }
         let mut seen = vec![false; n];
+        let groups = (tree.node_capacity().saturating_sub(FIRST_GROUP as usize))
+            / CHILDREN as usize;
+        let mut seen_groups = vec![false; groups];
         let mut inv = TreeInvariants::default();
         let root_cell = Aabb::new(
             tree.root_center - Vec3::splat(tree.root_edge * 0.5),
@@ -85,9 +106,17 @@ impl TreeInvariants {
                 }
                 Slot::Node(c) => {
                     inv.internal_nodes += 1;
-                    if c <= i {
+                    if ordered && c <= i {
                         return Err(format!("child offset {c} not greater than parent {i}"));
                     }
+                    if c < FIRST_GROUP {
+                        return Err(format!("child offset {c} below the first group"));
+                    }
+                    let g = tags::group_of(c) as usize;
+                    if seen_groups[g] {
+                        return Err(format!("child group {c} reachable twice (cycle)"));
+                    }
+                    seen_groups[g] = true;
                     if !(c - FIRST_GROUP).is_multiple_of(CHILDREN) {
                         return Err(format!("child offset {c} not group-aligned"));
                     }

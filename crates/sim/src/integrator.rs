@@ -9,7 +9,7 @@ use crate::solver::{make_solver, ForceSolver, SolverError, SolverKind, SolverPar
 use crate::system::SystemState;
 use crate::timing::{timed_counted, StepTimings};
 use crate::workspace::SimWorkspace;
-use nbody_math::gravity::{ForceEval, ForceKernel, KernelPrecision};
+use nbody_math::gravity::{ForceEval, ForceKernel, KernelPrecision, TreeLifecycle};
 use nbody_math::Vec3;
 use nbody_telemetry::record;
 use stdpar::policy::DynPolicy;
@@ -86,6 +86,10 @@ pub struct SimOptions {
     pub hilbert_bits: u32,
     /// Time integration scheme (paper: Störmer-Verlet leapfrog).
     pub integrator: IntegratorKind,
+    /// Tree maintenance across steps (tree solvers): rebuild per step, or
+    /// a persistent delta-updated tree. `Incremental` supersedes
+    /// `tree_rebuild_every` — the lifecycle manages its own reuse cadence.
+    pub lifecycle: TreeLifecycle,
 }
 
 impl Default for SimOptions {
@@ -103,6 +107,7 @@ impl Default for SimOptions {
             precision: KernelPrecision::F64,
             hilbert_bits: 16,
             integrator: IntegratorKind::LeapfrogKdk,
+            lifecycle: TreeLifecycle::Rebuild,
         }
     }
 }
@@ -118,6 +123,7 @@ impl SimOptions {
             kernel: self.kernel,
             precision: self.precision,
             hilbert_bits: self.hilbert_bits,
+            lifecycle: self.lifecycle,
         }
     }
 }

@@ -22,8 +22,10 @@ use crate::workspace::SimWorkspace;
 use bh_bvh::{Bvh, BvhParams};
 use bh_octree::Octree;
 use nbody_math::atomic_f64::atomic_f64_vec;
-use nbody_math::gravity::{pair_accel, ForceEval, ForceKernel, ForceParams, KernelPrecision};
-use nbody_math::Vec3;
+use nbody_math::gravity::{
+    pair_accel, ForceEval, ForceKernel, ForceParams, KernelPrecision, TreeLifecycle,
+};
+use nbody_math::{Aabb, Vec3};
 use nbody_resilience::FaultKind;
 use std::sync::atomic::Ordering;
 use stdpar::policy::DynPolicy;
@@ -47,6 +49,13 @@ pub struct SolverParams {
     pub precision: KernelPrecision,
     /// Hilbert grid resolution (BVH only).
     pub hilbert_bits: u32,
+    /// Tree maintenance across steps (both trees): from-scratch rebuild
+    /// per step, or a persistent delta-updated tree that is refreshed
+    /// every `max_stale_steps + 1` steps and served stale in between with
+    /// a drift-inflated MAC. `Incremental` manages its own reuse cadence
+    /// and therefore ignores the `reuse_tree` flag of
+    /// [`ForceSolver::try_compute_into`].
+    pub lifecycle: TreeLifecycle,
 }
 
 impl Default for SolverParams {
@@ -60,6 +69,7 @@ impl Default for SolverParams {
             kernel: ForceKernel::Scalar,
             precision: KernelPrecision::F64,
             hilbert_bits: 16,
+            lifecycle: TreeLifecycle::Rebuild,
         }
     }
 }
@@ -74,8 +84,27 @@ impl SolverParams {
             eval: self.eval,
             kernel: self.kernel,
             precision: self.precision,
+            lifecycle: self.lifecycle,
+            mac_pad: 0.0,
         }
     }
+}
+
+/// Inflation factor applied to the root cube when entering the incremental
+/// lifecycle: the persistent octree must absorb a few steps of drift before
+/// any body escapes its fixed cube and forces a from-scratch rebuild.
+const INC_ROOT_INFLATE: f64 = 1.25;
+
+/// Largest body displacement between the reference snapshot (positions at
+/// the last tree refresh) and the current positions — the MAC pad for
+/// stale-tree steps.
+fn max_drift(reference: &[Vec3], positions: &[Vec3]) -> f64 {
+    debug_assert_eq!(reference.len(), positions.len());
+    reference
+        .iter()
+        .zip(positions)
+        .map(|(a, b)| (*b - *a).norm())
+        .fold(0.0, f64::max)
 }
 
 /// The four algorithms of the paper's evaluation, plus the tiled all-pairs
@@ -491,18 +520,107 @@ pub struct OctreeSolver<P: ParallelForwardProgress> {
     params: SolverParams,
     tree: Octree,
     built: bool,
+    /// Positions at the last tree refresh (incremental lifecycle): the
+    /// reference of the per-step drift scan. Grow-only.
+    ref_pos: Vec<Vec3>,
+    /// Steps served from the stale tree since the last refresh.
+    stale_steps: usize,
 }
 
 impl<P: ParallelForwardProgress> OctreeSolver<P> {
     pub fn new(policy: P, params: SolverParams) -> Self {
         let mut tree = Octree::new();
         tree.set_quadrupole(params.quadrupole);
-        OctreeSolver { policy, params, tree, built: false }
+        OctreeSolver { policy, params, tree, built: false, ref_pos: Vec::new(), stale_steps: 0 }
     }
 
     /// Access the tree (post-`compute` introspection for tests/benches).
     pub fn tree(&self) -> &Octree {
         &self.tree
+    }
+
+    /// Full (re)entry into the incremental lifecycle: from-scratch build on
+    /// an inflated root cube, sequential DFS moments, free-list/caches init.
+    fn init_incremental_tree(
+        &mut self,
+        state: &SystemState,
+        t: &mut StepTimings,
+    ) -> Result<(), ComputeError> {
+        self.built = false;
+        let bbox =
+            timed_counted(&mut t.bbox, &mut t.allocs.bbox, || state.bounding_box(self.policy));
+        let c = bbox.center();
+        let he = bbox.extent() * (0.5 * INC_ROOT_INFLATE);
+        let inflated = Aabb::new(c - he, c + he);
+        let mut built = Ok(Default::default());
+        timed_counted(&mut t.build, &mut t.allocs.build, || {
+            built = self.tree.build(self.policy, &state.positions, inflated);
+            if built.is_ok() {
+                self.tree.init_incremental(&state.positions);
+            }
+        });
+        let _stats: bh_octree::BuildStats = built.map_err(ComputeError::Build)?;
+        timed_counted(&mut t.multipole, &mut t.allocs.multipole, || {
+            // Sequential DFS moments, not the parallel bottom-up pass: the
+            // incremental refresh recomputes dirty paths with the same DFS
+            // combination order, so stored and recomputed moments stay
+            // bitwise-consistent (the DetPar moment probes check exactly
+            // that).
+            self.tree.compute_multipoles_dfs(&state.positions, &state.masses);
+        });
+        self.built = true;
+        self.ref_pos.clear();
+        self.ref_pos.extend_from_slice(&state.positions);
+        self.stale_steps = 0;
+        Ok(())
+    }
+
+    /// One step of the incremental lifecycle: serve stale with a padded
+    /// MAC, or delta-refresh the persistent tree (falling back to a full
+    /// rebuild when the delta update reports it cannot apply).
+    fn advance_incremental(
+        &mut self,
+        state: &SystemState,
+        max_stale: usize,
+        fp: &mut ForceParams,
+        t: &mut StepTimings,
+    ) -> Result<(), ComputeError> {
+        let n = state.len();
+        let ready = self.built
+            && self.tree.incremental_ready()
+            && self.tree.n_bodies() == n
+            && self.ref_pos.len() == n;
+        if !ready {
+            return self.init_incremental_tree(state, t);
+        }
+        // Drift scan — the bounding-box phase's analogue, timed into its
+        // slot: how far any body moved since the tree last refreshed.
+        let pad = timed_counted(&mut t.bbox, &mut t.allocs.bbox, || {
+            max_drift(&self.ref_pos, &state.positions)
+        });
+        if self.stale_steps < max_stale {
+            self.stale_steps += 1;
+            fp.mac_pad = pad;
+            nbody_telemetry::record!(counter TREE_REUSE_STEPS, 1);
+            return Ok(());
+        }
+        // Refresh: delta-update the structure, recompute dirty moments.
+        let mut updated = Ok(Default::default());
+        timed_counted(&mut t.build, &mut t.allocs.build, || {
+            updated = self.tree.update_incremental(&state.positions);
+        });
+        match updated {
+            Ok(_stats) => {
+                timed_counted(&mut t.multipole, &mut t.allocs.multipole, || {
+                    self.tree.refresh_moments_incremental(&state.positions, &state.masses);
+                });
+                self.ref_pos.clear();
+                self.ref_pos.extend_from_slice(&state.positions);
+                self.stale_steps = 0;
+                Ok(())
+            }
+            Err(_fallback) => self.init_incremental_tree(state, t),
+        }
     }
 }
 
@@ -519,22 +637,30 @@ impl<P: ParallelForwardProgress> ForceSolver for OctreeSolver<P> {
         ws: &mut SimWorkspace,
     ) -> Result<StepTimings, ComputeError> {
         let mut t = StepTimings::default();
-        let can_reuse = reuse && self.built && self.tree.n_bodies() == state.len();
-        if !can_reuse {
-            self.built = false;
-            let bbox =
-                timed_counted(&mut t.bbox, &mut t.allocs.bbox, || state.bounding_box(self.policy));
-            let mut built = Ok(Default::default());
-            timed_counted(&mut t.build, &mut t.allocs.build, || {
-                built = self.tree.build(self.policy, &state.positions, bbox);
-            });
-            let _stats: bh_octree::BuildStats = built.map_err(ComputeError::Build)?;
-            timed_counted(&mut t.multipole, &mut t.allocs.multipole, || {
-                self.tree.compute_multipoles(self.policy, &state.positions, &state.masses)
-            });
-            self.built = true;
+        let mut fp = self.params.force_params();
+        match self.params.lifecycle {
+            TreeLifecycle::Incremental { max_stale_steps } if !state.is_empty() => {
+                self.advance_incremental(state, max_stale_steps as usize, &mut fp, &mut t)?;
+            }
+            _ => {
+                let can_reuse = reuse && self.built && self.tree.n_bodies() == state.len();
+                if !can_reuse {
+                    self.built = false;
+                    let bbox = timed_counted(&mut t.bbox, &mut t.allocs.bbox, || {
+                        state.bounding_box(self.policy)
+                    });
+                    let mut built = Ok(Default::default());
+                    timed_counted(&mut t.build, &mut t.allocs.build, || {
+                        built = self.tree.build(self.policy, &state.positions, bbox);
+                    });
+                    let _stats: bh_octree::BuildStats = built.map_err(ComputeError::Build)?;
+                    timed_counted(&mut t.multipole, &mut t.allocs.multipole, || {
+                        self.tree.compute_multipoles(self.policy, &state.positions, &state.masses)
+                    });
+                    self.built = true;
+                }
+            }
         }
-        let fp = self.params.force_params();
         timed_counted(&mut t.force, &mut t.allocs.force, || {
             // Paper: CALCULATEFORCE runs under par_unseq (independent,
             // lock-free elements); sequential solvers stay sequential.
@@ -562,9 +688,15 @@ impl<P: ParallelForwardProgress> ForceSolver for OctreeSolver<P> {
     }
 
     fn validate(&self, state: &SystemState) -> Result<(), ComputeError> {
-        bh_octree::TreeInvariants::check(&self.tree, &state.positions)
-            .map(|_| ())
-            .map_err(ComputeError::InvariantViolation)
+        // An incrementally maintained tree recycles free-list groups, so
+        // the stackless-DFS child ordering no longer holds; the relaxed
+        // check enforces acyclicity by visited set instead.
+        let res = if self.tree.incremental_ready() {
+            bh_octree::TreeInvariants::check_relaxed(&self.tree, &state.positions)
+        } else {
+            bh_octree::TreeInvariants::check(&self.tree, &state.positions)
+        };
+        res.map(|_| ()).map_err(ComputeError::InvariantViolation)
     }
 
     fn inject_fault(&mut self, kind: FaultKind) -> bool {
@@ -592,6 +724,10 @@ pub struct BvhSolver<P: ExecutionPolicy> {
     params: SolverParams,
     bvh: Bvh,
     built: bool,
+    /// Positions at the last tree refresh (incremental lifecycle). Grow-only.
+    ref_pos: Vec<Vec3>,
+    /// Steps served from the stale tree since the last refresh.
+    stale_steps: usize,
 }
 
 impl<P: ExecutionPolicy> BvhSolver<P> {
@@ -601,11 +737,50 @@ impl<P: ExecutionPolicy> BvhSolver<P> {
             quadrupole: params.quadrupole,
             ..BvhParams::default()
         });
-        BvhSolver { policy, params, bvh, built: false }
+        BvhSolver { policy, params, bvh, built: false, ref_pos: Vec::new(), stale_steps: 0 }
     }
 
     pub fn bvh(&self) -> &Bvh {
         &self.bvh
+    }
+
+    /// Refresh the persistent BVH: lazy Hilbert re-sort against the
+    /// previous permutation (full-sort fallback inside), then the
+    /// structure and moment passes. Also the first-build path — the lazy
+    /// re-sort degrades to a full sort when no previous sort is reusable.
+    fn refresh_bvh(
+        &mut self,
+        state: &SystemState,
+        t: &mut StepTimings,
+        ws: &mut SimWorkspace,
+    ) -> Result<(), ComputeError> {
+        self.built = false;
+        let bbox =
+            timed_counted(&mut t.bbox, &mut t.allocs.bbox, || state.bounding_box(self.policy));
+        let mut sorted = Ok(());
+        timed_counted(&mut t.sort, &mut t.allocs.sort, || {
+            sorted = self.bvh.try_hilbert_resort_with(
+                self.policy,
+                &state.positions,
+                &state.masses,
+                bbox,
+                &mut ws.bvh,
+            );
+        });
+        sorted.map_err(ComputeError::Build)?;
+        let mut built = Ok(());
+        timed_counted(&mut t.build, &mut t.allocs.build, || {
+            built = self.bvh.try_build_structure(self.policy)
+        });
+        built.map_err(ComputeError::Build)?;
+        timed_counted(&mut t.multipole, &mut t.allocs.multipole, || {
+            self.bvh.accumulate_moments(self.policy)
+        });
+        self.built = true;
+        self.ref_pos.clear();
+        self.ref_pos.extend_from_slice(&state.positions);
+        self.stale_steps = 0;
+        Ok(())
     }
 }
 
@@ -622,30 +797,53 @@ impl<P: ExecutionPolicy> ForceSolver for BvhSolver<P> {
         ws: &mut SimWorkspace,
     ) -> Result<StepTimings, ComputeError> {
         let mut t = StepTimings::default();
-        let can_reuse = reuse && self.built && self.bvh.n_bodies() == state.len();
-        if !can_reuse {
-            self.built = false;
-            let bbox =
-                timed_counted(&mut t.bbox, &mut t.allocs.bbox, || state.bounding_box(self.policy));
-            let mut sorted = Ok(());
-            timed_counted(&mut t.sort, &mut t.allocs.sort, || {
-                sorted = self.bvh.try_hilbert_sort_with(
-                    self.policy,
-                    &state.positions,
-                    &state.masses,
-                    bbox,
-                    &mut ws.bvh,
-                );
-            });
-            sorted.map_err(ComputeError::Build)?;
-            let mut built = Ok(());
-            timed_counted(&mut t.build, &mut t.allocs.build, || {
-                built = self.bvh.try_build_and_accumulate(self.policy)
-            });
-            built.map_err(ComputeError::Build)?;
-            self.built = true;
+        let mut fp = self.params.force_params();
+        let n = state.len();
+        match self.params.lifecycle {
+            TreeLifecycle::Incremental { max_stale_steps } if n > 0 => {
+                let ready = self.built && self.bvh.n_bodies() == n && self.ref_pos.len() == n;
+                if ready && self.stale_steps < max_stale_steps as usize {
+                    // Serve from the stale tree with a drift-inflated MAC.
+                    let pad = timed_counted(&mut t.bbox, &mut t.allocs.bbox, || {
+                        max_drift(&self.ref_pos, &state.positions)
+                    });
+                    self.stale_steps += 1;
+                    fp.mac_pad = pad;
+                    nbody_telemetry::record!(counter TREE_REUSE_STEPS, 1);
+                } else {
+                    self.refresh_bvh(state, &mut t, ws)?;
+                }
+            }
+            _ => {
+                let can_reuse = reuse && self.built && self.bvh.n_bodies() == n;
+                if !can_reuse {
+                    self.built = false;
+                    let bbox = timed_counted(&mut t.bbox, &mut t.allocs.bbox, || {
+                        state.bounding_box(self.policy)
+                    });
+                    let mut sorted = Ok(());
+                    timed_counted(&mut t.sort, &mut t.allocs.sort, || {
+                        sorted = self.bvh.try_hilbert_sort_with(
+                            self.policy,
+                            &state.positions,
+                            &state.masses,
+                            bbox,
+                            &mut ws.bvh,
+                        );
+                    });
+                    sorted.map_err(ComputeError::Build)?;
+                    let mut built = Ok(());
+                    timed_counted(&mut t.build, &mut t.allocs.build, || {
+                        built = self.bvh.try_build_structure(self.policy)
+                    });
+                    built.map_err(ComputeError::Build)?;
+                    timed_counted(&mut t.multipole, &mut t.allocs.multipole, || {
+                        self.bvh.accumulate_moments(self.policy)
+                    });
+                    self.built = true;
+                }
+            }
         }
-        let fp = self.params.force_params();
         timed_counted(&mut t.force, &mut t.allocs.force, || {
             self.bvh.compute_forces_with(self.policy, &state.positions, accel, &fp, &mut ws.bvh);
         });
@@ -855,6 +1053,75 @@ mod tests {
     }
 
     #[test]
+    fn incremental_lifecycle_serves_stale_then_refreshes() {
+        // State machine cadence for Incremental{2}: init, two stale serves
+        // (no build/multipole time), then a delta refresh (build time, no
+        // full re-init), repeating.
+        let mut state = galaxy_collision(400, 22);
+        let params = SolverParams {
+            lifecycle: TreeLifecycle::Incremental { max_stale_steps: 2 },
+            softening: 1e-3,
+            ..SolverParams::default()
+        };
+        for kind in [SolverKind::Octree, SolverKind::Bvh] {
+            let mut solver = make_solver(kind, DynPolicy::Par, params).unwrap();
+            let mut acc = vec![Vec3::ZERO; state.len()];
+            let t0 = solver.compute(&state, &mut acc, false);
+            assert!(t0.build.as_nanos() > 0, "{}: init must build", kind.name());
+            assert!(t0.multipole.as_nanos() > 0, "{}: init must compute moments", kind.name());
+            for step in 0..2 {
+                // Drift slightly so the stale steps are non-trivial.
+                for p in &mut state.positions {
+                    *p += Vec3::splat(1e-5);
+                }
+                let t = solver.compute(&state, &mut acc, false);
+                assert_eq!(t.build.as_nanos(), 0, "{} step {step}: stale serve", kind.name());
+                assert_eq!(t.multipole.as_nanos(), 0, "{} step {step}", kind.name());
+            }
+            for p in &mut state.positions {
+                *p += Vec3::splat(1e-5);
+            }
+            let t = solver.compute(&state, &mut acc, false);
+            assert!(t.build.as_nanos() > 0, "{}: refresh must update structure", kind.name());
+            assert!(t.multipole.as_nanos() > 0, "{}: refresh must update moments", kind.name());
+            solver.validate(&state).unwrap();
+        }
+    }
+
+    #[test]
+    fn incremental_lifecycle_is_as_accurate_as_rebuild() {
+        // Fresh incremental trees (different root volume for the octree,
+        // identical pipeline for the BVH) must stay within the same error
+        // budget against the exact direct sum as the rebuild trees.
+        let state = galaxy_collision(400, 23);
+        let params = SolverParams {
+            theta: 0.5,
+            softening: 1e-3,
+            lifecycle: TreeLifecycle::Incremental { max_stale_steps: 0 },
+            ..SolverParams::default()
+        };
+        for kind in [SolverKind::Octree, SolverKind::Bvh] {
+            let mut solver = make_solver(kind, DynPolicy::Par, params).unwrap();
+            let mut acc = vec![Vec3::ZERO; state.len()];
+            solver.compute(&state, &mut acc, false);
+            let mut mean = 0.0;
+            for (i, &a) in acc.iter().enumerate() {
+                let exact = direct_accel(
+                    state.positions[i],
+                    Some(i as u32),
+                    &state.positions,
+                    &state.masses,
+                    1.0,
+                    1e-3,
+                );
+                mean += (a - exact).norm() / (1e-12 + exact.norm());
+            }
+            mean /= state.len() as f64;
+            assert!(mean < 0.01, "{}: mean rel err {mean}", kind.name());
+        }
+    }
+
+    #[test]
     fn timings_are_populated_per_kind() {
         let state = galaxy_collision(300, 14);
         let mut acc = vec![Vec3::ZERO; state.len()];
@@ -863,6 +1130,7 @@ mod tests {
             .compute(&state, &mut acc, false);
         assert!(t.sort.as_nanos() > 0, "BVH must time the Hilbert sort");
         assert!(t.build.as_nanos() > 0);
+        assert!(t.multipole.as_nanos() > 0, "BVH must time moment accumulation separately");
         let t = make_solver(SolverKind::Octree, DynPolicy::Par, SolverParams::default())
             .unwrap()
             .compute(&state, &mut acc, false);

@@ -58,10 +58,11 @@ pub struct StepTimings {
     pub bbox: Duration,
     /// HILBERTSORT (BVH only).
     pub sort: Duration,
-    /// BUILDTREE (octree) / BVH level construction.
+    /// BUILDTREE (octree) / BVH box-structure construction. Incremental
+    /// lifecycle: the delta update of the persistent structure.
     pub build: Duration,
-    /// CALCULATEMULTIPOLES (octree; folded into `build` for the BVH, which
-    /// accumulates masses during construction).
+    /// CALCULATEMULTIPOLES (octree) / ACCUMULATEMASS (BVH moment
+    /// reduction). Incremental lifecycle: the dirty-path recompute.
     pub multipole: Duration,
     /// CALCULATEFORCE.
     pub force: Duration,

@@ -47,8 +47,19 @@ pub static OCTREE_SPIN_ITERS: Counter = Counter::new();
 pub static OCTREE_MAC_ACCEPTS: Counter = Counter::new();
 /// MAC tests that opened (descended into) a node.
 pub static OCTREE_MAC_OPENS: Counter = Counter::new();
+/// Successful incremental (delta) tree updates.
+pub static OCTREE_INC_UPDATES: Counter = Counter::new();
+/// Incremental updates that refused and forced a full rebuild.
+pub static OCTREE_INC_FALLBACKS: Counter = Counter::new();
+/// Node slots added by incremental refinement (granted groups × 8).
+pub static OCTREE_NODES_REFINED: Counter = Counter::new();
+/// Node slots removed by incremental coarsening (released groups × 8).
+pub static OCTREE_NODES_COARSENED: Counter = Counter::new();
 /// Node-pool high-water mark (allocated nodes after a successful build).
 pub static OCTREE_POOL_HIGH_WATER: Gauge = Gauge::new();
+/// High-water mark of simultaneously granted free-list groups
+/// (incremental lifecycle only).
+pub static OCTREE_FREELIST_HIGH_WATER: Gauge = Gauge::new();
 /// Bodies per blocked-traversal interaction list.
 pub static OCTREE_LIST_BODIES: Histogram = Histogram::new();
 /// Multipole nodes per blocked-traversal interaction list.
@@ -58,6 +69,10 @@ pub static OCTREE_LIST_NODES: Histogram = Histogram::new();
 
 /// Successful BVH builds.
 pub static BVH_BUILDS: Counter = Counter::new();
+/// Hilbert re-sorts served by the lazy natural-merge path.
+pub static BVH_LAZY_RESORTS: Counter = Counter::new();
+/// Hilbert re-sorts that fell back to a full sort (too disordered).
+pub static BVH_FULL_RESORTS: Counter = Counter::new();
 /// MAC tests that accepted a node as a multipole.
 pub static BVH_MAC_ACCEPTS: Counter = Counter::new();
 /// MAC tests that opened (descended into) a node.
@@ -68,11 +83,17 @@ pub static BVH_NODES_HIGH_WATER: Gauge = Gauge::new();
 pub static BVH_LIST_BODIES: Histogram = Histogram::new();
 /// Multipole nodes per blocked-traversal interaction list.
 pub static BVH_LIST_NODES: Histogram = Histogram::new();
+/// Sorted-run count observed by each lazy Hilbert re-sort (1 = already
+/// sorted; larger = more disorder to merge away).
+pub static BVH_RESORT_RUNS: Histogram = Histogram::new();
 
 // ---- simulation step -------------------------------------------------------
 
 /// Completed simulation steps.
 pub static SIM_STEPS: Counter = Counter::new();
+/// Steps that reused the persistent tree (stale-MAC reuse or delta
+/// update) instead of a from-scratch rebuild.
+pub static TREE_REUSE_STEPS: Counter = Counter::new();
 /// Cumulative nanoseconds per phase, mirroring `StepTimings`.
 pub static SIM_BBOX_NANOS: Counter = Counter::new();
 pub static SIM_SORT_NANOS: Counter = Counter::new();
@@ -142,11 +163,11 @@ pub static GUARD_DISK_CHECKPOINTS: Counter = Counter::new();
 pub static GUARD_ROLLBACK_AGE: Histogram = Histogram::new();
 
 /// Number of registered counters.
-pub const N_COUNTERS: usize = 45;
+pub const N_COUNTERS: usize = 52;
 /// Number of registered gauges.
-pub const N_GAUGES: usize = 4;
+pub const N_GAUGES: usize = 5;
 /// Number of registered histograms.
-pub const N_HISTOGRAMS: usize = 7;
+pub const N_HISTOGRAMS: usize = 8;
 
 /// All counters, in stable snapshot order.
 pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
@@ -163,10 +184,17 @@ pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
         ("octree_spin_iters", &OCTREE_SPIN_ITERS),
         ("octree_mac_accepts", &OCTREE_MAC_ACCEPTS),
         ("octree_mac_opens", &OCTREE_MAC_OPENS),
+        ("octree_inc_updates", &OCTREE_INC_UPDATES),
+        ("octree_inc_fallbacks", &OCTREE_INC_FALLBACKS),
+        ("octree_nodes_refined", &OCTREE_NODES_REFINED),
+        ("octree_nodes_coarsened", &OCTREE_NODES_COARSENED),
         ("bvh_builds", &BVH_BUILDS),
+        ("bvh_lazy_resorts", &BVH_LAZY_RESORTS),
+        ("bvh_full_resorts", &BVH_FULL_RESORTS),
         ("bvh_mac_accepts", &BVH_MAC_ACCEPTS),
         ("bvh_mac_opens", &BVH_MAC_OPENS),
         ("sim_steps", &SIM_STEPS),
+        ("tree_reuse_steps", &TREE_REUSE_STEPS),
         ("sim_bbox_nanos", &SIM_BBOX_NANOS),
         ("sim_sort_nanos", &SIM_SORT_NANOS),
         ("sim_build_nanos", &SIM_BUILD_NANOS),
@@ -204,6 +232,7 @@ pub fn gauges() -> [(&'static str, &'static Gauge); N_GAUGES] {
     [
         ("stdpar_workers_high_water", &STDPAR_WORKERS_HIGH_WATER),
         ("octree_pool_high_water", &OCTREE_POOL_HIGH_WATER),
+        ("octree_freelist_high_water", &OCTREE_FREELIST_HIGH_WATER),
         ("bvh_nodes_high_water", &BVH_NODES_HIGH_WATER),
         ("simd_dispatch_level", &SIMD_DISPATCH_LEVEL),
     ]
@@ -217,6 +246,7 @@ pub fn histograms() -> [(&'static str, &'static Histogram); N_HISTOGRAMS] {
         ("octree_list_nodes", &OCTREE_LIST_NODES),
         ("bvh_list_bodies", &BVH_LIST_BODIES),
         ("bvh_list_nodes", &BVH_LIST_NODES),
+        ("bvh_resort_runs", &BVH_RESORT_RUNS),
         ("resilient_fallback_level", &RESILIENT_FALLBACK_LEVEL),
         ("guard_rollback_age", &GUARD_ROLLBACK_AGE),
     ]

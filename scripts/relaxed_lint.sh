@@ -15,6 +15,7 @@ cd "$(dirname "$0")/.."
 AUDITED=(
     crates/octree/src/tree.rs
     crates/octree/src/multipole.rs
+    crates/octree/src/incremental.rs
     crates/stdpar/src/backend.rs
     crates/stdpar/src/detpar.rs
 )

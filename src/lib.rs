@@ -49,7 +49,7 @@ pub use stdpar;
 
 /// Everything a typical simulation driver needs.
 pub mod prelude {
-    pub use crate::math::{Aabb, ForceEval, ForceKernel, KernelPrecision, Vec3};
+    pub use crate::math::{Aabb, ForceEval, ForceKernel, KernelPrecision, TreeLifecycle, Vec3};
     pub use crate::sim::diagnostics::{l2_error, Diagnostics};
     pub use crate::sim::solver::{ForceSolver, SolverKind};
     pub use crate::sim::system::SystemState;

@@ -128,6 +128,37 @@ fn steady_state_steps_allocate_nothing() {
                 }
             }
 
+            // The incremental lifecycle: drift scans, stale serves, lazy
+            // re-sorts and delta refreshes must all run out of grow-only
+            // solver/workspace storage. `max_stale_steps = 1` makes the
+            // 3-step warm-up cover one full refresh cycle (init, stale,
+            // refresh), so the measured steps hit both the stale-serve and
+            // the delta-refresh paths warm. dt = 0 keeps every body in its
+            // leaf cell, which is the steady state of the delta update
+            // (the mover re-insertion path is covered by the functional
+            // suite; at constant positions it must not run at all).
+            for kind in [SolverKind::Octree, SolverKind::Bvh] {
+                for eval in evals {
+                    let opts = SimOptions {
+                        dt: 0.0,
+                        softening: 1e-3,
+                        policy: if kind == SolverKind::Octree {
+                            DynPolicy::Par
+                        } else {
+                            DynPolicy::ParUnseq
+                        },
+                        eval,
+                        lifecycle: TreeLifecycle::Incremental { max_stale_steps: 1 },
+                        ..SimOptions::default()
+                    };
+                    let sim = Simulation::new(state.clone(), kind, opts).unwrap();
+                    let mut ws = SimWorkspace::new();
+                    let label =
+                        format!("incremental/{}/{}/{:?}", backend.name(), kind.name(), eval);
+                    assert_steady_state_clean(sim, &mut ws, &label);
+                }
+            }
+
             // The resilient wrapper on its default chain: the no-fault path
             // must add no allocations on top of the wrapped solver.
             for eval in evals {

@@ -141,6 +141,102 @@ fn simd_kernel_replays_byte_identically_from_seed() {
 }
 
 #[test]
+fn incremental_lifecycle_replays_byte_identically_from_seed() {
+    // The incremental-lifecycle rows of the replay matrix: a persistent
+    // tree carried across drifting states — init, stale serve with the
+    // drift-padded MAC, delta refresh — must replay bit for bit under a
+    // pinned schedule, exactly like the per-step-rebuild rows above. The
+    // octree rows additionally run with the step probes armed (free-list
+    // invariants after every delta update, stored-vs-recomputed moments
+    // after every refresh).
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut states = vec![galaxy_collision(300, 96)];
+    for step in 1..4 {
+        let mut next = states[step - 1].clone();
+        for (i, p) in next.positions.iter_mut().enumerate() {
+            let t = (i as f64) * 0.7 + (step as f64) * 1.3;
+            *p += Vec3::new(t.sin(), (1.7 * t).cos(), (0.4 * t).sin()) * 1e-4;
+        }
+        states.push(next);
+    }
+    let run = |kind: SolverKind| -> Vec<[u64; 3]> {
+        let params = SolverParams {
+            theta: 0.6,
+            softening: 1e-3,
+            lifecycle: TreeLifecycle::Incremental { max_stale_steps: 1 },
+            ..SolverParams::default()
+        };
+        let policy = if kind == SolverKind::Octree { DynPolicy::Par } else { DynPolicy::ParUnseq };
+        let mut solver = make_solver(kind, policy, params).unwrap();
+        let mut acc = vec![Vec3::ZERO; states[0].len()];
+        let mut out = Vec::new();
+        for state in &states {
+            solver.compute(state, &mut acc, false);
+            out.extend(bits(&acc));
+        }
+        out
+    };
+    with_backend(Backend::DetPar, || {
+        for kind in [SolverKind::Octree, SolverKind::Bvh] {
+            for mode in ScheduleMode::ALL {
+                for seed in SEEDS {
+                    let a = with_schedule(seed, mode, || run(kind));
+                    let b = with_schedule(seed, mode, || run(kind));
+                    assert_eq!(
+                        a,
+                        b,
+                        "{} incremental mode={} seed={seed}: replay diverged",
+                        kind.name(),
+                        mode.name()
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn incremental_octree_probes_hold_across_the_matrix() {
+    // Tree-level incremental probe matrix: build + init, then drifted
+    // delta updates and dirty-path moment refreshes with the probes armed,
+    // under every schedule mode × seed. Any free-list double-grant, stale
+    // parent pointer, or stale moment panics inside the probe.
+    let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let state = galaxy_collision(400, 97);
+    let bounds = {
+        let tight = Aabb::from_points(&state.positions);
+        let c = tight.center();
+        let he = tight.extent() * 0.625; // ×1.25 inflation, as the solver does
+        Aabb::new(c - he, c + he)
+    };
+    with_backend(Backend::DetPar, || {
+        for mode in ScheduleMode::ALL {
+            for seed in SEEDS {
+                with_schedule(seed, mode, || {
+                    let mut t = stdpar_nbody::octree::Octree::new();
+                    t.set_step_probes(true);
+                    t.build(Par, &state.positions, bounds).unwrap();
+                    t.init_incremental(&state.positions);
+                    t.compute_multipoles_dfs(&state.positions, &state.masses);
+                    let mut pos = state.positions.clone();
+                    for step in 0..3 {
+                        for (i, p) in pos.iter_mut().enumerate() {
+                            let x = (i as f64) * 1.9 + (step as f64) * 0.6;
+                            *p += Vec3::new(x.cos(), (2.3 * x).sin(), (0.8 * x).cos()) * 2e-3;
+                        }
+                        t.update_incremental(&pos).unwrap_or_else(|e| {
+                            panic!("mode={} seed={seed} step={step}: {e:?}", mode.name())
+                        });
+                        t.refresh_moments_incremental(&pos, &state.masses);
+                    }
+                    stdpar_nbody::octree::TreeInvariants::check_relaxed(&t, &pos).unwrap();
+                });
+            }
+        }
+    });
+}
+
+#[test]
 fn recorded_trace_replays_the_pipeline_bitwise() {
     let _guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let state = galaxy_collision(300, 93);
