@@ -115,7 +115,9 @@ impl Bvh {
     /// Stackless skip-list walk collecting the interaction lists of one
     /// group box. Same DFS as [`Bvh::accel_at`], with the point-to-box
     /// distance replaced by the conservative box-to-box distance.
-    fn gather_group(
+    /// `pub(crate)`: the task-graph force tiles ([`crate::tasks`]) run the
+    /// same walk.
+    pub(crate) fn gather_group(
         &self,
         gbox: Aabb,
         theta2: f64,

@@ -4,17 +4,28 @@
 //! One logical thread is scheduled per allocated node; threads whose node is
 //! internal exit immediately, so the available parallelism stays `O(N)`.
 //! Each leaf thread computes its node's moments (mass and mass-weighted
-//! position; optionally second moments for the quadrupole extension),
-//! accumulates them onto the parent with **relaxed** [`AtomicF64::fetch_add`]
-//! and signals completion with an **acquire-release** integer increment on
-//! the parent's arrival counter. The thread that observes the last arrival
-//! owns the now-complete parent and recurses upward; its siblings exit.
+//! position; optionally second moments for the quadrupole extension), stores
+//! them into its own node's slots and signals completion with an
+//! **acquire-release** integer increment on the parent's arrival counter.
+//! The thread that observes the last arrival owns the now-complete parent:
+//! it combines the eight child slots **in child-index order**, stores the
+//! parent's totals, and recurses upward; its siblings exit.
 //!
 //! The release sequence on the arrival counter makes all sibling moment
 //! writes happen-before the winner's reads, so no critical sections are
 //! needed — the algorithm is wait-free. Acquire-release atomics are
 //! vectorization-unsafe in the C++ model, so the paper runs this under
 //! `par`; we mirror that with the [`ParallelForwardProgress`] bound.
+//!
+//! The paper's Fig. 2 instead folds each child into the parent with relaxed
+//! `AtomicF64::fetch_add` at arrival time, which sums the children in
+//! *arrival* order — correct up to floating-point reassociation, but a
+//! different bitwise result on every schedule. Combining in child-index
+//! order at the winner costs the same number of flops and makes the whole
+//! reduction a pure function of (tree structure, positions, masses): any
+//! schedule — real threads, DetPar replay, or the task-graph executor —
+//! produces bit-identical moments, which is what lets `Stepping::TaskGraph`
+//! be validated bitwise against the barrier pipeline.
 
 use crate::tags::{Slot, CHILDREN, FIRST_GROUP};
 use crate::tree::Octree;
@@ -63,10 +74,12 @@ impl Octree {
             };
             this.store_moment(i, m, mx, quad);
 
-            // Leaf-to-root climb: accumulate onto the parent; the last
-            // arriving sibling continues upward.
+            // Leaf-to-root climb: arrive at the parent; the last arriving
+            // sibling combines the eight child slots in child-index order
+            // and continues upward. Index-order combination makes the
+            // result a pure function of the tree, not the schedule (see
+            // module docs).
             let mut node = i;
-            let (mut m_cur, mut mx_cur, mut quad_cur) = (m, mx, quad);
             loop {
                 let p = this.parent_of(node);
                 if p == crate::tree::NO_PARENT {
@@ -76,23 +89,24 @@ impl Octree {
                     // are all Empty; contribute nothing.
                     return;
                 }
-                this.accumulate_moment(p, m_cur, mx_cur, quad_cur);
                 let prev = this.arrivals[p as usize].fetch_add(1, Ordering::AcqRel);
                 if prev + 1 != CHILDREN {
                     return; // a sibling will finish this parent
                 }
+                // This thread owns the completed parent: every sibling's
+                // AcqRel increment joins the counter's release sequence,
+                // and this thread's own AcqRel increment read the final
+                // value — so all eight children's slot stores happen-before
+                // the reads inside `combine_children`.
+                let c = match this.slot(p) {
+                    Slot::Node(c) => c,
+                    _ => unreachable!("arrival counter reached CHILDREN on a non-internal node"),
+                };
+                let (m_p, mx_p, quad_p) = this.combine_children(c);
+                this.store_moment(p, m_p, mx_p, quad_p);
                 if p == 0 {
                     return; // root complete
                 }
-                // This thread owns the completed parent: read its totals.
-                // relaxed-ok (with load_com_raw/load_quad_raw below): every
-                // sibling's AcqRel increment joins the counter's release
-                // sequence, and this thread's own AcqRel increment read the
-                // final value — so all eight contributions happen-before
-                // these reads; the counter carries the ordering, not they.
-                m_cur = this.node_mass[p as usize].load(Ordering::Relaxed);
-                mx_cur = this.load_com_raw(p);
-                quad_cur = this.load_quad_raw(p);
                 node = p;
             }
         });
@@ -171,40 +185,30 @@ impl Octree {
         }
     }
 
-    // relaxed-ok (whole method): the paper's "relaxed atomic add" — the
-    // fetch_adds are commutative and only their atomicity matters; the
-    // AcqRel arrival counter is what publishes the completed sums to the
-    // winning sibling.
-    fn accumulate_moment(&self, p: u32, m: f64, mx: Vec3, quad: [f64; 6]) {
-        let p = p as usize;
-        self.node_mass[p].fetch_add(m, Ordering::Relaxed);
-        self.node_com[0][p].fetch_add(mx.x, Ordering::Relaxed);
-        self.node_com[1][p].fetch_add(mx.y, Ordering::Relaxed);
-        self.node_com[2][p].fetch_add(mx.z, Ordering::Relaxed);
-        if let Some(q) = &self.node_quad {
-            for k in 0..6 {
-                q[k][p].fetch_add(quad[k], Ordering::Relaxed);
+    /// Sum the raw moments of the eight children starting at slot `c`, in
+    /// child-index order — the fixed summation order is what makes the
+    /// reduction schedule-independent bit-for-bit.
+    // relaxed-ok (whole method): only called by the thread whose AcqRel
+    // arrival increment completed the parent — the counter's release
+    // sequence ordered all eight children's stores before these loads.
+    fn combine_children(&self, c: u32) -> (f64, Vec3, [f64; 6]) {
+        let mut m = 0.0;
+        let mut mx = Vec3::ZERO;
+        let mut quad = [0.0; 6];
+        for k in c as usize..(c + CHILDREN) as usize {
+            m += self.node_mass[k].load(Ordering::Relaxed);
+            mx += Vec3::new(
+                self.node_com[0][k].load(Ordering::Relaxed),
+                self.node_com[1][k].load(Ordering::Relaxed),
+                self.node_com[2][k].load(Ordering::Relaxed),
+            );
+            if let Some(q) = &self.node_quad {
+                for j in 0..6 {
+                    quad[j] += q[j][k].load(Ordering::Relaxed);
+                }
             }
         }
-    }
-
-    // relaxed-ok (this and load_quad_raw): only called by the thread whose
-    // AcqRel arrival increment completed node `i` — see the climb loop.
-    fn load_com_raw(&self, i: u32) -> Vec3 {
-        let i = i as usize;
-        Vec3::new(
-            self.node_com[0][i].load(Ordering::Relaxed),
-            self.node_com[1][i].load(Ordering::Relaxed),
-            self.node_com[2][i].load(Ordering::Relaxed),
-        )
-    }
-
-    fn load_quad_raw(&self, i: u32) -> [f64; 6] {
-        // relaxed-ok: see load_com_raw — same completed-node read.
-        match &self.node_quad {
-            Some(q) => std::array::from_fn(|k| q[k][i as usize].load(Ordering::Relaxed)),
-            None => [0.0; 6],
-        }
+        (m, mx, quad)
     }
 
     /// Convert raw sums (Σm·x, Σm·x·xᵀ) into centre of mass and *central*
@@ -438,6 +442,54 @@ mod tests {
                 s[k]
             );
         }
+    }
+
+    /// Every node's raw moment state as exact bit patterns.
+    fn moment_bits(t: &Octree) -> Vec<u64> {
+        let mut bits = Vec::new();
+        for i in 0..t.allocated_nodes() {
+            bits.push(t.node_mass_of(i).to_bits());
+            let c = t.node_com_of(i);
+            bits.extend([c.x.to_bits(), c.y.to_bits(), c.z.to_bits()]);
+            bits.extend(t.node_quad_of(i).iter().map(|q| q.to_bits()));
+        }
+        bits
+    }
+
+    #[test]
+    fn multipoles_bitwise_schedule_independent() {
+        // Regression for the arrival-order fetch_add accumulation: given a
+        // fixed tree structure, the moments must be bit-identical under
+        // every backend and every DetPar schedule, because the winner now
+        // combines children in index order (a pure function of the tree).
+        let (pos, mass) = random_system(2500, 27);
+        let mut t = Octree::new();
+        t.set_quadrupole(true);
+        t.build(Seq, &pos, Aabb::from_points(&pos)).unwrap();
+        t.compute_multipoles(Seq, &pos, &mass);
+        let reference = moment_bits(&t);
+
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                t.compute_multipoles(Par, &pos, &mass);
+                assert_eq!(moment_bits(&t), reference, "backend {}", backend.name());
+            });
+        }
+        with_backend(Backend::DetPar, || {
+            for mode in ScheduleMode::ALL {
+                for seed in [0u64, 5, 91] {
+                    with_schedule(seed, mode, || {
+                        t.compute_multipoles(Par, &pos, &mass);
+                        assert_eq!(
+                            moment_bits(&t),
+                            reference,
+                            "mode {} seed {seed}",
+                            mode.name()
+                        );
+                    });
+                }
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Task view of the octree force phase for barrier-free stepping.
+//!
+//! Unlike the BVH (whose whole rebuild decomposes into a static DAG, see
+//! `bh-bvh`'s `tasks` module), the concurrent octree's insertion build is
+//! lock-mediated and runs as its own parallel region on the caller's
+//! thread between the task-graph runs. What *does* tile cleanly is
+//! CALCULATEFORCE: every body group (blocked path) or body chunk
+//! (per-body path) is an independent read-only traversal. This module
+//! exposes those tiles as DAG node bodies so a [`stdpar::TaskGraph`] run
+//! can overlap force tiles with the integrator's second-kick tiles —
+//! each tile's kick starts the moment its forces land, instead of after
+//! a global force barrier.
+//!
+//! Each tile replicates the corresponding barrier closure body exactly
+//! ([`Octree::compute_forces_with`] / the blocked group loop), so
+//! accelerations are bitwise identical to the barrier path.
+
+use crate::scratch::TraversalScratch;
+use crate::tree::Octree;
+use crate::validate::collect_bodies_into;
+use nbody_math::gravity::{ForceKernel, ForceParams};
+use nbody_math::simd::simd_level;
+use nbody_math::{Aabb, InteractionLists, KernelStats, ListsPool, Vec3};
+use nbody_telemetry::{metrics, record, MacCounts};
+use stdpar::backend::{max_workers, par_grain};
+use stdpar::prelude::*;
+use std::ops::Range;
+
+/// A view of the octree force phase as independent tile bodies. Created
+/// by [`Octree::begin_force_tasks`]; the tree is only shared-borrowed.
+pub struct OctreeForceTasks<'a> {
+    tree: &'a Octree,
+    positions: &'a [Vec3],
+    masses: &'a [f64],
+    params: ForceParams,
+    /// Depth-first body order (blocked path's grouping key; empty on the
+    /// per-body path, which chunks original indices directly).
+    order: &'a [u32],
+    pool: &'a ListsPool,
+    /// Bodies per tile: the resolved block group, or the per-body grain.
+    chunk: usize,
+    blocked: bool,
+    n: usize,
+}
+
+impl Octree {
+    /// Prepare the force phase for task-graph execution: resolves the
+    /// evaluation mode, collects the DFS body order, sizes the per-worker
+    /// interaction-list pool, and records the SIMD dispatch gauge —
+    /// everything [`Octree::compute_forces_with`] does before its
+    /// parallel region.
+    pub fn begin_force_tasks<'a>(
+        &'a self,
+        positions: &'a [Vec3],
+        masses: &'a [f64],
+        params: &ForceParams,
+        scratch: &'a mut TraversalScratch,
+    ) -> OctreeForceTasks<'a> {
+        assert_eq!(positions.len(), self.n_bodies(), "positions length changed since build");
+        assert_eq!(masses.len(), positions.len(), "masses length mismatch");
+        if params.use_quadrupole {
+            assert!(self.quadrupole_enabled(), "quadrupole requested but not computed");
+        }
+        let n = self.n_bodies();
+        // Split borrows: the pool reference must outlive the view while
+        // `order`/`stack` are filled first.
+        let TraversalScratch { order, stack, lists } = scratch;
+        let (blocked, chunk) = match params.eval.resolve_group(Self::DEFAULT_BLOCK_GROUP) {
+            Some(group) => {
+                collect_bodies_into(self, order, stack);
+                debug_assert_eq!(order.len(), n);
+                lists.prepare(max_workers(), params.use_quadrupole);
+                if params.kernel == ForceKernel::Simd {
+                    record!(gauge SIMD_DISPATCH_LEVEL, simd_level() as u64);
+                }
+                (true, group)
+            }
+            None => {
+                order.clear();
+                (false, par_grain(n).max(1))
+            }
+        };
+        OctreeForceTasks {
+            tree: self,
+            positions,
+            masses,
+            params: *params,
+            order,
+            pool: lists,
+            chunk,
+            blocked,
+            n,
+        }
+    }
+}
+
+impl OctreeForceTasks<'_> {
+    /// Number of independent force tiles.
+    pub fn tile_count(&self) -> usize {
+        self.n.div_ceil(self.chunk.max(1))
+    }
+
+    /// Bodies covered by force tile `t` (DFS order on the blocked path,
+    /// original order on the per-body path — same convention as the
+    /// barrier chunking).
+    #[inline]
+    pub fn tile_range(&self, t: usize) -> Range<usize> {
+        (t * self.chunk).min(self.n)..((t + 1) * self.chunk).min(self.n)
+    }
+
+    /// Original body indices whose accelerations force tile `t` writes, in
+    /// evaluation order — the exact slots a dependent integrator tile may
+    /// read through a single `force(t) → kick(t)` edge. Tiles partition
+    /// `0..n` (the blocked path walks the DFS order).
+    pub fn tile_bodies(&self, t: usize) -> impl Iterator<Item = usize> + '_ {
+        let blocked = self.blocked;
+        self.tile_range(t).map(move |j| if blocked { self.order[j] as usize } else { j })
+    }
+
+    /// Execute force tile `t` on `worker` (a dense executor worker index,
+    /// per the [`ListsPool::slot`] contract), writing accelerations in
+    /// original body order into `out`.
+    pub fn run_tile(&self, t: usize, worker: usize, out: SyncSlice<'_, Vec3>) {
+        assert_eq!(out.len(), self.n, "accel length mismatch");
+        let r = self.tile_range(t);
+        if self.blocked {
+            self.run_blocked_tile(r, worker, out);
+        } else {
+            self.run_per_body_tile(r, out);
+        }
+    }
+
+    /// The blocked-path group body, verbatim from
+    /// `Octree::compute_forces_blocked`'s `for_each_chunk_worker` closure.
+    fn run_blocked_tile(&self, r: Range<usize>, w: usize, out: SyncSlice<'_, Vec3>) {
+        let this = self.tree;
+        let (positions, masses) = (self.positions, self.masses);
+        let params = &self.params;
+        let order = self.order;
+        let theta2 = params.theta * params.theta;
+        let eps2 = params.softening * params.softening;
+        let mut gbox = Aabb::EMPTY;
+        for &b in &order[r.clone()] {
+            gbox.expand(positions[b as usize]);
+        }
+        // SAFETY: `w` is the graph executor's worker index — never observed
+        // concurrently by two threads — and the pool was prepared for
+        // `max_workers()` workers in `begin_force_tasks`.
+        let state = unsafe { self.pool.slot(w) };
+        let lists: &mut InteractionLists = &mut state.lists;
+        lists.clear();
+        let mut mac = MacCounts::default();
+        this.gather_group(
+            gbox,
+            theta2,
+            params.mac_pad,
+            params.use_quadrupole,
+            positions,
+            masses,
+            lists,
+            &mut mac,
+        );
+        mac.flush(&metrics::OCTREE_MAC_ACCEPTS, &metrics::OCTREE_MAC_OPENS);
+        record!(hist OCTREE_LIST_BODIES, lists.n_bodies() as u64);
+        record!(hist OCTREE_LIST_NODES, lists.n_nodes() as u64);
+        match params.kernel {
+            ForceKernel::Scalar => {
+                for &b in &order[r] {
+                    let a = lists.eval_at(positions[b as usize], params.g, eps2);
+                    // SAFETY: disjoint slots — the DFS order is a
+                    // permutation of 0..n and groups partition it.
+                    unsafe { out.write(b as usize, a) };
+                }
+            }
+            ForceKernel::Simd => {
+                let scratch = &mut state.scratch;
+                scratch.clear_targets();
+                for &b in &order[r.clone()] {
+                    scratch.push_target(positions[b as usize]);
+                }
+                let mut ks = KernelStats::default();
+                lists.eval_group(scratch, params.g, eps2, params.precision, &mut ks);
+                record!(counter SIMD_GROUPS, ks.groups);
+                record!(counter SIMD_TILES, ks.tiles);
+                record!(counter SIMD_LANE_SLOTS, ks.lane_slots);
+                record!(counter SIMD_ACTIVE_LANES, ks.active_lanes);
+                for (t, &b) in order[r].iter().enumerate() {
+                    // SAFETY: as above — disjoint permutation slots.
+                    unsafe { out.write(b as usize, scratch.accel(t)) };
+                }
+            }
+        }
+    }
+
+    /// The per-body-path chunk body, verbatim from
+    /// `Octree::compute_forces_with`'s `for_each_chunk` closure.
+    fn run_per_body_tile(&self, r: Range<usize>, out: SyncSlice<'_, Vec3>) {
+        let this = self.tree;
+        let mut mac = MacCounts::default();
+        for b in r {
+            let a = this.accel_at_counted(
+                self.positions[b],
+                Some(b as u32),
+                self.positions,
+                self.masses,
+                &self.params,
+                &mut mac,
+            );
+            // SAFETY: per-body chunks partition 0..n.
+            unsafe { out.write(b, a) };
+        }
+        mac.flush(&metrics::OCTREE_MAC_ACCEPTS, &metrics::OCTREE_MAC_OPENS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_math::gravity::ForceEval;
+    use nbody_math::SplitMix64;
+    use stdpar::backend::{with_backend, Backend};
+    use stdpar::detpar::{with_schedule, ScheduleMode};
+    use stdpar::taskgraph::TaskGraph;
+
+    fn random_system(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut r = SplitMix64::new(seed);
+        let pos = (0..n)
+            .map(|_| Vec3::new(r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0)))
+            .collect();
+        let mass = (0..n).map(|_| r.uniform(0.5, 2.0)).collect();
+        (pos, mass)
+    }
+
+    fn built(pos: &[Vec3], mass: &[f64], quad: bool) -> Octree {
+        let mut t = Octree::new();
+        t.set_quadrupole(quad);
+        t.build(Par, pos, Aabb::from_points(pos)).unwrap();
+        t.compute_multipoles(Par, pos, mass);
+        t
+    }
+
+    fn force_by_tasks(
+        t: &Octree,
+        pos: &[Vec3],
+        mass: &[f64],
+        params: &ForceParams,
+    ) -> Vec<Vec3> {
+        let mut acc = vec![Vec3::ZERO; pos.len()];
+        {
+            let mut scratch = TraversalScratch::new();
+            let out = SyncSlice::new(&mut acc);
+            let tasks = t.begin_force_tasks(pos, mass, params, &mut scratch);
+            let mut g = TaskGraph::new();
+            g.add_nodes(tasks.tile_count());
+            g.run(|node, w| tasks.run_tile(node as usize, w, out));
+        }
+        acc
+    }
+
+    #[test]
+    fn force_tiles_match_barrier_bitwise() {
+        let (pos, mass) = random_system(600, 4001);
+        for quad in [false, true] {
+            let t = built(&pos, &mass, quad);
+            for params in [
+                ForceParams { use_quadrupole: quad, ..ForceParams::default() },
+                ForceParams {
+                    use_quadrupole: quad,
+                    eval: ForceEval::blocked(),
+                    ..ForceParams::default()
+                },
+                ForceParams {
+                    use_quadrupole: quad,
+                    eval: ForceEval::blocked(),
+                    kernel: ForceKernel::Simd,
+                    ..ForceParams::default()
+                },
+            ] {
+                let mut reference = vec![Vec3::ZERO; pos.len()];
+                t.compute_forces(Par, &pos, &mass, &mut reference, &params);
+                let tasked = force_by_tasks(&t, &pos, &mass, &params);
+                assert_eq!(tasked, reference, "quad={quad} params={params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn force_tiles_identical_across_backends() {
+        let (pos, mass) = random_system(300, 4002);
+        let t = built(&pos, &mass, false);
+        let params = ForceParams { eval: ForceEval::blocked(), ..ForceParams::default() };
+        let mut reference = vec![Vec3::ZERO; pos.len()];
+        t.compute_forces(Seq, &pos, &mass, &mut reference, &params);
+        for backend in Backend::ALL {
+            with_backend(backend, || {
+                assert_eq!(force_by_tasks(&t, &pos, &mass, &params), reference);
+            });
+        }
+        with_backend(Backend::DetPar, || {
+            for mode in ScheduleMode::ALL {
+                with_schedule(31, mode, || {
+                    assert_eq!(force_by_tasks(&t, &pos, &mass, &params), reference);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn empty_tree_has_no_tiles() {
+        let t = built(&[], &[], false);
+        let mut scratch = TraversalScratch::new();
+        let tasks =
+            t.begin_force_tasks(&[], &[], &ForceParams::default(), &mut scratch);
+        assert_eq!(tasks.tile_count(), 0);
+    }
+}

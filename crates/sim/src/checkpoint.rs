@@ -113,7 +113,10 @@ impl Slot {
         h
     }
 
-    fn record(&mut self, sim: &Simulation, monitor: &HealthMonitor) {
+    /// Copy the payload without sealing it — the digest (the expensive
+    /// O(N) part) can run later, off the critical path, because it reads
+    /// only the slot's own private buffers.
+    fn record_payload(&mut self, sim: &Simulation, monitor: &HealthMonitor) {
         let state = sim.state();
         self.positions.clear();
         self.positions.extend_from_slice(&state.positions);
@@ -128,6 +131,10 @@ impl Slot {
         self.steps_done = steps_done;
         self.accel_fresh = accel_fresh;
         self.monitor = Some(*monitor);
+    }
+
+    fn record(&mut self, sim: &Simulation, monitor: &HealthMonitor) {
+        self.record_payload(sim, monitor);
         self.checksum = self.digest();
     }
 }
@@ -140,6 +147,10 @@ pub struct CheckpointRing {
     /// Number of slots holding a recorded checkpoint (≤ capacity).
     stored: usize,
     records: u64,
+    /// Slot recorded via [`CheckpointRing::record_deferred`] whose digest
+    /// has not been computed yet. Sealed by [`CheckpointRing::seal_pending`]
+    /// before anything can observe the slot's checksum.
+    pending_seal: Option<usize>,
 }
 
 impl CheckpointRing {
@@ -152,6 +163,7 @@ impl CheckpointRing {
             next: 0,
             stored: 0,
             records: 0,
+            pending_seal: None,
         }
     }
 
@@ -186,13 +198,41 @@ impl CheckpointRing {
     }
 
     /// Record the simulation's current state (and the watchdog's baselines)
-    /// into the oldest slot.
+    /// into the oldest slot, sealing it immediately.
     pub fn record(&mut self, sim: &Simulation, monitor: &HealthMonitor) {
+        self.seal_pending();
         let cap = self.slots.len();
         self.slots[self.next].record(sim, monitor);
         self.next = (self.next + 1) % cap;
         self.stored = (self.stored + 1).min(cap);
         self.records += 1;
+    }
+
+    /// [`CheckpointRing::record`] minus the digest: copies the payload now
+    /// and leaves the seal for a later [`CheckpointRing::seal_pending`].
+    /// The seal reads only the slot's private buffers, so the guard runs it
+    /// concurrently with the next micro-step's health reduction
+    /// ([`crate::guard`]) — checkpoint sealing comes off the accept path's
+    /// critical section. Restores before the seal lands are handled:
+    /// sealing is forced before any checksum is inspected.
+    pub fn record_deferred(&mut self, sim: &Simulation, monitor: &HealthMonitor) {
+        self.seal_pending();
+        let cap = self.slots.len();
+        self.slots[self.next].record_payload(sim, monitor);
+        self.pending_seal = Some(self.next);
+        self.next = (self.next + 1) % cap;
+        self.stored = (self.stored + 1).min(cap);
+        self.records += 1;
+    }
+
+    /// Compute and store the digest of the slot a
+    /// [`CheckpointRing::record_deferred`] left unsealed (no-op otherwise).
+    /// Touches only ring-owned memory — safe to overlap with anything that
+    /// does not mutate the ring.
+    pub fn seal_pending(&mut self) {
+        if let Some(idx) = self.pending_seal.take() {
+            self.slots[idx].checksum = self.slots[idx].digest();
+        }
     }
 
     /// Index (into `slots`) of the `nth`-newest checkpoint.
@@ -346,6 +386,31 @@ mod tests {
         // The older slot is intact; the ladder falls back to it.
         ring.restore(1, &mut s, &mut mon).unwrap();
         assert_eq!(s.state().positions, older.positions);
+    }
+
+    #[test]
+    fn deferred_record_seals_before_restore() {
+        let mut s = sim(80, 67);
+        let mut mon = HealthMonitor::new(HealthConfig::default());
+        let mut ring = CheckpointRing::with_capacity(2);
+        s.run(1);
+        let reference = s.state().clone();
+        ring.record_deferred(&s, &mon);
+        s.run(2);
+        // The guard forces the seal before inspecting any checksum; an
+        // explicit seal_pending models that (and is idempotent).
+        ring.seal_pending();
+        ring.seal_pending();
+        ring.restore(0, &mut s, &mut mon).unwrap();
+        assert_eq!(s.state().positions, reference.positions);
+        // A follow-up record seals the outstanding slot implicitly, so
+        // back-to-back deferred records never leave two unsealed slots.
+        ring.record_deferred(&s, &mon);
+        s.run(1);
+        ring.record_deferred(&s, &mon);
+        ring.seal_pending();
+        ring.restore(1, &mut s, &mut mon).unwrap();
+        assert_eq!(s.state().positions, reference.positions);
     }
 
     #[test]

@@ -408,6 +408,123 @@ pub(crate) fn det_chunks_worker(
     }
 }
 
+/// Run a task DAG as a deterministic sequence of node steps — the
+/// node-granular analogue of [`det_chunks_worker`], used by
+/// [`crate::taskgraph::TaskGraph::run`] under `Backend::DetPar`.
+///
+/// `dep` holds each node's remaining predecessor count (pre-filled by the
+/// caller from the graph's initial counts); `succ_off`/`succ` is the CSR
+/// successor table; `ready` is caller-owned scratch so steady-state runs
+/// allocate nothing. One **step** is one whole node run to completion;
+/// the installed [`with_probe`] probes fire between steps, exactly like
+/// the chunk executor.
+///
+/// The ready list is kept in *readied order* (seeds in ascending node id,
+/// then successors appended as their last dependence retires), which gives
+/// the modes their meaning:
+///
+/// * `RoundRobin` — FIFO: oldest-ready node first (the "fair" schedule,
+///   and the same order as the Kahn sequential path);
+/// * `Lifo` — newest-ready node first (depth-first: chase continuations);
+/// * `Random` — uniform seeded choice among ready nodes;
+/// * `Adversarial` — never run the *most recently readied* node while any
+///   other is ready (seeded choice among the rest): a node's freshly
+///   enabled continuation is maximally delayed, so every other ready
+///   node's work lands between a predecessor's publish and its consumer;
+/// * `Trace` — replay a recorded **node-id** sequence (falling back to
+///   FIFO on a missing/stale entry). Traces recorded here interleave with
+///   chunk-region traces in region order; the alphabet differs (node ids
+///   vs worker ids) but [`record_trace`]/[`replay_trace`] treat both as
+///   opaque `Vec<u32>` regions.
+pub(crate) fn det_run_dag(
+    dep: &mut [u32],
+    succ_off: &[u32],
+    succ: &[u32],
+    ready: &mut Vec<u32>,
+    mut f: impl FnMut(u32),
+) {
+    let total = dep.len();
+    if total == 0 {
+        return;
+    }
+    ready.clear();
+    ready.extend((0..total as u32).filter(|&i| dep[i as usize] == 0));
+
+    // Pull the per-region scheduling inputs out of the thread-local in one
+    // borrow, exactly like `det_chunks_worker`: nothing below holds a
+    // borrow while user code runs, and the probe clones stay on this
+    // region's stack (see the SAFETY contract in `with_probe`).
+    let (mut rng, mode, region_trace, probes) = STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        let region = s.region;
+        s.region += 1;
+        let mut rng = s.seed ^ region.wrapping_mul(0xA076_1D64_78BD_642F);
+        splitmix64(&mut rng);
+        let region_trace = if s.mode == ScheduleMode::Trace { s.replay.pop_front() } else { None };
+        (rng, s.mode, region_trace, s.probes.clone())
+    });
+
+    record!(counter STDPAR_DET_REGIONS, 1);
+    record!(counter STDPAR_DET_STEPS, total as u64);
+
+    let recording = STATE.with(|s| s.borrow().recording);
+    let mut executed: Vec<u32> = Vec::new();
+    let mut trace_pos = 0usize;
+    let mut probe_calls = 0u64;
+    let mut done = 0usize;
+
+    while !ready.is_empty() {
+        let k = match mode {
+            ScheduleMode::RoundRobin => 0,
+            ScheduleMode::Lifo => ready.len() - 1,
+            ScheduleMode::Random => (splitmix64(&mut rng) % ready.len() as u64) as usize,
+            ScheduleMode::Adversarial => {
+                if ready.len() == 1 {
+                    0
+                } else {
+                    // Exclude the tail — the most recently readied node —
+                    // so a just-enabled continuation never runs while
+                    // older work is pending.
+                    (splitmix64(&mut rng) % (ready.len() - 1) as u64) as usize
+                }
+            }
+            ScheduleMode::Trace => {
+                let choice = region_trace
+                    .as_ref()
+                    .and_then(|t| t.get(trace_pos))
+                    .and_then(|&want| ready.iter().position(|&r| r == want));
+                trace_pos += 1;
+                choice.unwrap_or(0)
+            }
+        };
+        let node = ready.remove(k);
+        if recording {
+            executed.push(node);
+        }
+        f(node);
+        done += 1;
+        let node = node as usize;
+        for &s in &succ[succ_off[node] as usize..succ_off[node + 1] as usize] {
+            let d = &mut dep[s as usize];
+            *d -= 1;
+            if *d == 0 {
+                ready.push(s);
+            }
+        }
+        for probe in &probes {
+            probe();
+            probe_calls += 1;
+        }
+    }
+    if probe_calls > 0 {
+        record!(counter STDPAR_DET_PROBE_CALLS, probe_calls);
+    }
+    if recording {
+        STATE.with(|s| s.borrow_mut().recorded.push(executed));
+    }
+    assert_eq!(done, total, "det_run_dag: dependence cycle — only {done} of {total} nodes ran");
+}
+
 /// First worker with pending steps scanning circularly from `cursor`.
 fn next_pending_from(next: &[usize], nchunks: usize, workers: usize, cursor: usize) -> usize {
     (0..workers)

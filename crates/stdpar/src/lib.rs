@@ -61,6 +61,7 @@ pub mod scan;
 pub mod selection;
 pub mod sort;
 pub mod sync_slice;
+pub mod taskgraph;
 
 pub mod prelude {
     pub use crate::alloc_stats::allocation_count;
@@ -85,6 +86,7 @@ pub mod prelude {
         sort_unstable_by, sort_unstable_by_with_scratch, SortScratch,
     };
     pub use crate::sync_slice::SyncSlice;
+    pub use crate::taskgraph::{run_pair, TaskGraph};
 }
 
 pub use prelude::*;

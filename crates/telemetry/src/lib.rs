@@ -64,8 +64,12 @@ pub const ENABLED: bool = cfg!(feature = "capture");
 /// attribution, never memory safety or data).
 pub const MAX_WORKERS: usize = 64;
 
-/// Number of log2 buckets per histogram (values ≥ 2^62 clamp to the top).
-pub const HIST_BUCKETS: usize = 64;
+/// Number of log2 buckets per histogram: one for the value 0 plus one per
+/// log2 range of `u64`, so every sample — including `0` and `u64::MAX` —
+/// has its own well-defined bucket and nothing aliases into a neighbour's
+/// range. (64 buckets would fold `[2^63, u64::MAX]` into the `[2^62, 2^63)`
+/// bucket.)
+pub const HIST_BUCKETS: usize = 65;
 
 #[allow(clippy::declare_interior_mutable_const)] // array-init seed, never borrowed
 const ZERO: AtomicU64 = AtomicU64::new(0);
@@ -146,22 +150,28 @@ impl Default for Gauge {
 /// A log2-bucketed histogram of non-negative integer samples.
 ///
 /// Bucket `0` holds the value 0; bucket `i ≥ 1` holds values in
-/// `[2^(i-1), 2^i)`; values too large for the table clamp into the last
-/// bucket. The sum of samples is tracked alongside so snapshots can report
-/// a mean without per-sample storage.
+/// `[2^(i-1), 2^i)`. The table has one bucket per log2 range of `u64`
+/// ([`HIST_BUCKETS`]), so the full domain — `record(0)` through
+/// `record(u64::MAX)` — maps without clamping or aliasing. The sum of
+/// samples is tracked alongside (saturating) so snapshots can report a
+/// mean without per-sample storage.
 #[repr(align(64))]
 pub struct Histogram {
     buckets: [AtomicU64; HIST_BUCKETS],
     sum: AtomicU64,
 }
 
-/// Bucket index of sample `v`: 0 for 0, else `floor(log2 v) + 1`, clamped.
+/// Bucket index of sample `v`: 0 for 0, else `floor(log2 v) + 1`. With
+/// [`HIST_BUCKETS`] = 65 the maximum index (64, for `v ≥ 2^63`) is exactly
+/// the last bucket — the `min` is a structural guard, never a clamp that
+/// merges ranges.
 #[inline]
 pub fn bucket_index(v: u64) -> usize {
     ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
 }
 
-/// Inclusive upper bound of bucket `i` (`u64::MAX` for the clamp bucket).
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket,
+/// whose range `[2^63, 2^64)` tops out at the domain maximum).
 pub fn bucket_limit(i: usize) -> u64 {
     if i == 0 {
         0
@@ -178,11 +188,31 @@ impl Histogram {
     }
 
     /// Record one sample (relaxed; no-op without the `capture` feature).
+    ///
+    /// The running sum saturates at `u64::MAX` instead of wrapping:
+    /// `record(u64::MAX)` (or enough large samples) would otherwise wrap
+    /// the sum around and make snapshots report a tiny mean for a
+    /// histogram full of huge values.
     #[inline]
     pub fn record(&self, v: u64) {
         if ENABLED {
             self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-            self.sum.fetch_add(v, Ordering::Relaxed);
+            // relaxed-ok: the CAS loop only needs atomicity of the
+            // read-modify-write itself; the sum is a monotone statistic
+            // read by snapshots, not a publication flag.
+            let mut cur = self.sum.load(Ordering::Relaxed);
+            loop {
+                let next = cur.saturating_add(v);
+                match self.sum.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
         }
     }
 
@@ -320,7 +350,17 @@ mod tests {
         assert_eq!(bucket_index(4), 3);
         assert_eq!(bucket_index(1023), 10);
         assert_eq!(bucket_index(1024), 11);
+        // Edge buckets: 2^62 and u64::MAX must not alias — the top log2
+        // range [2^63, 2^64) has its own bucket.
+        assert_eq!(bucket_index(1 << 62), 63);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+        assert_eq!(bucket_index(1 << 63), 64);
         assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_ne!(bucket_index(1 << 62), bucket_index(u64::MAX));
+        // Limits bracket their buckets.
+        assert_eq!(bucket_limit(0), 0);
+        assert_eq!(bucket_limit(63), (1 << 63) - 1);
+        assert_eq!(bucket_limit(HIST_BUCKETS - 1), u64::MAX);
         // Buckets partition: index is monotone non-decreasing in v.
         let mut prev = 0;
         for v in [0u64, 1, 2, 3, 7, 8, 1 << 20, 1 << 40, u64::MAX] {

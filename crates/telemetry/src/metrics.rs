@@ -26,6 +26,12 @@ pub static STDPAR_DET_REGIONS: Counter = Counter::new();
 pub static STDPAR_DET_STEPS: Counter = Counter::new();
 /// Between-step invariant-probe invocations under DetPar.
 pub static STDPAR_DET_PROBE_CALLS: Counter = Counter::new();
+/// Task-graph executions (one per `TaskGraph::run` on a non-empty graph).
+pub static STDPAR_DAG_RUNS: Counter = Counter::new();
+/// Task-graph nodes dispatched across all runs.
+pub static STDPAR_DAG_NODES: Counter = Counter::new();
+/// Successful cross-worker deque steals inside task-graph runs.
+pub static STDPAR_DAG_STEALS: Counter = Counter::new();
 /// Most workers ever active in one region.
 pub static STDPAR_WORKERS_HIGH_WATER: Gauge = Gauge::new();
 /// Grain (chunk length) distribution across parallel regions.
@@ -163,7 +169,7 @@ pub static GUARD_DISK_CHECKPOINTS: Counter = Counter::new();
 pub static GUARD_ROLLBACK_AGE: Histogram = Histogram::new();
 
 /// Number of registered counters.
-pub const N_COUNTERS: usize = 52;
+pub const N_COUNTERS: usize = 55;
 /// Number of registered gauges.
 pub const N_GAUGES: usize = 5;
 /// Number of registered histograms.
@@ -178,6 +184,9 @@ pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
         ("stdpar_det_regions", &STDPAR_DET_REGIONS),
         ("stdpar_det_steps", &STDPAR_DET_STEPS),
         ("stdpar_det_probe_calls", &STDPAR_DET_PROBE_CALLS),
+        ("stdpar_dag_runs", &STDPAR_DAG_RUNS),
+        ("stdpar_dag_nodes", &STDPAR_DAG_NODES),
+        ("stdpar_dag_steals", &STDPAR_DAG_STEALS),
         ("octree_builds", &OCTREE_BUILDS),
         ("octree_build_retries", &OCTREE_BUILD_RETRIES),
         ("octree_lock_cas_retries", &OCTREE_LOCK_CAS_RETRIES),

@@ -59,7 +59,7 @@ pub mod prelude {
     pub use crate::sim::{
         resume_state_from_disk, GuardConfig, GuardError, GuardStats, GuardedSimulation,
         HealthConfig, HealthMonitor, HealthVerdict, SimOptions, SimWorkspace, Simulation,
-        StepAllocs, StepTimings,
+        StepAllocs, StepTimings, Stepping,
     };
     pub use crate::stdpar::policy::{DynPolicy, Par, ParUnseq, Seq};
 }

@@ -21,6 +21,32 @@ fn energy_is_conserved_by_tree_solvers() {
 }
 
 #[test]
+fn energy_is_conserved_under_taskgraph_stepping() {
+    // Task-graph stepping reorders execution, not arithmetic: the same
+    // energy-drift band as the barrier rows above must hold (the BVH rows
+    // are additionally bitwise-checked against barrier stepping in the
+    // schedule-fuzz suite).
+    let state = galaxy_collision(1_500, 11);
+    let m0 = state.total_mass();
+    for kind in [SolverKind::Octree, SolverKind::Bvh] {
+        let opts = SimOptions {
+            dt: 1e-3,
+            theta: 0.5,
+            softening: 5e-3,
+            stepping: Stepping::TaskGraph,
+            ..SimOptions::default()
+        };
+        let mut sim = Simulation::new(state.clone(), kind, opts).unwrap();
+        let e0 = Diagnostics::measure(sim.state(), 1.0, 5e-3).total_energy;
+        sim.run(100);
+        let e1 = Diagnostics::measure(sim.state(), 1.0, 5e-3).total_energy;
+        let drift = ((e1 - e0) / e0).abs();
+        assert!(drift < 5e-3, "{} task-graph: energy drift {drift}", kind.name());
+        assert_eq!(sim.state().total_mass(), m0, "{} task-graph: mass touched", kind.name());
+    }
+}
+
+#[test]
 fn mass_is_conserved_exactly() {
     let state = plummer(1_000, 12);
     let m0 = state.total_mass();

@@ -91,6 +91,43 @@ fn telemetry_records_and_snapshot_validates() {
     assert_eq!(counters.len(), metrics::N_COUNTERS);
     assert_eq!(counters["sim_steps"].as_u64(), Some(8));
 
+    // Histogram boundary buckets: record(0) and record(u64::MAX) must land
+    // in well-defined, distinct buckets (0 in the zero bucket, u64::MAX in
+    // the top [2^63, 2^64) bucket — not aliased onto [2^62, 2^63)), survive
+    // a snapshot capture, and round-trip through the JSON validator.
+    {
+        use stdpar_nbody::telemetry::{bucket_index, HIST_BUCKETS};
+        let hist = &metrics::STDPAR_GRAIN_SIZES;
+        hist.reset();
+        hist.record(0);
+        hist.record(u64::MAX);
+        hist.record(1 << 62);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        assert_ne!(
+            bucket_index(1 << 62),
+            bucket_index(u64::MAX),
+            "u64::MAX must not alias the [2^62, 2^63) bucket"
+        );
+        let b = hist.buckets();
+        assert_eq!(b[0], 1, "record(0) lands in the zero bucket");
+        assert_eq!(b[HIST_BUCKETS - 1], 1, "record(u64::MAX) lands in the top bucket");
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.sum(), u64::MAX, "sum saturates instead of wrapping");
+        let snap = MetricsSnapshot::capture();
+        let h = snap.histogram("stdpar_grain_sizes").expect("histogram present in snapshot");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.buckets.len(), HIST_BUCKETS, "top bucket occupied: nothing trimmed");
+        assert_eq!(*h.buckets.last().unwrap(), 1);
+        let doc = validate_snapshot(&snap.to_json())
+            .expect("boundary-bucket snapshot must round-trip the validator");
+        let hists = doc.as_object().unwrap()["histograms"].as_object().unwrap();
+        let grain = hists["stdpar_grain_sizes"].as_object().unwrap();
+        assert_eq!(grain["count"].as_u64(), Some(3));
+        assert_eq!(grain["sum"].as_u64(), Some(u64::MAX));
+        hist.reset();
+    }
+
     // Panic path: a worker panic inside a parallel region is caught,
     // rethrown to the caller after the join, AND tallied. Force multiple
     // workers so the spawned (PanicCell) path runs even on 1-CPU hosts —
