@@ -47,6 +47,7 @@
 //! `"enabled": false` and all-zero metrics.
 
 use nbody_bench::{arg, flag, print_banner, print_table};
+use nbody_telemetry::json::fmt_f64;
 use nbody_math::gravity::{direct_accel, ForceEval, ForceKernel, KernelPrecision, TreeLifecycle};
 use nbody_math::simd::simd_level;
 use nbody_sim::prelude::*;
@@ -300,20 +301,20 @@ fn lifecycle_sweep(
             }
             body.push_str(&format!(
                 "    {{\"tree\": \"{}\", \"lifecycle\": \"{}\", \"steps\": {steps}, \
-                 \"step_s\": {:.6}, \"build_share\": {:.4}, \"reuse_steps\": {}, \
+                 \"step_s\": {}, \"build_share\": {}, \"reuse_steps\": {}, \
                  \"inc_updates\": {}, \"inc_fallbacks\": {}, \"lazy_resorts\": {}, \
-                 \"full_resorts\": {}, \"allocs_per_step\": {}, \"mean_rel_err\": {:.6e}}}",
+                 \"full_resorts\": {}, \"allocs_per_step\": {}, \"mean_rel_err\": {}}}",
                 r.tree,
                 r.lifecycle,
-                r.step_s,
-                r.build_share,
+                fmt_f64(r.step_s),
+                fmt_f64(r.build_share),
                 r.reuse_steps,
                 r.inc_updates,
                 r.inc_fallbacks,
                 r.lazy_resorts,
                 r.full_resorts,
                 r.allocs,
-                r.err,
+                fmt_f64(r.err),
             ));
         }
         let doc = format!(
@@ -443,9 +444,16 @@ fn stepping_sweep(
             }
             body.push_str(&format!(
                 "    {{\"tree\": \"{}\", \"n\": {}, \"stepping\": \"{}\", \"steps\": {steps}, \
-                 \"step_s\": {:.6}, \"busy_share\": {:.4}, \"allocs_per_step\": {}, \
-                 \"speedup_vs_barrier\": {:.4}, \"mean_rel_err\": {:.6e}}}",
-                r.tree, r.n, r.stepping, r.step_s, r.busy_share, r.allocs, r.speedup_vs_barrier, r.err,
+                 \"step_s\": {}, \"busy_share\": {}, \"allocs_per_step\": {}, \
+                 \"speedup_vs_barrier\": {}, \"mean_rel_err\": {}}}",
+                r.tree,
+                r.n,
+                r.stepping,
+                fmt_f64(r.step_s),
+                fmt_f64(r.busy_share),
+                r.allocs,
+                fmt_f64(r.speedup_vs_barrier),
+                fmt_f64(r.err),
             ));
         }
         let doc = format!(
@@ -638,19 +646,19 @@ fn main() {
             body.push_str(&format!(
                 "    {{\"tree\": \"{}\", \"eval\": \"{}\", \"group\": {}, \
                  \"kernel\": \"{}\", \"precision\": \"{}\", \
-                 \"force_s\": {:.6}, \"allocs_per_step\": {}, \
-                 \"mean_rel_err\": {:.6e}, \"speedup\": {:.4}, \
-                 \"speedup_vs_scalar\": {:.4}}}",
+                 \"force_s\": {}, \"allocs_per_step\": {}, \
+                 \"mean_rel_err\": {}, \"speedup\": {}, \
+                 \"speedup_vs_scalar\": {}}}",
                 r.tree,
                 if r.group == 0 { "per-body" } else { "blocked" },
                 r.group,
                 r.kernel,
                 r.precision,
-                r.force_s,
+                fmt_f64(r.force_s),
                 r.allocs,
-                r.err,
-                r.speedup,
-                r.speedup_vs_scalar,
+                fmt_f64(r.err),
+                fmt_f64(r.speedup),
+                fmt_f64(r.speedup_vs_scalar),
             ));
         }
         let doc = format!(

@@ -19,6 +19,7 @@
 
 use nbody_bench::{arg, flag, print_banner, print_table};
 use nbody_resilience::{FaultInjector, FaultKind};
+use nbody_telemetry::json::fmt_f64;
 use nbody_sim::guard::{GuardConfig, GuardedSimulation};
 use nbody_sim::prelude::*;
 use std::time::Instant;
@@ -140,16 +141,21 @@ fn main() {
     }
 
     if !json_path.is_empty() {
+        // fmt_f64 keeps the document parseable even when a ratio degenerates
+        // to NaN/Inf (e.g. a 0 ns wall on the plain arm).
         let doc = format!(
             "{{\n  \"bench\": \"guard_soak\",\n  \"n\": {n},\n  \"steps\": {steps},\n  \
-             \"threads\": {},\n  \"plain_s\": {plain_s:.6},\n  \"guarded_s\": {guarded_s:.6},\n  \
-             \"overhead_pct\": {overhead_pct:.3},\n  \"overhead_budget_pct\": 5.0,\n  \
+             \"threads\": {},\n  \"plain_s\": {},\n  \"guarded_s\": {},\n  \
+             \"overhead_pct\": {},\n  \"overhead_budget_pct\": 5.0,\n  \
              \"soak\": {{\n    \"seed\": {soak_seed},\n    \"steps\": {soak_steps},\n    \
              \"incidents\": {incidents},\n    \"suspects\": {},\n    \"corrupts\": {},\n    \
              \"rollbacks\": {},\n    \"retries\": {},\n    \"dt_halvings\": {},\n    \
              \"suspects_accepted\": {},\n    \"checkpoint_records\": {},\n    \
-             \"final_state_valid\": {recovered},\n    \"rel_err_vs_clean\": {soak_err:.6e}\n  }}\n}}\n",
+             \"final_state_valid\": {recovered},\n    \"rel_err_vs_clean\": {}\n  }}\n}}\n",
             stdpar::backend::hardware_parallelism(),
+            fmt_f64(plain_s),
+            fmt_f64(guarded_s),
+            fmt_f64(overhead_pct),
             s.suspects,
             s.corrupts,
             s.rollbacks,
@@ -157,6 +163,7 @@ fn main() {
             s.dt_halvings,
             s.suspects_accepted,
             s.checkpoint_records,
+            fmt_f64(soak_err),
         );
         std::fs::write(&json_path, doc).expect("write json");
         println!("wrote {json_path}");

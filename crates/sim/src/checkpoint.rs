@@ -26,9 +26,15 @@ use crate::health::HealthMonitor;
 use crate::integrator::Simulation;
 use nbody_math::Vec3;
 
-/// Why a restore failed.
+/// Why a ring operation failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CheckpointError {
+    /// The ring was configured with zero slots — a degenerate ring that
+    /// could never record a rollback point (`record` would underflow its
+    /// slot index). Rejected at construction so callers taking arbitrary
+    /// session configs (the multi-tenant server) get a typed error
+    /// instead of a panic on the first checkpoint.
+    ZeroCapacity,
     /// No checkpoint recorded yet (or `nth` exceeds the stored count).
     OutOfRange { requested: usize, stored: usize },
     /// The slot's payload no longer matches its digest.
@@ -38,6 +44,9 @@ pub enum CheckpointError {
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            CheckpointError::ZeroCapacity => {
+                write!(f, "checkpoint ring needs at least one slot")
+            }
             CheckpointError::OutOfRange { requested, stored } => {
                 write!(f, "checkpoint {requested} requested but only {stored} stored")
             }
@@ -154,17 +163,34 @@ pub struct CheckpointRing {
 }
 
 impl CheckpointRing {
-    /// A ring of `capacity` slots (≥ 1). Slot buffers are empty until the
+    /// A ring of `capacity` slots. Slot buffers are empty until the
     /// first record (or [`CheckpointRing::warm`]).
-    pub fn with_capacity(capacity: usize) -> Self {
-        assert!(capacity >= 1, "checkpoint ring needs at least one slot");
-        CheckpointRing {
+    ///
+    /// `capacity == 0` is a configuration error
+    /// ([`CheckpointError::ZeroCapacity`]): a zero-slot ring has no slot
+    /// for `record` to write and its newest-first index arithmetic would
+    /// reduce modulo zero.
+    pub fn with_capacity(capacity: usize) -> Result<Self, CheckpointError> {
+        if capacity == 0 {
+            return Err(CheckpointError::ZeroCapacity);
+        }
+        Ok(CheckpointRing {
             slots: (0..capacity).map(|_| Slot::default()).collect(),
             next: 0,
             stored: 0,
             records: 0,
             pending_seal: None,
-        }
+        })
+    }
+
+    /// Forget every recorded checkpoint, keeping the slot buffers (and
+    /// their capacity) intact — the recycling path for a ring that outlives
+    /// its tenant, mirroring [`crate::workspace::SimWorkspace`] reuse.
+    pub fn clear(&mut self) {
+        self.next = 0;
+        self.stored = 0;
+        self.records = 0;
+        self.pending_seal = None;
     }
 
     pub fn capacity(&self) -> usize {
@@ -311,7 +337,7 @@ mod tests {
         s.run(3);
         let reference = s.state().clone();
         let (t0, n0, _) = s.clock();
-        let mut ring = CheckpointRing::with_capacity(2);
+        let mut ring = CheckpointRing::with_capacity(2).unwrap();
         ring.record(&s, &mon);
         s.run(5);
         assert_ne!(s.state().positions, reference.positions);
@@ -329,7 +355,7 @@ mod tests {
         let mut s = sim(150, 62);
         let mut mon = HealthMonitor::new(HealthConfig::default());
         s.run(2);
-        let mut ring = CheckpointRing::with_capacity(1);
+        let mut ring = CheckpointRing::with_capacity(1).unwrap();
         ring.record(&s, &mon);
         s.run(4);
         let first = s.state().clone();
@@ -343,7 +369,7 @@ mod tests {
     fn ring_wraps_and_orders_newest_first() {
         let mut s = sim(50, 63);
         let mon = HealthMonitor::new(HealthConfig::default());
-        let mut ring = CheckpointRing::with_capacity(3);
+        let mut ring = CheckpointRing::with_capacity(3).unwrap();
         for _ in 0..5 {
             s.run(1);
             ring.record(&s, &mon);
@@ -358,8 +384,58 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_is_a_typed_config_error() {
+        // Regression: this used to be an assert (panic); the server admits
+        // arbitrary session configs and needs a value-level rejection.
+        assert!(matches!(CheckpointRing::with_capacity(0), Err(CheckpointError::ZeroCapacity)));
+    }
+
+    #[test]
+    fn single_slot_ring_records_wraps_and_restores() {
+        // Regression companion to the zero-capacity fix: the smallest legal
+        // ring must survive repeated wrap-around records and still restore.
+        let mut s = sim(60, 68);
+        let mut mon = HealthMonitor::new(HealthConfig::default());
+        let mut ring = CheckpointRing::with_capacity(1).unwrap();
+        for step in 1..=4 {
+            s.run(1);
+            ring.record(&s, &mon);
+            assert_eq!(ring.len(), 1);
+            assert_eq!(ring.peek_steps(0).unwrap(), step);
+        }
+        let last = s.state().clone();
+        s.run(2);
+        ring.restore(0, &mut s, &mut mon).unwrap();
+        assert_eq!(s.state().positions, last.positions);
+        assert!(matches!(ring.peek_steps(1), Err(CheckpointError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn clear_forgets_records_but_keeps_capacity() {
+        let mut s = sim(90, 69);
+        let mut mon = HealthMonitor::new(HealthConfig::default());
+        let mut ring = CheckpointRing::with_capacity(2).unwrap();
+        ring.warm(s.state().len());
+        let caps: Vec<usize> = ring.slots.iter().map(|sl| sl.positions.capacity()).collect();
+        s.run(1);
+        ring.record(&s, &mon);
+        ring.record_deferred(&s, &mon);
+        ring.clear();
+        assert_eq!(ring.len(), 0);
+        assert_eq!(ring.records(), 0);
+        assert!(matches!(
+            ring.restore(0, &mut s, &mut mon),
+            Err(CheckpointError::OutOfRange { requested: 0, stored: 0 })
+        ));
+        // Buffers survive the clear: the next tenant records allocation-free.
+        for (sl, cap) in ring.slots.iter().zip(caps) {
+            assert_eq!(sl.positions.capacity(), cap, "clear dropped a warmed buffer");
+        }
+    }
+
+    #[test]
     fn empty_ring_reports_out_of_range() {
-        let ring = CheckpointRing::with_capacity(2);
+        let ring = CheckpointRing::with_capacity(2).unwrap();
         let mut s = sim(10, 64);
         let mut mon = HealthMonitor::new(HealthConfig::default());
         assert!(matches!(
@@ -372,7 +448,7 @@ mod tests {
     fn rotted_slot_is_rejected_and_older_slot_still_restores() {
         let mut s = sim(100, 65);
         let mut mon = HealthMonitor::new(HealthConfig::default());
-        let mut ring = CheckpointRing::with_capacity(2);
+        let mut ring = CheckpointRing::with_capacity(2).unwrap();
         s.run(1);
         let older = s.state().clone();
         ring.record(&s, &mon);
@@ -392,7 +468,7 @@ mod tests {
     fn deferred_record_seals_before_restore() {
         let mut s = sim(80, 67);
         let mut mon = HealthMonitor::new(HealthConfig::default());
-        let mut ring = CheckpointRing::with_capacity(2);
+        let mut ring = CheckpointRing::with_capacity(2).unwrap();
         s.run(1);
         let reference = s.state().clone();
         ring.record_deferred(&s, &mon);
@@ -419,7 +495,7 @@ mod tests {
         // must not grow any slot buffer's capacity.
         let mut s = sim(120, 66);
         let mon = HealthMonitor::new(HealthConfig::default());
-        let mut ring = CheckpointRing::with_capacity(3);
+        let mut ring = CheckpointRing::with_capacity(3).unwrap();
         ring.warm(s.state().len());
         let caps: Vec<usize> = ring.slots.iter().map(|sl| sl.positions.capacity()).collect();
         for _ in 0..7 {

@@ -662,27 +662,27 @@ mod tests {
     }
 
     #[test]
-    fn taskgraph_handles_empty_and_single_body_systems() {
-        for n in [0usize, 1] {
-            let state = if n == 0 {
-                SystemState::new()
-            } else {
-                SystemState::from_parts(
-                    vec![Vec3::new(0.4, -0.1, 0.8)],
-                    vec![Vec3::new(0.1, 0.0, 0.0)],
-                    vec![2.0],
-                )
-            };
-            for kind in [SolverKind::Bvh, SolverKind::Octree] {
-                let opts =
-                    SimOptions { dt: 1e-3, stepping: Stepping::TaskGraph, ..SimOptions::default() };
-                let mut sim = Simulation::new(state.clone(), kind, opts).unwrap();
-                sim.run(3);
-                assert_eq!(sim.steps_done(), 3, "{} n={n}", kind.name());
-                if n == 1 {
-                    assert_eq!(sim.accelerations()[0], Vec3::ZERO);
-                }
-            }
+    fn taskgraph_handles_single_body_and_rejects_empty_systems() {
+        let single = SystemState::from_parts(
+            vec![Vec3::new(0.4, -0.1, 0.8)],
+            vec![Vec3::new(0.1, 0.0, 0.0)],
+            vec![2.0],
+        );
+        for kind in [SolverKind::Bvh, SolverKind::Octree] {
+            let opts =
+                SimOptions { dt: 1e-3, stepping: Stepping::TaskGraph, ..SimOptions::default() };
+            // N == 0 is a typed construction error, not a panic deep in the
+            // bbox/tree code on the first step.
+            assert_eq!(
+                Simulation::new(SystemState::new(), kind, opts).err(),
+                Some(crate::solver::SolverError::EmptySystem),
+                "{}",
+                kind.name()
+            );
+            let mut sim = Simulation::new(single.clone(), kind, opts).unwrap();
+            sim.run(3);
+            assert_eq!(sim.steps_done(), 3, "{} n=1", kind.name());
+            assert_eq!(sim.accelerations()[0], Vec3::ZERO);
         }
     }
 

@@ -223,7 +223,12 @@ impl GuardedSimulation {
     /// can escalate).
     pub fn from_simulation(sim: Simulation, cfg: GuardConfig) -> Self {
         assert!(cfg.checkpoint_every >= 1, "checkpoint_every must be at least 1");
-        let mut ring = CheckpointRing::with_capacity(cfg.ring_capacity);
+        // unwrap-ok: a zero ring_capacity is a config-construction bug on a
+        // par with checkpoint_every == 0, asserted just above — this
+        // constructor's contract is "panic on nonsense config", not a
+        // runtime fallible path (SessionManager::try_admit is the typed one).
+        let mut ring = CheckpointRing::with_capacity(cfg.ring_capacity)
+            .expect("GuardConfig::ring_capacity must be at least 1");
         // Pre-size every slot now so steady-state checkpointing allocates
         // nothing (the alloc gate measures warm steps).
         ring.warm(sim.state().len());
@@ -485,7 +490,10 @@ impl GuardedSimulation {
                     self.stats.checkpoint_rejects += 1;
                     record!(counter GUARD_CHECKPOINT_REJECTS, 1);
                 }
-                Err(CheckpointError::OutOfRange { .. }) => break,
+                // ZeroCapacity is construction-only; a live ring cannot
+                // report it, so both terminal arms just stop the scan.
+                Err(CheckpointError::OutOfRange { .. })
+                | Err(CheckpointError::ZeroCapacity) => break,
             }
         }
         let Some(restored) = restored else {
@@ -645,10 +653,21 @@ fn flip_file_bit(path: &Path, r: u64) -> std::io::Result<()> {
 /// to the rotated `<path>.prev`. Returns the state and whether the
 /// fallback was used; if both fail, the *primary* file's error.
 pub fn resume_state_from_disk(path: impl AsRef<Path>) -> Result<(SystemState, bool), SnapshotError> {
+    // Empty snapshots round-trip at the io layer (that is a feature: a
+    // workload can legitimately serialize an empty staging state), but a
+    // *resume* needs something steppable — treat zero bodies like any
+    // other validation failure and fall back to the rotated file.
+    fn load_resumable(path: &Path) -> Result<SystemState, SnapshotError> {
+        let state = io::try_load(path)?;
+        if state.is_empty() {
+            return Err(SnapshotError::EmptyBody);
+        }
+        Ok(state)
+    }
     let path = path.as_ref();
-    match io::try_load(path) {
+    match load_resumable(path) {
         Ok(state) => Ok((state, false)),
-        Err(primary) => match io::try_load(prev_path(path)) {
+        Err(primary) => match load_resumable(&prev_path(path)) {
             Ok(state) => Ok((state, true)),
             Err(_) => Err(primary),
         },
@@ -894,6 +913,30 @@ mod tests {
         let err =
             resume_state_from_disk("/nonexistent-dir-for-guard-test/nope.bin").unwrap_err();
         assert_eq!(err.io_kind(), std::io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn empty_snapshot_resume_is_a_typed_error_with_prev_fallback() {
+        // Regression: an N == 0 snapshot is valid at the io layer (empty
+        // states round-trip), but resuming from one used to sail through
+        // here and panic later in `Simulation::new`'s bbox path. The resume
+        // loader now rejects it like any other validation failure, falling
+        // back to the rotated `.prev` when that one is steppable.
+        let dir = std::env::temp_dir();
+        let path = dir.join("guard_empty_resume_test.bin");
+        let prev = dir.join("guard_empty_resume_test.bin.prev");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&prev);
+        io::try_save(&SystemState::new(), &path).unwrap();
+        let err = resume_state_from_disk(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::EmptyBody), "{err:?}");
+        // With a non-empty rotated sibling, resume uses the fallback.
+        io::try_save(&galaxy_collision(40, 84), &prev).unwrap();
+        let (resumed, used_prev) = resume_state_from_disk(&path).unwrap();
+        assert!(used_prev, "empty primary must fall back to .prev");
+        assert_eq!(resumed.len(), 40);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&prev);
     }
 
     #[test]

@@ -153,7 +153,13 @@ pub struct Simulation {
 
 impl Simulation {
     /// Create a simulation with a solver of the given kind.
+    ///
+    /// An empty state is rejected as [`SolverError::EmptySystem`] rather
+    /// than deferred to a bbox/tree panic on the first step.
     pub fn new(state: SystemState, kind: SolverKind, opts: SimOptions) -> Result<Self, SolverError> {
+        if state.is_empty() {
+            return Err(SolverError::EmptySystem);
+        }
         let solver = make_solver(kind, opts.policy, opts.solver_params())?;
         Ok(Self::with_solver(state, solver, opts))
     }

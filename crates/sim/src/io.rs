@@ -83,6 +83,11 @@ pub enum SnapshotError {
     /// A value was NaN/infinite, or a mass was negative: `what` names the
     /// offending field, `body` the 0-based record.
     NonFinite { body: usize, what: &'static str },
+    /// The snapshot is well-formed but holds zero bodies. Empty states
+    /// round-trip fine at the io layer; *resuming a simulation* from one is
+    /// rejected here ([`crate::guard::resume_state_from_disk`]) because an
+    /// empty system cannot be stepped ([`crate::solver::SolverError::EmptySystem`]).
+    EmptyBody,
 }
 
 impl SnapshotError {
@@ -120,6 +125,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
             SnapshotError::NonFinite { body, what } => {
                 write!(f, "body {body}: non-finite or negative {what}")
+            }
+            SnapshotError::EmptyBody => {
+                write!(f, "snapshot holds zero bodies; a simulation cannot resume from it")
             }
         }
     }

@@ -154,6 +154,11 @@ pub enum SolverError {
     /// The algorithm takes locks / uses vectorization-unsafe atomics and
     /// therefore needs parallel forward progress; `par_unseq` was requested.
     RequiresForwardProgress(SolverKind),
+    /// The system has zero bodies. Rejected at construction: an empty
+    /// system has no bounding box, so letting it through only defers the
+    /// failure to a panic deep in the tree build — callers that accept
+    /// arbitrary configs (the session server) need the typed error here.
+    EmptySystem,
 }
 
 impl std::fmt::Display for SolverError {
@@ -165,6 +170,9 @@ impl std::fmt::Display for SolverError {
                  — on real GPUs without Independent Thread Scheduling this hangs",
                 k.name()
             ),
+            SolverError::EmptySystem => {
+                write!(f, "simulation needs at least one body (the system is empty)")
+            }
         }
     }
 }

@@ -239,6 +239,32 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Clamp an `f64` to the nearest value JSON can carry: NaN (meaningless as
+/// a metric — e.g. a busy fraction over 0 ns of wall) becomes `0.0`,
+/// infinities saturate to `±f64::MAX`. Finite values pass through.
+pub fn clamp_f64(v: f64) -> f64 {
+    if v.is_nan() {
+        0.0
+    } else if v == f64::INFINITY {
+        f64::MAX
+    } else if v == f64::NEG_INFINITY {
+        -f64::MAX
+    } else {
+        v
+    }
+}
+
+/// Serialize an `f64` as a JSON number token.
+///
+/// `format!("{v}")` renders non-finite values as `NaN`/`inf` — tokens no
+/// JSON parser (including [`parse`]) accepts, so one poisoned metric used
+/// to invalidate a whole `BENCH_*.json` document. Non-finite inputs are
+/// clamped via [`clamp_f64`]; everything is emitted in exponent form,
+/// whose shortest-round-trip digits reparse to the exact same bits.
+pub fn fmt_f64(v: f64) -> String {
+    format!("{:e}", clamp_f64(v))
+}
+
 /// Parse a JSON document (the full snapshot subset).
 pub fn parse(text: &str) -> Result<Value, JsonError> {
     let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
@@ -369,6 +395,29 @@ mod tests {
         let m = obj.as_object().unwrap();
         assert_eq!(m["a"], Value::UInt(1));
         assert_eq!(m["b"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fmt_f64_round_trips_and_clamps_non_finite() {
+        // Finite values reparse to the exact same bits.
+        for v in [0.0, -0.0, 1.5, -2.75e-9, 6.02214076e23, f64::MAX, f64::MIN_POSITIVE] {
+            match parse(&fmt_f64(v)).unwrap() {
+                Value::Float(x) => assert_eq!(x.to_bits(), v.to_bits(), "{v}"),
+                other => panic!("{v} parsed as {other:?}"),
+            }
+        }
+        // Non-finite values emit *valid* JSON (the regression: `format!`
+        // renders them as the unparseable tokens `NaN` / `inf`).
+        assert!(parse(&format!("{}", f64::NAN)).is_err(), "bare Display NaN must not parse");
+        for (v, want) in
+            [(f64::NAN, 0.0), (f64::INFINITY, f64::MAX), (f64::NEG_INFINITY, -f64::MAX)]
+        {
+            let tok = fmt_f64(v);
+            match parse(&tok).unwrap() {
+                Value::Float(x) => assert_eq!(x.to_bits(), want.to_bits(), "{tok}"),
+                other => panic!("{tok} parsed as {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -168,12 +168,32 @@ pub static GUARD_DISK_CHECKPOINTS: Counter = Counter::new();
 /// restored from.
 pub static GUARD_ROLLBACK_AGE: Histogram = Histogram::new();
 
+// ---- multi-tenant server ---------------------------------------------------
+
+/// Sessions admitted into a slot.
+pub static SERVER_SESSIONS_ADMITTED: Counter = Counter::new();
+/// Admissions rejected (pool full or invalid session config).
+pub static SERVER_SESSIONS_REJECTED: Counter = Counter::new();
+/// Sessions closed (their slot returned to the free list).
+pub static SERVER_SESSIONS_CLOSED: Counter = Counter::new();
+/// Sessions quarantined by a Suspect/Corrupt health verdict.
+pub static SERVER_QUARANTINES: Counter = Counter::new();
+/// Scheduler ticks executed (one batched task-graph run each).
+pub static SERVER_TICKS: Counter = Counter::new();
+/// Session micro-steps executed across all ticks.
+pub static SERVER_STEPS: Counter = Counter::new();
+/// Most sessions ever live at once.
+pub static SERVER_SESSIONS_HIGH_WATER: Gauge = Gauge::new();
+/// Wall nanoseconds of each session micro-step (the per-step latency the
+/// fairness scheduler budgets against).
+pub static SERVER_STEP_NANOS: Histogram = Histogram::new();
+
 /// Number of registered counters.
-pub const N_COUNTERS: usize = 55;
+pub const N_COUNTERS: usize = 61;
 /// Number of registered gauges.
-pub const N_GAUGES: usize = 5;
+pub const N_GAUGES: usize = 6;
 /// Number of registered histograms.
-pub const N_HISTOGRAMS: usize = 8;
+pub const N_HISTOGRAMS: usize = 9;
 
 /// All counters, in stable snapshot order.
 pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
@@ -233,6 +253,12 @@ pub fn counters() -> [(&'static str, &'static Counter); N_COUNTERS] {
         ("guard_checkpoints", &GUARD_CHECKPOINTS),
         ("guard_checkpoint_rejects", &GUARD_CHECKPOINT_REJECTS),
         ("guard_disk_checkpoints", &GUARD_DISK_CHECKPOINTS),
+        ("server_sessions_admitted", &SERVER_SESSIONS_ADMITTED),
+        ("server_sessions_rejected", &SERVER_SESSIONS_REJECTED),
+        ("server_sessions_closed", &SERVER_SESSIONS_CLOSED),
+        ("server_quarantines", &SERVER_QUARANTINES),
+        ("server_ticks", &SERVER_TICKS),
+        ("server_steps", &SERVER_STEPS),
     ]
 }
 
@@ -244,6 +270,7 @@ pub fn gauges() -> [(&'static str, &'static Gauge); N_GAUGES] {
         ("octree_freelist_high_water", &OCTREE_FREELIST_HIGH_WATER),
         ("bvh_nodes_high_water", &BVH_NODES_HIGH_WATER),
         ("simd_dispatch_level", &SIMD_DISPATCH_LEVEL),
+        ("server_sessions_high_water", &SERVER_SESSIONS_HIGH_WATER),
     ]
 }
 
@@ -258,6 +285,7 @@ pub fn histograms() -> [(&'static str, &'static Histogram); N_HISTOGRAMS] {
         ("bvh_resort_runs", &BVH_RESORT_RUNS),
         ("resilient_fallback_level", &RESILIENT_FALLBACK_LEVEL),
         ("guard_rollback_age", &GUARD_ROLLBACK_AGE),
+        ("server_step_nanos", &SERVER_STEP_NANOS),
     ]
 }
 

@@ -18,6 +18,7 @@ $B/blocked_sweep --n=100000 --theta=0.5 --kernel=scalar,simd,simd-mixed --json=B
 $B/blocked_sweep --n=100000 --lifecycle=rebuild,incremental:1,incremental:3 --steps=16 --json=BENCH_incremental.json > results/lifecycle_sweep.txt 2>&1
 $B/blocked_sweep --theta=0.5 --stepping=barrier,task-graph --n=10000,100000 --steps=16 --json=BENCH_dag.json > results/stepping_sweep.txt 2>&1
 $B/guard_soak --n=10000 --json=BENCH_guard.json > results/guard_soak.txt 2>&1
+$B/service_soak --sessions=256 --n=1000 --json=BENCH_service.json > results/service_soak.txt 2>&1
 $B/tree_reuse --n=50000 --steps=16              > results/tree_reuse.txt 2>&1
 $B/curve_compare --n=100000                     > results/curve_compare.txt 2>&1
 echo ALL_DONE

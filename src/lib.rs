@@ -42,6 +42,7 @@ pub use bh_octree as octree;
 pub use bh_quadtree as quadtree;
 pub use nbody_math as math;
 pub use nbody_resilience as resilience;
+pub use nbody_server as server;
 pub use nbody_sim as sim;
 pub use nbody_telemetry as telemetry;
 pub use progress_sim as progress;

@@ -293,6 +293,49 @@ fn steady_state_steps_allocate_nothing() {
         });
     }
 
+    // Multi-tenant service ticks: the plan vectors, the task-graph arena,
+    // the per-node timing slots, the latency window, and each slot's
+    // checkpoint ring are all grow-only, so a warm tick at a constant
+    // session population must be allocation-free end to end (plan →
+    // batched graph run → settle), checkpoint cadence included.
+    {
+        use stdpar_nbody::server::{
+            CostModel, SchedulerConfig, SessionConfig, SessionManager, TickMode,
+        };
+        let sched = SchedulerConfig {
+            quantum_ns: 300,
+            burst_ticks: 1,
+            cost_model: CostModel::Fixed(100),
+            ..SchedulerConfig::default()
+        };
+        let mut mgr = SessionManager::new(4, TickMode::Batched, sched);
+        let cfg = SessionConfig {
+            // dt = 0 for the same reason as the solver sweep above;
+            // checkpoint every step so the ring-record path is inside the
+            // measured window, not between cadence points.
+            opts: SimOptions { dt: 0.0, softening: 1e-3, ..SimOptions::default() },
+            checkpoint_every: 1,
+            ..SessionConfig::default()
+        };
+        for seed in 0..3u64 {
+            mgr.admit(galaxy_collision(600, 500 + seed), &cfg).unwrap();
+        }
+        for _ in 0..3 {
+            mgr.tick();
+        }
+        for tick in 0..3 {
+            let before = allocation_count();
+            let report = mgr.tick();
+            let delta = allocation_count() - before;
+            assert_eq!(delta, 0, "server: warm tick {tick} performed {delta} allocations");
+            assert_eq!(
+                report.steps, 9,
+                "3 equal-weight sessions x 3 planned steps under the fixed cost model"
+            );
+            assert_eq!(report.new_quarantines, 0, "dt = 0 sessions must stay healthy");
+        }
+    }
+
     // Telemetry recorded throughout the zero-allocation sweep above, so
     // every recording site exercised here is proven allocation-free.
     assert!(

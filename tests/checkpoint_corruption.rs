@@ -194,7 +194,7 @@ fn checkpoint_ring_rejects_rotted_slots_and_serves_older_ones() {
     let opts = SimOptions { dt: 1e-3, ..SimOptions::default() };
     let mut sim = Simulation::new(state, SolverKind::Bvh, opts).unwrap();
     let mut monitor = HealthMonitor::new(HealthConfig::default());
-    let mut ring = CheckpointRing::with_capacity(3);
+    let mut ring = CheckpointRing::with_capacity(3).unwrap();
     ring.warm(sim.state().len());
 
     for _ in 0..3 {

@@ -128,6 +128,37 @@ fn telemetry_records_and_snapshot_validates() {
         hist.reset();
     }
 
+    // Float emission (bugfix): the hand-rolled JSON emitters route every
+    // f64 through `fmt_f64`, which clamps non-finite values (a raw
+    // `{:.6}` interpolation of NaN/Inf used to produce documents the
+    // parser itself rejects) and prints finite values in shortest
+    // round-trip exponent form.
+    {
+        use stdpar_nbody::telemetry::json::{clamp_f64, fmt_f64, parse, Value};
+        for (label, v, want) in [
+            ("nan", f64::NAN, 0.0),
+            ("+inf", f64::INFINITY, f64::MAX),
+            ("-inf", f64::NEG_INFINITY, -f64::MAX),
+            ("zero", 0.0, 0.0),
+            ("subnormal-ish", -2.75e-9, -2.75e-9),
+            ("max", f64::MAX, f64::MAX),
+        ] {
+            assert_eq!(clamp_f64(v).to_bits(), want.to_bits(), "{label}: clamp");
+            let doc = format!("{{\"x\": {}}}", fmt_f64(v));
+            let Ok(parsed) = parse(&doc) else {
+                panic!("{label}: emitted document {doc:?} must parse");
+            };
+            let Value::Object(map) = parsed else { panic!("{label}: not an object") };
+            let Value::Float(got) = map["x"] else { panic!("{label}: not a float") };
+            assert_eq!(got.to_bits(), want.to_bits(), "{label}: emitter/parser round trip");
+            if !v.is_finite() {
+                // The old behaviour for reference: interpolating the raw
+                // value yields an unparseable document.
+                assert!(parse(&format!("{{\"x\": {v}}}")).is_err(), "{label}: raw must fail");
+            }
+        }
+    }
+
     // Panic path: a worker panic inside a parallel region is caught,
     // rethrown to the caller after the join, AND tallied. Force multiple
     // workers so the spawned (PanicCell) path runs even on 1-CPU hosts —

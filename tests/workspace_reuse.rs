@@ -7,6 +7,7 @@
 //! **bitwise identical** to a run with a fresh arena.
 
 use stdpar_nbody::prelude::*;
+use stdpar_nbody::server::{CostModel, SchedulerConfig, SessionConfig, SessionManager, TickMode};
 use stdpar_nbody::stdpar::backend::{with_backend, Backend};
 
 /// Grow, then shrink: the middle run inflates every workspace buffer past
@@ -65,6 +66,69 @@ fn reused_workspace_across_changing_n_matches_fresh() {
                     kind.name(),
                     NS[i]
                 );
+            }
+        }
+    }
+}
+
+#[test]
+fn recycled_session_slot_is_bitwise_invisible() {
+    // The session pool recycles a closed session's slot — workspace,
+    // interaction-list pool, and checkpoint ring — through a free list.
+    // A 2200-body session inflates every grow-only buffer in the slot;
+    // the 400-body session admitted into it afterwards must produce the
+    // exact trajectory of the same session in a brand-new manager.
+    let sched = SchedulerConfig {
+        quantum_ns: 300,
+        burst_ticks: 1,
+        cost_model: CostModel::Fixed(100),
+        ..SchedulerConfig::default()
+    };
+    for eval in [ForceEval::PerBody, ForceEval::Blocked { group: 32 }] {
+        for kind in [SolverKind::Octree, SolverKind::Bvh] {
+            for backend in [Backend::Dynamic, Backend::DetPar] {
+                with_backend(backend, || {
+                    let cfg = SessionConfig {
+                        kind,
+                        opts: SimOptions {
+                            dt: 1e-3,
+                            softening: 1e-3,
+                            eval,
+                            ..SimOptions::default()
+                        },
+                        ..SessionConfig::default()
+                    };
+                    // Capacity 1 forces the second admission into the
+                    // recycled slot.
+                    let mut mgr = SessionManager::new(1, TickMode::Batched, sched);
+                    let big = mgr.admit(galaxy_collision(NS[1], 77), &cfg).unwrap();
+                    mgr.tick();
+                    mgr.close(big).unwrap();
+                    let small = mgr.admit(galaxy_collision(NS[2], 78), &cfg).unwrap();
+                    for _ in 0..2 {
+                        mgr.tick();
+                    }
+                    let steps = mgr.session_steps(small).unwrap();
+                    assert!(steps > 0);
+
+                    let mut fresh = SessionManager::new(1, TickMode::Batched, sched);
+                    let only = fresh.admit(galaxy_collision(NS[2], 78), &cfg).unwrap();
+                    for _ in 0..2 {
+                        fresh.tick();
+                    }
+                    assert_eq!(fresh.session_steps(only).unwrap(), steps);
+                    assert_eq!(
+                        mgr.session_state(small).unwrap().positions,
+                        fresh.session_state(only).unwrap().positions,
+                        "{}/{}/{eval:?}: recycled slot perturbed the trajectory",
+                        backend.name(),
+                        kind.name()
+                    );
+                    assert_eq!(
+                        mgr.session_state(small).unwrap().velocities,
+                        fresh.session_state(only).unwrap().velocities
+                    );
+                });
             }
         }
     }
